@@ -1,0 +1,66 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+All benchmark files share one :class:`RunCache`, so the expensive
+simulation pass over (10 games x 4 techniques x N frames) happens once
+per pytest session regardless of how many figures are regenerated.
+
+Environment knobs (useful for quick local iterations):
+
+* ``REPRO_BENCH_FRAMES`` — frames per run (default 50, as in the paper);
+* ``REPRO_BENCH_SCALE``  — ``benchmark`` (384x256, default) or ``small``.
+"""
+
+import os
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.harness.experiments import RunCache
+
+
+def _config() -> GpuConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "benchmark")
+    if scale == "small":
+        return GpuConfig.small()
+    if scale == "mali450":
+        return GpuConfig.mali450()
+    return GpuConfig.benchmark()
+
+
+def _frames() -> int:
+    return int(os.environ.get("REPRO_BENCH_FRAMES", "50"))
+
+
+@pytest.fixture(scope="session")
+def cache() -> RunCache:
+    return RunCache(_config(), num_frames=_frames())
+
+
+@pytest.fixture(scope="session")
+def report_dir(tmp_path_factory):
+    """Directory where each benchmark drops its rendered table."""
+    path = os.environ.get("REPRO_BENCH_REPORT_DIR")
+    if path:
+        os.makedirs(path, exist_ok=True)
+        return path
+    return tmp_path_factory.mktemp("figure-tables")
+
+
+def record_table(report_dir, result) -> None:
+    """Persist an experiment's table (and chart) beside the output."""
+    from repro.harness.charts import chart_for
+
+    path = os.path.join(str(report_dir), f"{result.experiment_id}.txt")
+    try:
+        chart = chart_for(result)
+    except (ValueError, TypeError, IndexError):
+        chart = ""
+    with open(path, "w") as handle:
+        handle.write(result.title + "\n\n" + result.table() + "\n")
+        if chart:
+            handle.write("\n" + chart + "\n")
+        if result.notes:
+            handle.write("\n" + result.notes + "\n")
+    print(f"\n{result.title}\n{result.table()}")
+    if result.notes:
+        print(result.notes)

@@ -1,0 +1,52 @@
+"""Ablation: CRC subblock size (the Section III-G tradeoff).
+
+The paper chooses 8-byte subblocks signed by eight 1-KB LUTs: smaller
+subblocks take more cycles per block, larger ones cost more LUT ROM.
+This benchmark sweeps the size and checks both sides of the tradeoff
+on the paper's worked examples (a 144-byte average primitive and a
+64-byte constants block).
+"""
+
+import pytest
+
+from repro.hashing import ComputeCrcUnit, crc32_table, lut_storage_bytes
+
+
+BLOCK_SIZES = (4, 8, 16, 32)
+AVERAGE_PRIMITIVE = bytes(range(48)) * 3   # 3 attributes x 48 bytes
+AVERAGE_CONSTANTS = bytes(range(64))       # 16 four-byte values
+
+
+@pytest.mark.parametrize("block_bytes", BLOCK_SIZES)
+def test_ablation_crc_block_size(benchmark, block_bytes):
+    unit = ComputeCrcUnit(block_bytes)
+
+    def sign_average_primitive():
+        return unit.compute(AVERAGE_PRIMITIVE)
+
+    crc, shift_amount = benchmark(sign_average_primitive)
+
+    # Correctness holds at every size.
+    assert crc == crc32_table(unit.pad(AVERAGE_PRIMITIVE))
+    # The latency side of the tradeoff: cycles per block = blocks.
+    assert shift_amount == -(-len(AVERAGE_PRIMITIVE) // block_bytes)
+    # The storage side: LUT ROM grows linearly with block size.
+    assert lut_storage_bytes(block_bytes) == (block_bytes + 4) * 1024
+
+
+def test_paper_chose_the_knee(benchmark):
+    """At 8 bytes: 18 cycles for the average primitive, 8 for the
+    average constants block, 12 KB of LUTs — the paper's numbers."""
+    unit = benchmark(lambda: ComputeCrcUnit(8))
+    _, prim_blocks = unit.compute(AVERAGE_PRIMITIVE)
+    _, const_blocks = unit.compute(AVERAGE_CONSTANTS)
+    assert prim_blocks == 18
+    assert const_blocks == 8
+    assert lut_storage_bytes(8) == 12 * 1024
+
+    # Halving the block doubles latency for only 4 KB saved; doubling
+    # it saves 9 cycles but costs 8 KB more ROM per unit.
+    _, half = ComputeCrcUnit(4).compute(AVERAGE_PRIMITIVE)
+    _, double = ComputeCrcUnit(16).compute(AVERAGE_PRIMITIVE)
+    assert half == 36
+    assert double == 9

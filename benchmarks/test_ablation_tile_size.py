@@ -1,0 +1,62 @@
+"""Ablation: tile size vs detectable redundancy.
+
+Coarser tiles make each tile's input set larger, so a single moving
+sprite poisons more of the screen; finer tiles detect more redundancy
+but need more signature storage and more per-tile overhead.  The
+paper's 16x16 choice is the Mali baseline; this sweep quantifies the
+sensitivity.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.core import RenderingElimination
+from repro.pipeline import Gpu
+from repro.workloads import build_scene
+
+TILE_SIZES = (8, 16, 32)
+
+
+def run_with_tile_size(tile_size: int, alias: str = "cde",
+                       frames: int = 8) -> dict:
+    config = dataclasses.replace(GpuConfig.small(), tile_size=tile_size)
+    technique = RenderingElimination(config)
+    gpu = Gpu(config, technique)
+    scene = build_scene(alias)
+    skipped = total = 0
+    for index, stream in enumerate(scene.frames(frames)):
+        stats = gpu.render_frame(stream, clear_color=scene.clear_color)
+        if index >= 2:
+            skipped += stats.raster.tiles_skipped
+            total += config.num_tiles
+    return {
+        "skip_fraction": skipped / total,
+        "signature_bytes": technique.signature_buffer.storage_bytes,
+        "num_tiles": config.num_tiles,
+    }
+
+
+@pytest.mark.parametrize("tile_size", TILE_SIZES)
+def test_ablation_tile_size(benchmark, tile_size):
+    result = benchmark.pedantic(
+        run_with_tile_size, args=(tile_size,), rounds=1, iterations=1
+    )
+    assert 0.0 <= result["skip_fraction"] <= 1.0
+    assert result["signature_bytes"] == 2 * result["num_tiles"] * 4
+
+
+def test_finer_tiles_detect_at_least_as_much(benchmark):
+    results = benchmark.pedantic(
+        lambda: {size: run_with_tile_size(size) for size in TILE_SIZES},
+        rounds=1, iterations=1,
+    )
+    assert (
+        results[8]["skip_fraction"]
+        >= results[16]["skip_fraction"]
+        >= results[32]["skip_fraction"] - 0.02
+    )
+    # Storage scales inversely with tile area.
+    assert results[8]["signature_bytes"] > results[16]["signature_bytes"]
+    assert results[16]["signature_bytes"] > results[32]["signature_bytes"]

@@ -1,0 +1,31 @@
+"""Fig. 1: average power and GPU load per application (motivation).
+
+Paper shape: even simple games draw power comparable to a benchmark
+designed to stress the GPU, while the (damage-driven) Android desktop
+leaves the GPU nearly idle.
+"""
+
+from repro.harness.experiments import fig01_power_motivation
+from repro.workloads import FIGURE_ORDER
+
+from .conftest import record_table
+
+
+def test_fig01_power_motivation(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        fig01_power_motivation, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    game_powers = [rows[a][1] for a in FIGURE_ORDER]
+    assert rows["desktop"][1] < 0.25 * min(game_powers), (
+        "desktop leaves the GPU mostly idle"
+    )
+    # Simple games are in the same league as the stress benchmark
+    # (the paper's headline observation about ccs).
+    assert rows["ccs"][1] > 0.3 * rows["antutu"][1]
+    # Load percentages are well-formed.
+    for alias, power, load in result.rows:
+        assert power > 0
+        assert 0.0 <= load <= 100.0

@@ -1,0 +1,30 @@
+"""Fig. 2: percentage of equal-color tiles across consecutive frames.
+
+Paper shape: the static-camera games (ccs..hop) exceed 90%; the
+continuous-motion shooter (mst) is near zero; the mixed games fall in
+between.
+"""
+
+from repro.harness.experiments import fig02_equal_tiles
+
+from .conftest import record_table
+
+STATIC_GAMES = ("ccs", "cde", "ctr", "hop")
+
+
+def test_fig02_equal_tiles(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        fig02_equal_tiles, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    for alias in STATIC_GAMES:
+        assert rows[alias][1] > 80.0, f"{alias} should be mostly redundant"
+    assert rows["mst"][1] < 10.0, "mst has continuous camera motion"
+    for alias in ("abi", "csn", "ter", "tib"):
+        assert rows["mst"][1] < rows[alias][1] < 99.5
+    # The paper's three behaviour classes are ordered.
+    static_avg = sum(rows[a][1] for a in STATIC_GAMES) / len(STATIC_GAMES)
+    mixed_avg = sum(rows[a][1] for a in ("abi", "csn", "ter", "tib")) / 4
+    assert static_avg > mixed_avg > rows["mst"][1]

@@ -1,0 +1,37 @@
+"""Fig. 14a: normalized execution cycles, Base vs RE.
+
+Paper shape: ~1.74x average speedup with the best game (cde) far above
+average; mst neither gains nor loses more than ~1%; the Raster Pipeline
+shrinks while Geometry is essentially unchanged.
+"""
+
+from repro.harness.experiments import fig14a_execution_cycles
+from repro.workloads import FIGURE_ORDER
+
+from .conftest import record_table
+
+
+def test_fig14a_execution_cycles(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        fig14a_execution_cycles, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    avg_speedup = rows["AVG"][5]   # 1 / average normalized cycles
+    assert 1.3 < avg_speedup < 3.0, "average speedup in the paper's regime"
+
+    speedups = {alias: rows[alias][5] for alias in FIGURE_ORDER}
+    assert max(speedups, key=speedups.get) == "cde", (
+        "cde is the paper's best-case benchmark"
+    )
+    assert speedups["cde"] > 3.0
+
+    # mst: no redundancy, overhead under 1%.
+    assert abs(speedups["mst"] - 1.0) < 0.01
+
+    for alias in FIGURE_ORDER:
+        # Geometry cycles unchanged within the signature-stall margin.
+        assert rows[alias][3] <= rows[alias][1] * 1.05 + 1e-9
+        # Raster never grows.
+        assert rows[alias][4] <= rows[alias][2] * 1.01

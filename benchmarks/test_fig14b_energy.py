@@ -1,0 +1,33 @@
+"""Fig. 14b: normalized energy consumption, Base vs RE.
+
+Paper shape: ~43% average reduction; the best games (ccs, cde) reach
+~90%; mst costs less than 1% extra; both GPU and main-memory energy
+shrink under RE.
+"""
+
+from repro.harness.experiments import fig14b_energy
+from repro.workloads import FIGURE_ORDER
+
+from .conftest import record_table
+
+
+def test_fig14b_energy(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        fig14b_energy, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    avg_saving = rows["AVG"][5]
+    assert 0.30 < avg_saving < 0.70, "average saving in the paper's regime"
+    assert rows["cde"][5] > 0.80, "best case approaches the paper's 90%"
+    assert abs(rows["mst"][5]) < 0.01, "mst overhead under 1%"
+
+    for alias in FIGURE_ORDER:
+        base_gpu, base_mem = rows[alias][1], rows[alias][2]
+        re_gpu, re_mem = rows[alias][3], rows[alias][4]
+        assert base_gpu + base_mem == 1.0 or abs(
+            base_gpu + base_mem - 1.0
+        ) < 1e-6
+        assert re_gpu <= base_gpu * 1.01
+        assert re_mem <= base_mem * 1.01

@@ -1,0 +1,38 @@
+"""Fig. 15a: tile populations by (color, input) equality.
+
+Paper shape: on average ~50% of tiles keep equal colors AND equal
+inputs (RE skips these), ~12% keep equal colors despite different
+inputs (RE's false negatives), ~38% genuinely change; there is not a
+single tile that changes color while keeping equal inputs.
+"""
+
+from repro.harness.experiments import fig15a_tile_classes
+from repro.workloads import FIGURE_ORDER
+
+from .conftest import record_table
+
+
+def test_fig15a_tile_classes(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        fig15a_tile_classes, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    avg = rows["AVG"]
+    assert 35.0 < avg[1] < 75.0, "detected redundancy near the paper's 50%"
+    assert 5.0 < avg[2] < 25.0, "false negatives near the paper's 12%"
+
+    # Zero false positives anywhere (equal inputs -> equal colors).
+    assert avg[4] == 0
+
+    # Per game the three classes partition the tiles.
+    for alias in FIGURE_ORDER:
+        total = rows[alias][1] + rows[alias][2] + rows[alias][3]
+        assert abs(total - 100.0) < 0.01
+
+    # The games the paper singles out for equal-colors-different-inputs
+    # behaviour show it prominently.
+    assert rows["hop"][2] > 15.0, "hop's black-on-black mover"
+    assert rows["abi"][2] > 15.0, "abi's flat-sky panning"
+    assert rows["mst"][1] < 2.0, "mst has nothing RE can catch"

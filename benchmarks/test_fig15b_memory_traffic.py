@@ -1,0 +1,34 @@
+"""Fig. 15b: Raster Pipeline main-memory traffic under RE, normalized to
+the baseline, split into Color-Buffer flushes, texel fetches and
+Parameter-Buffer primitive reads.
+
+Paper shape: ~48% average traffic reduction; mst keeps all of its
+traffic; texel and color streams dominate the totals.
+"""
+
+from repro.harness.experiments import fig15b_memory_traffic
+from repro.workloads import FIGURE_ORDER
+
+from .conftest import record_table
+
+
+def test_fig15b_memory_traffic(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        fig15b_memory_traffic, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    avg_total = rows["AVG"][4]
+    assert 0.25 < avg_total < 0.70, "average traffic near the paper's 0.52"
+    assert rows["mst"][4] > 0.98, "mst skips nothing"
+    assert rows["cde"][4] < 0.20, "the best game eliminates most traffic"
+
+    for alias in FIGURE_ORDER:
+        colors, texels, primitives, total = (
+            rows[alias][1], rows[alias][2], rows[alias][3], rows[alias][4]
+        )
+        assert abs(colors + texels + primitives - total) < 1e-9
+        assert 0.0 <= total <= 1.02
+        # Texels and colors dominate the raster traffic mix.
+        assert primitives < 0.15

@@ -1,0 +1,46 @@
+"""Fig. 16: fragments shaded under RE vs PFR-aided Fragment Memoization,
+normalized to the baseline.
+
+Paper shape: RE reuses roughly twice as many fragments as memoization
+overall; memoization cannot go below ~0.5 on static content (even frames
+always shade — the PFR halving); hop is the exception where the tiny
+LUT suffices and memoization matches or beats RE.
+"""
+
+from repro.harness.experiments import fig16_memoization
+from repro.workloads import FIGURE_ORDER
+
+from .conftest import record_table
+
+
+def test_fig16_memoization(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        fig16_memoization, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    # RE discovers substantially more redundancy on average.
+    assert rows["AVG"][1] < rows["AVG"][2] - 0.05
+
+    # PFR halving: memoization cannot beat ~0.5 on the static games.
+    for alias in ("ccs", "cde", "ctr", "coc"):
+        assert rows[alias][2] >= 0.45
+        assert rows[alias][1] < rows[alias][2], (
+            f"RE must beat memoization on {alias}"
+        )
+
+    # hop: the one game where memoization is competitive with RE
+    # (few distinct fragment signatures relieve the LUT pressure).
+    hop_gap = rows["hop"][2] - rows["hop"][1]
+    other_gaps = [
+        rows[a][2] - rows[a][1]
+        for a in ("ccs", "cde", "ctr", "coc", "tib")
+    ]
+    assert hop_gap < min(other_gaps), (
+        "hop is memoization's best case relative to RE"
+    )
+
+    # mst: nobody reuses anything.
+    assert rows["mst"][1] > 0.99
+    assert rows["mst"][2] > 0.99

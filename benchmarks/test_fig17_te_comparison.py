@@ -1,0 +1,56 @@
+"""Figs. 17a/17b: Transaction Elimination vs Rendering Elimination.
+
+Paper shape: TE barely changes execution time (it only skips the flush)
+but saves ~9% energy on average; RE saves both time and ~43% energy,
+far ahead of TE on every redundant workload.  In games dominated by
+equal-colors-different-inputs tiles (abi), TE closes most of the gap.
+"""
+
+from repro.harness.experiments import fig17a_te_cycles, fig17b_te_energy
+from repro.workloads import FIGURE_ORDER
+
+from .conftest import record_table
+
+
+def test_fig17a_te_cycles(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        fig17a_te_cycles, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    for alias in FIGURE_ORDER:
+        te, re = rows[alias][1], rows[alias][2]
+        # TE has no skip path: its only time effect is the suppressed
+        # flush drain and its DRAM stalls, which caps its cycle savings
+        # well below RE's (the paper idealizes this to ~zero; our DRAM
+        # model recovers a little more on flush-heavy games like hop).
+        assert te > 0.84
+        # RE at least matches TE on time everywhere.
+        assert re <= te * 1.02
+    assert rows["AVG"][1] > 0.90, "TE barely improves average cycles"
+    assert rows["AVG"][2] < 0.75, "RE's average time saving is large"
+
+
+def test_fig17b_te_energy(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        fig17b_te_energy, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    te_avg_saving = 1.0 - rows["AVG"][1]
+    re_avg_saving = 1.0 - rows["AVG"][2]
+    assert 0.03 < te_avg_saving < 0.25, "TE saves single-digit-to-teens %"
+    assert re_avg_saving > te_avg_saving + 0.15, "RE far surpasses TE"
+
+    # abi: panning over flat color -- TE's relative best case.  The
+    # RE-over-TE advantage there is the smallest among the 2D games.
+    gaps = {
+        alias: rows[alias][1] - rows[alias][2]
+        for alias in ("ccs", "cde", "ctr", "abi")
+    }
+    assert gaps["abi"] == min(gaps.values())
+
+    # cde: the paper highlights ~65% additional savings of RE over TE.
+    assert rows["cde"][1] - rows["cde"][2] > 0.4

@@ -1,0 +1,42 @@
+"""Section V text: Rendering Elimination's own overheads.
+
+Paper claims: ~0.64% additional geometry cycles (OT-queue overflow
+stalls), signature-compare cost negligible, energy overhead below 0.5%
+of the baseline total, and on-chip storage below 1% of GPU area.
+"""
+
+from repro.config import GpuConfig
+from repro.core import RenderingElimination
+from repro.harness.experiments import re_overheads
+
+from .conftest import record_table
+
+
+def test_re_overheads(benchmark, cache, report_dir):
+    result = benchmark.pedantic(
+        re_overheads, args=(cache,), rounds=1, iterations=1
+    )
+    record_table(report_dir, result)
+    rows = result.row_map()
+
+    avg = rows["AVG"]
+    assert avg[1] < 3.0, "geometry stall overhead stays ~the paper's 0.64%"
+    assert avg[2] < 2.0, "signature compares are a few cycles per tile"
+    assert avg[3] < 1.5, "RE energy overhead near the paper's <0.5%"
+
+    # Worst case per game still small.
+    for alias, geom, compare, energy in result.rows[:-1]:
+        assert geom < 8.0
+        assert energy < 3.0
+
+
+def test_re_storage_budget(benchmark):
+    """RE's added SRAM/ROM at full Table I scale (paper: <1% area)."""
+    def storage():
+        config = GpuConfig.mali450()
+        return RenderingElimination(config).storage_bytes
+
+    nbytes = benchmark(storage)
+    # 3600 tiles: 28.8 KB signatures + 12 KB LUTs + queue + bitmap.
+    assert nbytes < 64 * 1024
+    assert nbytes > 40 * 1024

@@ -1,0 +1,27 @@
+"""Table I: the simulated GPU parameters match the paper's setup."""
+
+from repro.config import GpuConfig
+from repro.harness.experiments import table1_parameters
+
+from .conftest import record_table
+
+
+def test_table1_parameters(benchmark, report_dir):
+    result = benchmark(table1_parameters)
+    record_table(report_dir, result)
+    values = dict(result.rows)
+    assert values["clock"] == "400 MHz"
+    assert values["screen"] == "1196x768"
+    assert values["tile size"] == "16x16"
+    assert values["main memory latency"] == "50-100 cycles"
+    assert values["main memory bandwidth"] == "4 bytes/cycle"
+    assert values["vertex cache"] == "4 KB"
+    assert values["texture caches"] == "4x 8 KB"
+    assert values["tile cache"] == "128 KB"
+    assert values["L2 cache"] == "256 KB"
+    assert values["vertex processors"] == "1"
+    assert values["fragment processors"] == "4"
+    assert values["raster throughput"] == "16 attributes/cycle"
+
+    config = GpuConfig.mali450()
+    assert config.num_tiles == 75 * 48  # 1196x768 at 16x16

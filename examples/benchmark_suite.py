@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Run the Table II benchmark suite under every technique and print the
+paper's headline comparison (speedup and energy saving per game).
+
+Run:  python examples/benchmark_suite.py [--frames N] [--scale small|benchmark]
+
+This is the long-form version of what benchmarks/ automates; expect a
+few minutes at benchmark scale.
+"""
+
+import argparse
+
+from repro.config import GpuConfig
+from repro.harness import reporting, run_workload
+from repro.workloads import FIGURE_ORDER
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=12)
+    parser.add_argument("--scale", choices=("small", "benchmark"),
+                        default="small")
+    parser.add_argument("--games", nargs="*", default=list(FIGURE_ORDER))
+    args = parser.parse_args()
+
+    config = (
+        GpuConfig.small() if args.scale == "small" else GpuConfig.benchmark()
+    )
+    rows = []
+    for alias in args.games:
+        base = run_workload(alias, "baseline", config, args.frames)
+        re = run_workload(alias, "re", config, args.frames)
+        te = run_workload(alias, "te", config, args.frames)
+        assert re.final_frame_crc == base.final_frame_crc, (
+            f"{alias}: RE output diverged from baseline"
+        )
+        rows.append([
+            alias,
+            base.total_cycles / re.total_cycles,
+            1.0 - re.total_energy_nj / base.total_energy_nj,
+            1.0 - te.total_energy_nj / base.total_energy_nj,
+            re.skipped_fraction(),
+        ])
+    speedups = [r[1] for r in rows]
+    rows.append([
+        "AVG",
+        sum(speedups) / len(speedups),
+        sum(r[2] for r in rows) / len(rows),
+        sum(r[3] for r in rows[:-1]) / max(1, len(rows) - 1),
+        sum(r[4] for r in rows[:-1]) / max(1, len(rows) - 1),
+    ])
+    print(reporting.format_table(
+        ["game", "re_speedup", "re_energy_saving", "te_energy_saving",
+         "tiles_skipped"],
+        rows,
+    ))
+    print(f"\ngeomean RE speedup: {reporting.geomean(speedups):.2f}x "
+          "(paper: 1.74x average)")
+
+
+if __name__ == "__main__":
+    main()

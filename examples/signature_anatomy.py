@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Anatomy of a tile signature: watch the Signature Unit build a tile's
+CRC incrementally and verify it against a one-shot reference CRC.
+
+Demonstrates the three layers of the paper's Section III machinery:
+Algorithm 1 (incremental combination), Algorithm 2 (subblock signing in
+the Compute CRC unit), and Algorithm 3 (re-alignment in the Accumulate
+CRC unit), plus the constants bitmap.
+
+Run:  python examples/signature_anatomy.py
+"""
+
+from repro.config import GpuConfig
+from repro.core import SignatureBuffer, SignatureUnit
+from repro.geometry import DrawState, Primitive, mat4
+from repro.hashing import (
+    AccumulateCrcUnit,
+    ComputeCrcUnit,
+    combine,
+    crc32_table,
+)
+from repro.shaders import FLAT_COLOR, pack_constants
+
+import numpy as np
+
+
+def make_primitive(state, seed):
+    rng = np.random.default_rng(seed)
+    return Primitive(
+        screen=rng.random((3, 2)).astype(np.float32) * 64,
+        depth=rng.random(3).astype(np.float32),
+        clip=rng.random((3, 4)).astype(np.float32),
+        varyings={"uv": rng.random((3, 2)).astype(np.float32)},
+        state=state,
+    )
+
+
+def main() -> None:
+    config = GpuConfig.small()
+    state = DrawState(
+        shader=FLAT_COLOR,
+        constants=pack_constants(mat4.ortho2d(), tint=(1, 0, 0, 1)),
+        constants_version=0,
+    )
+    prims = [make_primitive(state, seed) for seed in (1, 2)]
+    tile = 7
+
+    # --- The hardware way: Signature Unit with exact unit models -----
+    unit = SignatureUnit(config, exact=True)
+    buffer = SignatureBuffer(config.num_tiles)
+    buffer.begin_frame()
+    unit.begin_frame(buffer)
+    unit.on_draw_state(state)
+    print("constants signed:", f"{unit._constants_crc:#010x}",
+          f"({unit._constants_shift} subblocks)")
+    for index, prim in enumerate(prims):
+        unit.on_primitive(prim, [tile])
+        print(f"after primitive {index}: tile {tile} signature "
+              f"{buffer.read(tile):#010x}")
+    hardware = buffer.read(tile)
+    print(f"Compute CRC unit busy cycles: {unit.stats.compute_cycles}")
+    print(f"Accumulate CRC unit busy cycles: {unit.stats.accumulate_cycles}")
+    print(f"CRC LUT reads: {unit.stats.lut_reads}")
+
+    # --- The algebraic way: Algorithm 1 over padded blocks ------------
+    compute = ComputeCrcUnit(config.crc_block_bytes)
+    message = compute.pad(state.constants_bytes())
+    for prim in prims:
+        message += compute.pad(prim.attribute_bytes())
+    reference = crc32_table(message)
+    print(f"\none-shot CRC of the whole tile message: {reference:#010x}")
+    assert hardware == reference, "hardware and reference CRCs must agree"
+
+    # --- Algorithm 1 by hand over two halves ---------------------------
+    half = len(message) // 2
+    a, b = message[:half], message[half:]
+    combined = combine(crc32_table(a), crc32_table(b), len(b) * 8)
+    assert combined == reference
+    print("Algorithm 1 over two split halves agrees as well.")
+    print("\nAll three computations match: the Signature Unit is bit-exact.")
+
+
+if __name__ == "__main__":
+    main()

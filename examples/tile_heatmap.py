@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Visualize per-tile redundancy as an ASCII heatmap.
+
+For a chosen game, renders a run under Rendering Elimination and prints,
+per tile, how often it was skipped — the spatial structure behind the
+paper's Fig. 15a: static HUDs and backgrounds go dark (always skipped),
+movers and panning regions stay hot.
+
+Run:  python examples/tile_heatmap.py [--game ctr] [--frames 16]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.config import GpuConfig
+from repro.core import RenderingElimination
+from repro.pipeline import Gpu
+from repro.workloads import build_scene
+
+#: Darkest = always skipped (fully redundant), brightest = never.
+RAMP = " .:-=+*#%@"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--game", default="ctr")
+    parser.add_argument("--frames", type=int, default=16)
+    args = parser.parse_args()
+
+    config = GpuConfig.small()
+    scene = build_scene(args.game)
+    gpu = Gpu(config, RenderingElimination(config))
+
+    rendered = np.zeros(config.num_tiles, dtype=int)
+    measured_frames = 0
+    skipped_per_frame = []
+    for index, stream in enumerate(scene.frames(args.frames)):
+        stats = gpu.render_frame(stream, clear_color=scene.clear_color)
+        skipped_per_frame.append(
+            stats.raster.tiles_skipped / config.num_tiles
+        )
+        if index < 2:
+            continue  # warm-up: no reference signatures yet
+        measured_frames += 1
+        skipped = np.zeros(config.num_tiles, dtype=bool)
+        skipped[list(stats.skipped_tile_ids)] = True
+        rendered += ~skipped
+
+    heat = rendered / max(1, measured_frames)
+    print(f"{args.game}: fraction of frames each tile was rendered "
+          f"(' '=never, '@'=always), {config.tiles_x}x{config.tiles_y} tiles\n")
+    for ty in range(config.tiles_y):
+        row = ""
+        for tx in range(config.tiles_x):
+            value = heat[ty * config.tiles_x + tx]
+            row += RAMP[min(len(RAMP) - 1, int(value * (len(RAMP) - 1) + 0.5))]
+        print("  " + row)
+    total = rendered.sum()
+    possible = measured_frames * config.num_tiles
+    print(f"\noverall: rendered {total}/{possible} tile-frames "
+          f"({100.0 * total / possible:.1f}%), "
+          f"skipped {100.0 * (1 - total / possible):.1f}%")
+
+    # The same data over time: one glyph per frame, taller = more skipped.
+    from repro.harness.timeline import sparkline
+    timeline = np.array(skipped_per_frame)
+    print(f"skip timeline (per frame): [{sparkline(timeline)}]")
+
+
+if __name__ == "__main__":
+    main()

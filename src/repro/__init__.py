@@ -1,0 +1,82 @@
+"""Rendering Elimination: early discard of redundant tiles in a
+tile-based-rendering GPU — a full reproduction of Anglada et al.,
+HPCA 2019 (arXiv:1807.09449).
+
+Layer map
+---------
+
+* :mod:`repro.hashing`    — CRC32 substrate: bit-serial/table reference
+  implementations, the incremental combination identity (Algorithm 1),
+  and cycle-counted models of the Compute/Accumulate CRC units.
+* :mod:`repro.pipeline`   — the baseline TBR GPU of Section II: command
+  processing, vertex shading, primitive assembly, tiling, per-tile
+  rasterization, early-Z, fragment shading, blending, double-buffered
+  frame buffer, with cache and DRAM simulation throughout.
+* :mod:`repro.core`       — the paper's contribution: the Signature
+  Unit, the Signature Buffer, and the RenderingElimination technique.
+* :mod:`repro.techniques` — prior art for comparison: Transaction
+  Elimination and PFR-aided Fragment Memoization, plus the technique
+  plug-in interface.
+* :mod:`repro.workloads`  — the ten Table II benchmarks as synthetic,
+  deterministic scene generators, plus trace record/replay.
+* :mod:`repro.timing` / :mod:`repro.power` — activity-based cycle and
+  energy models (the Teapot/McPAT/DRAMSim2 substitutes).
+* :mod:`repro.harness`    — experiment runners and one regeneration
+  function per paper table and figure.
+
+Quick start
+-----------
+
+>>> from repro import GpuConfig, Gpu, RenderingElimination
+>>> config = GpuConfig.small()
+>>> gpu = Gpu(config, RenderingElimination(config))
+>>> # feed CommandStreams to gpu.render_frame(...) — see examples/.
+"""
+
+from .config import CacheConfig, GpuConfig, QueueConfig
+from .core import RenderingElimination, SignatureBuffer, SignatureUnit
+from .errors import (
+    ConfigError,
+    HashingError,
+    PipelineError,
+    ReproError,
+    ShaderError,
+    TraceError,
+)
+from .pipeline import CommandStream, FrameStats, Gpu
+from .power import EnergyConstants, EnergyModel
+from .techniques import (
+    CombinedElimination,
+    FragmentMemoization,
+    Technique,
+    TransactionElimination,
+)
+from .timing import TimingModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "GpuConfig",
+    "QueueConfig",
+    "RenderingElimination",
+    "SignatureBuffer",
+    "SignatureUnit",
+    "ConfigError",
+    "HashingError",
+    "PipelineError",
+    "ReproError",
+    "ShaderError",
+    "TraceError",
+    "CommandStream",
+    "FrameStats",
+    "Gpu",
+    "EnergyConstants",
+    "EnergyModel",
+    "CombinedElimination",
+    "FragmentMemoization",
+    "Technique",
+    "TransactionElimination",
+    "TimingModel",
+    "__version__",
+]

@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``experiment <id>`` — regenerate one paper figure/table and print its
+  text rendering (ids: fig01, fig02, fig14a, fig14b, fig15a, fig15b,
+  fig16, fig17a, fig17b, re_overheads, hash_quality, table1).
+* ``run <game>``     — run one benchmark under one technique, printing
+  per-frame skip/cycle/energy summaries.
+* ``list``           — list the available games and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import GpuConfig
+from .harness.experiments import (
+    EXPERIMENTS,
+    RunCache,
+    hash_quality,
+    table1_parameters,
+)
+from .harness.runner import TECHNIQUES, run_workload
+from .workloads.games import BENCHMARKS, FIGURE_ORDER, PSEUDO_WORKLOADS
+
+
+def _config_from(args) -> GpuConfig:
+    presets = {
+        "small": GpuConfig.small,
+        "benchmark": GpuConfig.benchmark,
+        "mali450": GpuConfig.mali450,
+    }
+    return presets[args.scale]()
+
+
+def _cmd_list(_args) -> int:
+    print("games (Table II):")
+    for info in BENCHMARKS:
+        print(f"  {info.alias:4s} {info.name} ({info.genre}, {info.type})")
+    print("pseudo-workloads:", ", ".join(PSEUDO_WORKLOADS))
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)),
+          "+ hash_quality, table1")
+    print("techniques:", ", ".join(TECHNIQUES))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.id == "table1":
+        print(table1_parameters().table())
+        return 0
+    if args.id == "hash_quality":
+        result = hash_quality(
+            _config_from(args), num_frames=min(args.frames, 12),
+            aliases=("ccs", "ctr", "mst", "tib"),
+        )
+        print(result.title + "\n" + result.table())
+        return 0
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; see `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    cache = RunCache(_config_from(args), num_frames=args.frames)
+    result = EXPERIMENTS[args.id](cache)
+    print(result.title + "\n" + result.table())
+    if result.notes:
+        print("\n" + result.notes)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    run = run_workload(
+        args.game, args.technique, _config_from(args), num_frames=args.frames
+    )
+    print(f"{args.game} under {args.technique}: {args.frames} frames at "
+          f"{run.config.screen_width}x{run.config.screen_height}")
+    print(f"  cycles:          {run.total_cycles / 1e6:10.2f} M "
+          f"(geometry {run.geometry_cycles / 1e6:.2f} M / "
+          f"raster {run.raster_cycles / 1e6:.2f} M)")
+    print(f"  energy:          {run.total_energy_nj / 1e6:10.2f} mJ "
+          f"(GPU {run.gpu_energy_nj / 1e6:.2f} / "
+          f"memory {run.dram_energy_nj / 1e6:.2f})")
+    print(f"  fragments shaded:{run.fragments_shaded:11d}")
+    print(f"  tiles skipped:   {run.tiles_skipped:11d} "
+          f"({100 * run.skipped_fraction():.1f}% after warm-up)")
+    print(f"  DRAM traffic:    {run.total_traffic_bytes / 1024:10.1f} KB "
+          f"(colors {run.traffic_bytes('colors') / 1024:.0f} / "
+          f"texels {run.traffic_bytes('texels') / 1024:.0f} / "
+          f"primitives {run.traffic_bytes('primitives') / 1024:.0f})")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .harness.report import generate_report
+
+    results = generate_report(
+        args.out, config=_config_from(args), num_frames=args.frames,
+        progress=lambda experiment_id: print(f"running {experiment_id}..."),
+    )
+    print(f"wrote {len(results)} sections to {args.out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--scale", choices=("small", "benchmark", "mali450"),
+                        default="small")
+    parser.add_argument("--frames", type=int, default=12)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list games, experiments and techniques")
+    exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp.add_argument("id")
+    run = sub.add_parser("run", help="run one game under one technique")
+    run.add_argument("game")
+    run.add_argument("--technique", choices=TECHNIQUES, default="re")
+    report = sub.add_parser(
+        "report", help="regenerate every figure into one markdown report"
+    )
+    report.add_argument("--out", default="REPORT.md")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "run": _cmd_run,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The paper's contribution: Rendering Elimination (Section III)."""
+
+from .rendering_elimination import (
+    COMPARE_CYCLES,
+    ReFrameRecord,
+    RenderingElimination,
+)
+from .signature import constants_block, padded_length, primitive_block
+from .signature_buffer import EMPTY_SIGNATURE, SignatureBuffer
+from .signature_unit import (
+    TILE_UPDATE_OVERHEAD_CYCLES,
+    SignatureUnit,
+    SignatureUnitStats,
+)
+
+__all__ = [
+    "COMPARE_CYCLES",
+    "ReFrameRecord",
+    "RenderingElimination",
+    "constants_block",
+    "padded_length",
+    "primitive_block",
+    "EMPTY_SIGNATURE",
+    "SignatureBuffer",
+    "TILE_UPDATE_OVERHEAD_CYCLES",
+    "SignatureUnit",
+    "SignatureUnitStats",
+]

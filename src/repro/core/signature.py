@@ -1,0 +1,40 @@
+"""Tile-input bitstream framing (Section III-E).
+
+A tile's input message is a sequence of blocks, one per drawcall whose
+primitives overlap it: first the drawcall's constants subblock (included
+once per tile per constants upload), then one subblock per overlapping
+primitive's attributes.  This module defines how those blocks are
+serialized to bytes before the CRC units sign them.
+
+Every block is zero-padded to a whole number of CRC subblocks (the
+hardware's 64-bit datapath).  Padding cannot alias two different inputs:
+blocks of the two kinds have fixed, different layouts (constants are a
+fixed 96-byte array; attributes are 48-byte units), and the padded block
+length itself enters the CRC through the shift amount.
+
+Global state (shader programs, texture contents) is deliberately *not*
+part of the message — the paper excludes it because it changes via rare
+API calls, and RE is disabled for frames containing such calls.
+"""
+
+from __future__ import annotations
+
+from ..geometry.primitives import DrawState, Primitive
+
+
+def constants_block(state: DrawState) -> bytes:
+    """The bytes signed for a drawcall's scene constants."""
+    return state.constants_bytes()
+
+
+def primitive_block(prim: Primitive) -> bytes:
+    """The bytes signed for one primitive: its post-transform vertex
+    attributes (clip positions + varyings, 48 bytes each)."""
+    return prim.attribute_bytes()
+
+
+def padded_length(nbytes: int, block_bytes: int) -> int:
+    """Length of a block after zero-padding to CRC subblocks."""
+    if nbytes % block_bytes == 0:
+        return nbytes
+    return nbytes + block_bytes - nbytes % block_bytes

@@ -1,0 +1,212 @@
+"""The Signature Unit (Fig. 7): incremental tile-signature computation.
+
+Receives the same events the paper's hardware taps — constants uploads
+from the Command Processor, (primitive, overlapped-tiles) pairs from the
+Polygon List Builder — and maintains the current frame's per-tile CRCs
+in the Signature Buffer:
+
+* the **Compute CRC unit** signs each variable-length block (constants
+  or primitive attributes) in 64-bit subblocks (Algorithm 2), recording
+  the block's length in subblocks ("Shift Amount");
+* per overlapped tile, the **Accumulate CRC unit** left-shifts the
+  tile's stored CRC by that length (Algorithm 3) and XORs in the block's
+  CRC (Algorithm 1);
+* a per-drawcall **bitmap** ensures the constants CRC is folded into
+  each tile at most once per constants upload (Section III-F).
+
+Two execution modes produce *bit-identical* signatures and activity
+counts (property-tested):
+
+* ``exact=True``  — every LUT read goes through the hardware unit models
+  of :mod:`repro.hashing.parallel`; slow, used by tests and small runs.
+* ``exact=False`` — block CRCs are memoized by block bytes and tile
+  updates use the vectorized GF(2) combine; activity counters are
+  computed from the same formulas the hardware models count one by one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..config import GpuConfig
+from ..hashing.crc32 import crc32_table
+from ..hashing.incremental import combine_many
+from ..hashing.parallel import AccumulateCrcUnit, ComputeCrcUnit, UnitStats
+from .signature_buffer import SignatureBuffer
+
+#: Cycles charged per tile update beyond the accumulate shifts: Signature
+#: Buffer read, XOR, Signature Buffer write-back (pipelined to ~2).
+TILE_UPDATE_OVERHEAD_CYCLES = 2
+
+#: Bound on the block-CRC memo cache (distinct blocks seen).
+_BLOCK_CACHE_LIMIT = 1 << 20
+
+
+@dataclasses.dataclass
+class SignatureUnitStats:
+    """Aggregate activity of the Signature Unit for one frame."""
+
+    constants_signed: int = 0
+    primitives_signed: int = 0
+    tile_updates: int = 0
+    constants_folds: int = 0
+    bitmap_clears: int = 0
+    bitmap_reads: int = 0
+    compute_cycles: int = 0       # Compute CRC unit busy cycles
+    accumulate_cycles: int = 0    # Accumulate CRC unit busy cycles
+    lut_reads: int = 0
+    ot_queue_overflows: int = 0
+    stall_cycles: int = 0         # geometry stalls from OT-queue overflow
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+class SignatureUnit:
+    """Signs tile inputs on the fly during tiling."""
+
+    def __init__(self, config: GpuConfig, exact: bool = False) -> None:
+        self.config = config
+        self.exact = exact
+        self.block_bytes = config.crc_block_bytes
+        self.ot_queue_entries = config.ot_queue_entries
+        self.num_tiles = config.num_tiles
+        self.stats = SignatureUnitStats()
+
+        self.compute_unit = ComputeCrcUnit(self.block_bytes)
+        self.accumulate_unit = AccumulateCrcUnit(self.block_bytes)
+
+        self._bitmap = np.zeros(self.num_tiles, dtype=bool)
+        self._buffer: SignatureBuffer = None
+        # Constants CRC / Shift Amount C registers (Fig. 7).
+        self._constants_crc = 0
+        self._constants_shift = 0
+        self._last_constants_version = None
+        self._block_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def begin_frame(self, buffer: SignatureBuffer) -> None:
+        """Point the unit at the Signature Buffer bank for a new frame."""
+        self._buffer = buffer
+        self._bitmap[:] = False
+        self._constants_crc = 0
+        self._constants_shift = 0
+        self._last_constants_version = None
+
+    # Block signing -----------------------------------------------------
+    def _sign_block(self, block: bytes) -> tuple:
+        """CRC + shift amount (subblocks) of one block."""
+        if self.exact:
+            crc, shift = self.compute_unit.compute(block)
+            self.stats.compute_cycles += shift
+            self.stats.lut_reads += shift * self.block_bytes + max(0, shift - 1) * 4
+            return crc, shift
+        cached = self._block_cache.get(block)
+        if cached is None:
+            padded = self.compute_unit.pad(block)
+            crc = crc32_table(padded)
+            shift = len(padded) // self.block_bytes
+            if len(self._block_cache) >= _BLOCK_CACHE_LIMIT:
+                self._block_cache.clear()
+            self._block_cache[block] = (crc, shift)
+            cached = (crc, shift)
+        crc, shift = cached
+        # Analytic counters mirroring the exact-mode hardware units.
+        self.stats.compute_cycles += shift
+        self.stats.lut_reads += shift * self.block_bytes + max(0, shift - 1) * 4
+        return crc, shift
+
+    # Event taps (PolygonListBuilder listener protocol) -------------------
+    def on_draw_state(self, state) -> None:
+        """Sign the constants block when a new upload is first drawn."""
+        if state.constants_version == self._last_constants_version:
+            return
+        self._last_constants_version = state.constants_version
+        block = state.constants_bytes()
+        self._constants_crc, self._constants_shift = self._sign_block(block)
+        self._bitmap[:] = False
+        self.stats.constants_signed += 1
+        self.stats.bitmap_clears += 1
+
+    def on_primitive(self, prim, tile_ids) -> None:
+        """Fold one primitive (and, where needed, the pending constants)
+        into every overlapped tile's signature."""
+        if self._buffer is None:
+            raise RuntimeError("SignatureUnit.begin_frame was not called")
+        prim_crc, prim_shift = self._sign_block(prim.attribute_bytes())
+        self.stats.primitives_signed += 1
+        self.stats.bitmap_reads += len(tile_ids)
+
+        tile_ids = np.asarray(tile_ids, dtype=np.int64)
+        fresh = ~self._bitmap[tile_ids]
+        per_tile_cycles = self._update_tiles(
+            tile_ids, fresh, prim_crc, prim_shift
+        )
+        self._bitmap[tile_ids] = True
+
+        # OT-queue overflow model: the queue absorbs up to its depth in
+        # tile ids while the PLB keeps producing; beyond that the
+        # Geometry Pipeline stalls for the drain time of the excess.
+        overflow = len(tile_ids) - self.ot_queue_entries
+        if overflow > 0:
+            self.stats.ot_queue_overflows += 1
+            avg_cycles = per_tile_cycles / len(tile_ids)
+            self.stats.stall_cycles += int(overflow * avg_cycles)
+
+    # Tile updates ---------------------------------------------------------
+    def _update_tiles(self, tile_ids: np.ndarray, fresh: np.ndarray,
+                      prim_crc: int, prim_shift: int) -> int:
+        """Apply constants (where fresh) then the primitive CRC to the
+        tiles' stored signatures; returns Accumulate-unit busy cycles."""
+        shift_bits_prim = prim_shift * self.block_bytes * 8
+        shift_bits_const = self._constants_shift * self.block_bytes * 8
+        n_fresh = int(fresh.sum())
+        busy = 0
+
+        if self.exact:
+            for tile_id, is_fresh in zip(tile_ids, fresh):
+                crc = self._buffer.read(int(tile_id))
+                if is_fresh and self._constants_shift:
+                    crc = self._constants_crc ^ self.accumulate_unit.accumulate(
+                        crc, self._constants_shift
+                    )
+                    busy += self._constants_shift + TILE_UPDATE_OVERHEAD_CYCLES
+                crc = prim_crc ^ self.accumulate_unit.accumulate(crc, prim_shift)
+                busy += prim_shift + TILE_UPDATE_OVERHEAD_CYCLES
+                self._buffer.write(int(tile_id), crc)
+        else:
+            crcs = self._buffer.read_many(tile_ids).astype(np.uint32)
+            if n_fresh and self._constants_shift:
+                crcs_fresh = combine_many(
+                    crcs[fresh], self._constants_crc, shift_bits_const
+                )
+                crcs = crcs.copy()
+                crcs[fresh] = crcs_fresh
+                busy += n_fresh * (
+                    self._constants_shift + TILE_UPDATE_OVERHEAD_CYCLES
+                )
+                self.stats.lut_reads += n_fresh * self._constants_shift * 4
+            crcs = combine_many(crcs, prim_crc, shift_bits_prim)
+            self._buffer.write_many(tile_ids, crcs)
+            busy += len(tile_ids) * (prim_shift + TILE_UPDATE_OVERHEAD_CYCLES)
+            self.stats.lut_reads += len(tile_ids) * prim_shift * 4
+
+        if self.exact:
+            # The exact path's accumulate-unit LUT reads are 4 per shift
+            # step; mirror them into the aggregate counter.
+            self.stats.lut_reads += (
+                len(tile_ids) * prim_shift + n_fresh * self._constants_shift
+            ) * 4
+
+        self.stats.tile_updates += len(tile_ids)
+        self.stats.constants_folds += n_fresh
+        self.stats.accumulate_cycles += busy
+        return busy
+
+    @property
+    def lut_storage_bytes(self) -> int:
+        """CRC LUT ROM cost (Sign + Shift subunits)."""
+        return (self.block_bytes + 4) * 1024

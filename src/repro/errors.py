@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause without swallowing unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent :class:`repro.config.GpuConfig`."""
+
+
+class PipelineError(ReproError):
+    """A malformed command stream or an internal pipeline invariant breach."""
+
+
+class ShaderError(PipelineError):
+    """A shader program received inputs it cannot process."""
+
+
+class TraceError(ReproError):
+    """A trace file could not be parsed or replayed."""
+
+
+class HashingError(ReproError):
+    """Invalid input to one of the CRC/hash units (e.g. bad block length)."""

@@ -1,0 +1,18 @@
+"""Geometry substrate: vectors, matrices, meshes and assembled primitives."""
+
+from . import clipping, mat4, vec
+from .meshes import box_buffer, grid_buffer, ring_strip_buffer
+from .primitives import DrawState, Primitive, VertexBuffer, quad_buffer
+
+__all__ = [
+    "clipping",
+    "mat4",
+    "vec",
+    "box_buffer",
+    "grid_buffer",
+    "ring_strip_buffer",
+    "DrawState",
+    "Primitive",
+    "VertexBuffer",
+    "quad_buffer",
+]

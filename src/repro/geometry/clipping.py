@@ -1,0 +1,46 @@
+"""Clipping and culling applied at the end of Primitive Assembly.
+
+The baseline (Section II) discards non-visible primitives before they
+reach the Tiling Engine, which matters for Rendering Elimination: culled
+primitives never touch any tile's signature.
+
+This implementation performs:
+
+* near-plane rejection — triangles with any vertex at w <= epsilon are
+  dropped whole rather than clipped into sub-triangles (the synthetic
+  workloads keep geometry in front of the camera, so polygon splitting
+  would never fire; rejecting keeps the signature stream well-defined);
+* viewport rejection — triangles entirely outside the screen rectangle;
+* backface culling — screen-space triangles with non-positive signed
+  area when culling is enabled for the drawcall;
+* degenerate rejection — zero-area triangles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+W_EPSILON = 1e-6
+
+
+def near_plane_ok(clip: np.ndarray) -> bool:
+    """True when every vertex is strictly in front of the near plane."""
+    return bool(np.all(clip[:, 3] > W_EPSILON))
+
+
+def viewport_overlaps(screen: np.ndarray, width: int, height: int) -> bool:
+    """True when the triangle's bounding box intersects the screen."""
+    xs, ys = screen[:, 0], screen[:, 1]
+    return not (
+        xs.max() < 0 or xs.min() >= width or ys.max() < 0 or ys.min() >= height
+    )
+
+
+def is_backfacing(signed_area2: float) -> bool:
+    """Counter-clockwise front faces: non-positive area means back-facing
+    (or degenerate)."""
+    return signed_area2 <= 0.0
+
+
+def is_degenerate(signed_area2: float, epsilon: float = 1e-9) -> bool:
+    return abs(signed_area2) < epsilon

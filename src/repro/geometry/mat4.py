@@ -1,0 +1,139 @@
+"""4x4 transform matrices (column-vector convention, float32).
+
+Matrices transform homogeneous points as ``M @ p``; :func:`transform`
+applies a matrix to an ``(n, 4)`` point array.  The workload generators
+compose these to animate objects and cameras; the vertex shaders receive
+them flattened inside the drawcall constants, which is what makes camera
+motion perturb every tile's signature.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .vec import as_points
+
+
+def identity() -> np.ndarray:
+    return np.eye(4, dtype=np.float32)
+
+
+def translate(tx: float, ty: float, tz: float = 0.0) -> np.ndarray:
+    m = identity()
+    m[0, 3] = tx
+    m[1, 3] = ty
+    m[2, 3] = tz
+    return m
+
+
+def scale(sx: float, sy: float, sz: float = 1.0) -> np.ndarray:
+    m = identity()
+    m[0, 0] = sx
+    m[1, 1] = sy
+    m[2, 2] = sz
+    return m
+
+
+def rotate_z(radians: float) -> np.ndarray:
+    c, s = math.cos(radians), math.sin(radians)
+    m = identity()
+    m[0, 0], m[0, 1] = c, -s
+    m[1, 0], m[1, 1] = s, c
+    return m
+
+
+def rotate_y(radians: float) -> np.ndarray:
+    c, s = math.cos(radians), math.sin(radians)
+    m = identity()
+    m[0, 0], m[0, 2] = c, s
+    m[2, 0], m[2, 2] = -s, c
+    return m
+
+
+def rotate_x(radians: float) -> np.ndarray:
+    c, s = math.cos(radians), math.sin(radians)
+    m = identity()
+    m[1, 1], m[1, 2] = c, -s
+    m[2, 1], m[2, 2] = s, c
+    return m
+
+
+def ortho(left: float, right: float, bottom: float, top: float,
+          near: float = -1.0, far: float = 1.0) -> np.ndarray:
+    """Orthographic projection to the [-1, 1] NDC cube."""
+    m = identity()
+    m[0, 0] = 2.0 / (right - left)
+    m[1, 1] = 2.0 / (top - bottom)
+    m[2, 2] = -2.0 / (far - near)
+    m[0, 3] = -(right + left) / (right - left)
+    m[1, 3] = -(top + bottom) / (top - bottom)
+    m[2, 3] = -(far + near) / (far - near)
+    return m
+
+
+def ortho2d(width: float = 1.0, height: float = 1.0) -> np.ndarray:
+    """2D screen-space projection for the layered-quad workloads.
+
+    Maps x in [0, width] left-to-right and y in [0, height] **top to
+    bottom** (y = 0 is the top screen row, matching pixel and tile-id
+    order), and passes object z in [0, 1] straight through to final
+    depth (smaller z = closer), unlike the GL :func:`ortho` convention
+    which negates z.
+    """
+    m = identity()
+    m[0, 0] = 2.0 / width
+    m[1, 1] = -2.0 / height
+    m[0, 3] = -1.0
+    m[1, 3] = 1.0
+    m[2, 2] = 2.0
+    m[2, 3] = -1.0
+    return m
+
+
+def perspective(fov_y_radians: float, aspect: float,
+                near: float, far: float) -> np.ndarray:
+    """Right-handed perspective projection."""
+    f = 1.0 / math.tan(fov_y_radians / 2.0)
+    m = np.zeros((4, 4), dtype=np.float32)
+    m[0, 0] = f / aspect
+    m[1, 1] = f
+    m[2, 2] = (far + near) / (near - far)
+    m[2, 3] = (2.0 * far * near) / (near - far)
+    m[3, 2] = -1.0
+    return m
+
+
+def look_at(eye, target, up=(0.0, 1.0, 0.0)) -> np.ndarray:
+    """View matrix placing the camera at ``eye`` looking at ``target``."""
+    eye = np.asarray(eye, dtype=np.float32)
+    target = np.asarray(target, dtype=np.float32)
+    up = np.asarray(up, dtype=np.float32)
+    forward = target - eye
+    forward = forward / np.linalg.norm(forward)
+    right = np.cross(forward, up)
+    right = right / np.linalg.norm(right)
+    true_up = np.cross(right, forward)
+    m = identity()
+    m[0, :3] = right
+    m[1, :3] = true_up
+    m[2, :3] = -forward
+    m[0, 3] = -np.dot(right, eye)
+    m[1, 3] = -np.dot(true_up, eye)
+    m[2, 3] = np.dot(forward, eye)
+    return m
+
+
+def compose(*matrices: np.ndarray) -> np.ndarray:
+    """Product of matrices, applied right-to-left (like M1 @ M2 @ ...)."""
+    result = identity()
+    for m in matrices:
+        result = result @ np.asarray(m, dtype=np.float32)
+    return result.astype(np.float32)
+
+
+def transform(matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 matrix to ``(n, 4)`` homogeneous points."""
+    points = as_points(points, 4)
+    return (points @ np.asarray(matrix, dtype=np.float32).T).astype(np.float32)

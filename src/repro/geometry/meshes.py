@@ -1,0 +1,104 @@
+"""3D mesh generators: boxes, grids, strips.
+
+The 2D workloads build everything from :func:`~repro.geometry.primitives.quad_buffer`;
+these generators provide the 3D building blocks used by the perspective
+examples and by downstream users composing their own scenes.  All
+meshes carry ``uv`` coordinates and, where meaningful, per-face
+``normal`` attributes so they work with the lit shader out of the box.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import PipelineError
+from .primitives import VertexBuffer
+
+#: Face definitions for :func:`box_buffer`: (normal, four corner signs).
+_BOX_FACES = (
+    ((0, 0, 1), ((-1, -1, 1), (1, -1, 1), (1, 1, 1), (-1, 1, 1))),
+    ((0, 0, -1), ((1, -1, -1), (-1, -1, -1), (-1, 1, -1), (1, 1, -1))),
+    ((1, 0, 0), ((1, -1, 1), (1, -1, -1), (1, 1, -1), (1, 1, 1))),
+    ((-1, 0, 0), ((-1, -1, -1), (-1, -1, 1), (-1, 1, 1), (-1, 1, -1))),
+    ((0, 1, 0), ((-1, 1, 1), (1, 1, 1), (1, 1, -1), (-1, 1, -1))),
+    ((0, -1, 0), ((-1, -1, -1), (1, -1, -1), (1, -1, 1), (-1, -1, 1))),
+)
+
+
+def box_buffer(size: float = 1.0, buffer_id: int = 0) -> VertexBuffer:
+    """An axis-aligned box centered at the origin (24 vertices, 12
+    triangles) with per-face normals and per-face uv in [0, 1]."""
+    if size <= 0:
+        raise PipelineError("box size must be positive")
+    half = size / 2.0
+    positions, normals, uvs, indices = [], [], [], []
+    corner_uv = ((0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0))
+    for normal, corners in _BOX_FACES:
+        base = len(positions)
+        for corner, uv in zip(corners, corner_uv):
+            positions.append([half * c for c in corner])
+            normals.append(list(normal))
+            uvs.append(list(uv))
+        indices.append([base, base + 1, base + 2])
+        indices.append([base, base + 2, base + 3])
+    return VertexBuffer(
+        positions, indices, {"uv": uvs, "normal": normals},
+        buffer_id=buffer_id,
+    )
+
+
+def grid_buffer(width: float, depth: float, segments: int = 8,
+                y: float = 0.0, uv_scale: float = 1.0,
+                buffer_id: int = 0) -> VertexBuffer:
+    """A horizontal grid in the XZ plane (a ground/floor plane) with
+    upward normals, centered at the origin."""
+    if segments < 1:
+        raise PipelineError("segments must be >= 1")
+    n = segments
+    xs = np.linspace(-width / 2.0, width / 2.0, n + 1)
+    zs = np.linspace(-depth / 2.0, depth / 2.0, n + 1)
+    positions, uvs, normals = [], [], []
+    for row in range(n + 1):
+        for col in range(n + 1):
+            positions.append([xs[col], y, zs[row]])
+            uvs.append([uv_scale * col / n, uv_scale * row / n])
+            normals.append([0.0, 1.0, 0.0])
+    indices = []
+    stride = n + 1
+    for row in range(n):
+        for col in range(n):
+            a = row * stride + col
+            indices.append([a, a + 1, a + stride + 1])
+            indices.append([a, a + stride + 1, a + stride])
+    return VertexBuffer(
+        positions, indices, {"uv": uvs, "normal": normals},
+        buffer_id=buffer_id,
+    )
+
+
+def ring_strip_buffer(radius: float = 1.0, height: float = 1.0,
+                      segments: int = 16, uv_scale: float = 1.0,
+                      buffer_id: int = 0) -> VertexBuffer:
+    """A cylindrical wall around the origin (corridor/arena walls),
+    normals pointing inward."""
+    if segments < 3:
+        raise PipelineError("a ring needs at least 3 segments")
+    positions, uvs, normals = [], [], []
+    for i in range(segments + 1):
+        angle = 2.0 * math.pi * i / segments
+        x, z = radius * math.cos(angle), radius * math.sin(angle)
+        for level, v in ((0.0, 0.0), (height, 1.0)):
+            positions.append([x, level, z])
+            uvs.append([uv_scale * i / segments, v])
+            normals.append([-math.cos(angle), 0.0, -math.sin(angle)])
+    indices = []
+    for i in range(segments):
+        a = 2 * i
+        indices.append([a, a + 2, a + 3])
+        indices.append([a, a + 3, a + 1])
+    return VertexBuffer(
+        positions, indices, {"uv": uvs, "normal": normals},
+        buffer_id=buffer_id,
+    )

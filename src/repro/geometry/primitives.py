@@ -1,0 +1,192 @@
+"""Vertex buffers and assembled primitives.
+
+Two representations flow through the pipeline:
+
+* :class:`VertexBuffer` — what a drawcall submits: object-space positions,
+  per-vertex attributes, and a triangle index list.
+* :class:`Primitive` — what Primitive Assembly emits: one screen-space
+  triangle with interpolatable varyings plus the *post-transform* data
+  that Rendering Elimination signs (clip-space positions and varyings,
+  serialized by :meth:`Primitive.attribute_bytes`).
+
+The paper counts a primitive "attribute" as 48 bytes — three vertices of
+four float32 components — so :meth:`Primitive.num_attributes` reports the
+position plus each varying (padded to vec4) as one attribute each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from ..errors import PipelineError
+from .vec import as_points
+
+
+class VertexBuffer:
+    """Indexed triangle mesh with named per-vertex attributes."""
+
+    def __init__(self, positions, indices, attributes=None,
+                 buffer_id: int = 0) -> None:
+        self.buffer_id = buffer_id
+        self.positions = as_points(positions, 3)
+        self.indices = np.asarray(indices, dtype=np.int32)
+        if self.indices.ndim != 2 or self.indices.shape[1] != 3:
+            raise PipelineError(
+                f"indices must be (m, 3) triangles, got {self.indices.shape}"
+            )
+        if self.indices.size and self.indices.max() >= len(self.positions):
+            raise PipelineError("index out of range of vertex positions")
+        self.attributes: dict = {}
+        for name, values in (attributes or {}).items():
+            values = np.asarray(values, dtype=np.float32)
+            if values.ndim != 2 or values.shape[0] != len(self.positions):
+                raise PipelineError(
+                    f"attribute {name!r} must have one row per vertex"
+                )
+            self.attributes[name] = values
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.positions)
+
+    @property
+    def num_triangles(self) -> int:
+        return len(self.indices)
+
+    def vertex_bytes(self) -> int:
+        """Bytes fetched per vertex by the Vertex Fetcher."""
+        per_vertex = self.positions.shape[1] * 4
+        for values in self.attributes.values():
+            per_vertex += values.shape[1] * 4
+        return per_vertex
+
+    def vertex_addresses(self, vertex_indices) -> "np.ndarray":
+        """Simulated byte addresses of the fetched vertices, placing each
+        buffer in a disjoint 16-MB region keyed by ``buffer_id``."""
+        base = self.buffer_id * (1 << 24)
+        stride = self.vertex_bytes()
+        indices = np.asarray(vertex_indices, dtype=np.int64)
+        return base + indices * stride
+
+
+@dataclasses.dataclass
+class DrawState:
+    """Pipeline state bound when a drawcall executes.
+
+    ``constants`` is the flat float32 uniform block — the "scene
+    constants" whose bytes enter the tile signature; ``constants_version``
+    increments whenever the application uploads new constants, letting the
+    Signature Unit clear its per-drawcall bitmap exactly when the paper
+    says it should.
+    """
+
+    shader: "typing.Any"               # repro.shaders.program.ShaderProgram
+    constants: np.ndarray
+    textures: tuple = ()
+    drawcall_id: int = 0
+    constants_version: int = 0
+    depth_test: bool = True
+    depth_write: bool = True
+    cull_backfaces: bool = False
+
+    def constants_bytes(self) -> bytes:
+        return np.ascontiguousarray(self.constants, dtype=np.float32).tobytes()
+
+
+@dataclasses.dataclass
+class Primitive:
+    """One assembled, screen-space triangle."""
+
+    screen: np.ndarray                 # (3, 2) pixel coordinates
+    depth: np.ndarray                  # (3,) depth in [0, 1]
+    clip: np.ndarray                   # (3, 4) clip-space positions
+    varyings: dict                     # name -> (3, k) float32
+    state: DrawState
+    prim_id: int = 0
+    pb_offset: int = -1                # byte offset in the Parameter Buffer
+
+    def signed_area2(self) -> float:
+        """Twice the signed area of the screen-space triangle."""
+        (x0, y0), (x1, y1), (x2, y2) = self.screen
+        return float((x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0))
+
+    @property
+    def num_attributes(self) -> int:
+        """Attribute count in the paper's 48-byte units: position + one
+        per varying."""
+        return 1 + len(self.varyings)
+
+    def attribute_bytes(self) -> bytes:
+        """Serialize the data Rendering Elimination signs for this
+        primitive: clip-space positions then each varying, vec4-padded,
+        in sorted name order so the byte stream is deterministic."""
+        parts = [np.ascontiguousarray(self.clip, dtype=np.float32).tobytes()]
+        for name in sorted(self.varyings):
+            values = self.varyings[name]
+            if values.shape[1] < 4:
+                padded = np.zeros((3, 4), dtype=np.float32)
+                padded[:, :values.shape[1]] = values
+                values = padded
+            parts.append(np.ascontiguousarray(values, dtype=np.float32).tobytes())
+        return b"".join(parts)
+
+    def parameter_buffer_bytes(self) -> int:
+        """Bytes this primitive occupies in the Parameter Buffer."""
+        return len(self.attribute_bytes()) + 16  # attributes + header
+
+    def bounds(self) -> tuple:
+        """Integer pixel bounding box (x0, y0, x1, y1), inclusive-exclusive."""
+        xs = self.screen[:, 0]
+        ys = self.screen[:, 1]
+        return (
+            int(np.floor(xs.min())),
+            int(np.floor(ys.min())),
+            int(np.ceil(xs.max())) + 1,
+            int(np.ceil(ys.max())) + 1,
+        )
+
+
+def quad_buffer(x0: float, y0: float, x1: float, y1: float, z: float = 0.5,
+                uv_scale: float = 1.0, attributes=None,
+                subdivide: int = 1) -> VertexBuffer:
+    """Axis-aligned quad in normalized [0,1] screen space.
+
+    The workhorse mesh of the 2D workloads.  ``uv`` coordinates are
+    generated automatically and scaled by ``uv_scale``.  ``subdivide``
+    tessellates the quad into an NxN grid (2*N*N triangles), which is
+    how the workloads model the geometric detail of real game layers —
+    it multiplies Parameter Buffer traffic and binning work without
+    changing the rendered image.
+    """
+    if subdivide < 1:
+        raise PipelineError("subdivide must be >= 1")
+    n = subdivide
+    xs = np.linspace(x0, x1, n + 1, dtype=np.float32)
+    ys = np.linspace(y0, y1, n + 1, dtype=np.float32)
+    us = np.linspace(0.0, uv_scale, n + 1, dtype=np.float32)
+
+    positions = []
+    uv = []
+    for row in range(n + 1):
+        for col in range(n + 1):
+            positions.append([xs[col], ys[row], z])
+            uv.append([us[col], us[row]])
+
+    indices = []
+    stride = n + 1
+    for row in range(n):
+        for col in range(n):
+            a = row * stride + col
+            b = a + 1
+            c = a + stride + 1
+            d = a + stride
+            indices.append([a, b, c])
+            indices.append([a, c, d])
+
+    attrs = {"uv": np.asarray(uv, dtype=np.float32)}
+    for name, values in (attributes or {}).items():
+        attrs[name] = values
+    return VertexBuffer(positions, indices, attrs)

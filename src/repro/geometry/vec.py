@@ -1,0 +1,71 @@
+"""Small-vector helpers over numpy arrays.
+
+The pipeline keeps all bulk data as numpy arrays; these helpers build and
+validate the shapes it uses (``(n, k)`` float32 arrays) and provide the
+handful of vector operations the shaders and rasterizer need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PipelineError
+
+
+def vec2(x: float, y: float) -> np.ndarray:
+    return np.array([x, y], dtype=np.float32)
+
+
+def vec3(x: float, y: float, z: float) -> np.ndarray:
+    return np.array([x, y, z], dtype=np.float32)
+
+
+def vec4(x: float, y: float, z: float, w: float = 1.0) -> np.ndarray:
+    return np.array([x, y, z, w], dtype=np.float32)
+
+
+def as_points(array, components: int) -> np.ndarray:
+    """Coerce ``array`` to an ``(n, components)`` float32 array."""
+    points = np.asarray(array, dtype=np.float32)
+    if points.ndim != 2 or points.shape[1] != components:
+        raise PipelineError(
+            f"expected an (n, {components}) array, got shape {points.shape}"
+        )
+    return points
+
+
+def homogenize(points: np.ndarray) -> np.ndarray:
+    """Append w=1 to ``(n, 3)`` points, producing ``(n, 4)``."""
+    points = as_points(points, 3)
+    ones = np.ones((points.shape[0], 1), dtype=np.float32)
+    return np.hstack([points, ones])
+
+
+def perspective_divide(clip: np.ndarray) -> np.ndarray:
+    """Divide clip-space ``(n, 4)`` points by w, yielding NDC ``(n, 3)``.
+
+    w values at or below zero indicate points behind the eye; callers
+    must clip first (see :mod:`repro.geometry.clipping`).
+    """
+    clip = as_points(clip, 4)
+    w = clip[:, 3:4]
+    if np.any(w == 0):
+        raise PipelineError("perspective divide by zero w; clip first")
+    return (clip[:, :3] / w).astype(np.float32)
+
+
+def dot_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise dot product of two ``(n, k)`` arrays -> ``(n,)``."""
+    return np.einsum("ij,ij->i", a, b)
+
+
+def normalize_rows(v: np.ndarray) -> np.ndarray:
+    """Normalize each row vector; zero rows stay zero."""
+    norms = np.linalg.norm(v, axis=1, keepdims=True)
+    safe = np.where(norms == 0, 1.0, norms)
+    return (v / safe).astype(np.float32)
+
+
+def saturate(v: np.ndarray) -> np.ndarray:
+    """Clamp to [0, 1], the range of color components."""
+    return np.clip(v, 0.0, 1.0)

@@ -1,0 +1,53 @@
+"""Experiment harness: runners, tile classification, quality metrics,
+parameter sweeps, reporting."""
+
+from . import charts, images, reporting
+from .classify import TileClasses, classify_run, equal_tiles_fraction
+from .report import REPORT_ORDER, generate_report
+from .quality import FidelityReport, compare_runs, mse, psnr, tile_errors
+from .sweeps import SweepPoint, sweep, tabulate
+from .timeline import (
+    PhaseSummary,
+    equal_colors_timeline,
+    skip_timeline,
+    sparkline,
+    summarize_phases,
+)
+from .runner import (
+    TECHNIQUES,
+    FrameMetrics,
+    RunResult,
+    make_technique,
+    run_workload,
+    tile_color_crcs,
+)
+
+__all__ = [
+    "charts",
+    "images",
+    "reporting",
+    "REPORT_ORDER",
+    "generate_report",
+    "TileClasses",
+    "classify_run",
+    "equal_tiles_fraction",
+    "FidelityReport",
+    "compare_runs",
+    "mse",
+    "psnr",
+    "tile_errors",
+    "SweepPoint",
+    "sweep",
+    "tabulate",
+    "PhaseSummary",
+    "equal_colors_timeline",
+    "skip_timeline",
+    "sparkline",
+    "summarize_phases",
+    "TECHNIQUES",
+    "FrameMetrics",
+    "RunResult",
+    "make_technique",
+    "run_workload",
+    "tile_color_crcs",
+]

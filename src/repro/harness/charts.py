@@ -1,0 +1,109 @@
+"""Plain-text bar charts rendering experiment results like the paper's
+figures.
+
+The paper presents its evaluation as grouped/stacked bar charts (one
+bar per game plus AVG).  These helpers produce equivalent ASCII charts
+from :class:`~repro.harness.experiments.ExperimentResult` rows so the
+regenerated figures can be eyeballed against the originals without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import typing
+
+#: Glyphs used for stacked segments, in series order.
+SEGMENT_GLYPHS = ("█", "▒", "·", "~")
+
+DEFAULT_WIDTH = 48
+
+
+def hbar(value: float, scale: float, width: int = DEFAULT_WIDTH,
+         glyph: str = "█") -> str:
+    """One horizontal bar: ``value`` out of ``scale`` columns wide."""
+    if scale <= 0:
+        return ""
+    cells = int(round(min(1.0, max(0.0, value / scale)) * width))
+    return glyph * cells
+
+
+def bar_chart(rows: typing.Sequence, value_index: int = 1,
+              width: int = DEFAULT_WIDTH, unit: str = "",
+              scale: float = None) -> str:
+    """Single-series horizontal bar chart.
+
+    ``rows`` are (label, ..., value, ...) sequences; ``value_index``
+    picks the plotted column.  Scaled to the max value unless ``scale``
+    is given (pass 1.0 for normalized figures).
+    """
+    values = [float(row[value_index]) for row in rows]
+    top = scale if scale is not None else (max(values) if values else 1.0)
+    label_width = max((len(str(row[0])) for row in rows), default=0)
+    lines = []
+    for row, value in zip(rows, values):
+        bar = hbar(value, top, width)
+        lines.append(
+            f"{str(row[0]).ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_chart(rows: typing.Sequence, value_indices: typing.Sequence,
+                  series_names: typing.Sequence, width: int = DEFAULT_WIDTH,
+                  scale: float = None) -> str:
+    """Stacked horizontal bars (e.g. geometry+raster cycles, Fig. 14a).
+
+    Each row contributes one bar whose segments are the columns in
+    ``value_indices``, drawn with distinct glyphs; a legend line maps
+    glyphs to ``series_names``.
+    """
+    if len(value_indices) > len(SEGMENT_GLYPHS):
+        raise ValueError(
+            f"at most {len(SEGMENT_GLYPHS)} stacked series supported"
+        )
+    totals = [
+        sum(float(row[i]) for i in value_indices) for row in rows
+    ]
+    top = scale if scale is not None else (max(totals) if totals else 1.0)
+    label_width = max((len(str(row[0])) for row in rows), default=0)
+
+    lines = []
+    for row, total in zip(rows, totals):
+        segments = ""
+        consumed = 0
+        for series, index in enumerate(value_indices):
+            value = float(row[index])
+            cells = int(round(min(1.0, value / top) * width)) if top else 0
+            cells = min(cells, width - consumed)
+            segments += SEGMENT_GLYPHS[series] * cells
+            consumed += cells
+        lines.append(
+            f"{str(row[0]).ljust(label_width)} |{segments.ljust(width)}| "
+            f"{total:.3f}"
+        )
+    legend = "  ".join(
+        f"{SEGMENT_GLYPHS[i]} {name}" for i, name in enumerate(series_names)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def chart_for(result, width: int = DEFAULT_WIDTH) -> str:
+    """Best-effort chart for a known experiment result.
+
+    Figures with stacked structure (14a/14b) get stacked bars; the rest
+    get a single-series chart of their first numeric column.
+    """
+    if result.experiment_id in ("fig14a", "fig14b"):
+        name_a, name_b = result.headers[3], result.headers[4]
+        return stacked_chart(
+            result.rows, (3, 4), (name_a, name_b), width=width, scale=1.0
+        )
+    if result.experiment_id == "fig15a":
+        return stacked_chart(
+            result.rows, (1, 2, 3),
+            ("eq colors+inputs", "eq colors only", "different"),
+            width=width, scale=100.0,
+        )
+    return bar_chart(result.rows, value_index=1, width=width)

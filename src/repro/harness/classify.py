@@ -1,0 +1,99 @@
+"""Tile classification (Figs. 2 and 15a).
+
+From a run's recorded per-frame per-tile color checksums and input
+signatures, classify each (frame, tile) pair against the same tile one
+frame earlier:
+
+* **equal colors, equal inputs** — redundancy Rendering Elimination
+  detects (Fig. 15a bottom bar);
+* **equal colors, different inputs** — RE's false negatives: occluded
+  changes or pans over flat color (mid bar; Transaction Elimination can
+  still eliminate these flushes);
+* **different colors, different inputs** — genuinely changed tiles
+  (top bar);
+* **different colors, equal inputs** — would indicate a signature false
+  positive; the paper observed none and :func:`classify_run` reports the
+  count so tests can assert zero.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ReproError
+from .runner import RunResult
+
+
+@dataclasses.dataclass
+class TileClasses:
+    """Counts over all (frame, tile) pairs after the first frame."""
+
+    eq_colors_eq_inputs: int = 0
+    eq_colors_diff_inputs: int = 0
+    diff_colors_diff_inputs: int = 0
+    diff_colors_eq_inputs: int = 0   # false positives: expected zero
+    total: int = 0
+
+    def fractions(self) -> dict:
+        if self.total == 0:
+            return {}
+        return {
+            "eq_colors_eq_inputs": self.eq_colors_eq_inputs / self.total,
+            "eq_colors_diff_inputs": self.eq_colors_diff_inputs / self.total,
+            "diff_colors_diff_inputs": self.diff_colors_diff_inputs / self.total,
+            "diff_colors_eq_inputs": self.diff_colors_eq_inputs / self.total,
+        }
+
+    @property
+    def equal_colors_fraction(self) -> float:
+        """The Fig. 2 metric: fraction of tiles with unchanged colors."""
+        if self.total == 0:
+            return 0.0
+        return (
+            self.eq_colors_eq_inputs + self.eq_colors_diff_inputs
+        ) / self.total
+
+    @property
+    def detected_fraction_of_redundant(self) -> float:
+        """Share of redundant (equal-color) tiles RE's signatures catch."""
+        redundant = self.eq_colors_eq_inputs + self.eq_colors_diff_inputs
+        if redundant == 0:
+            return 0.0
+        return self.eq_colors_eq_inputs / redundant
+
+
+def classify_run(run: RunResult, distance: int = 1) -> TileClasses:
+    """Classify every tile of every frame against ``distance`` frames
+    back.  Requires a run that recorded input signatures (an RE run)."""
+    if run.tile_input_sigs is None:
+        raise ReproError(
+            "tile classification needs input signatures; run with "
+            "technique='re'"
+        )
+    colors = run.tile_color_crcs
+    sigs = run.tile_input_sigs
+    if len(colors) <= distance:
+        return TileClasses()
+
+    eq_colors = colors[distance:] == colors[:-distance]
+    eq_inputs = sigs[distance:] == sigs[:-distance]
+
+    classes = TileClasses(total=int(eq_colors.size))
+    classes.eq_colors_eq_inputs = int((eq_colors & eq_inputs).sum())
+    classes.eq_colors_diff_inputs = int((eq_colors & ~eq_inputs).sum())
+    classes.diff_colors_diff_inputs = int((~eq_colors & ~eq_inputs).sum())
+    classes.diff_colors_eq_inputs = int((~eq_colors & eq_inputs).sum())
+    return classes
+
+
+def equal_tiles_fraction(run: RunResult, distance: int = 1) -> float:
+    """Fig. 2: fraction of tiles producing the same color as the same
+    tile ``distance`` frames earlier (color checksums only, so it works
+    on runs of any technique)."""
+    colors = run.tile_color_crcs
+    if len(colors) <= distance:
+        return 0.0
+    eq = colors[distance:] == colors[:-distance]
+    return float(eq.mean())

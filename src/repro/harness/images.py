@@ -1,0 +1,66 @@
+"""Image file I/O: save rendered frames as PPM (no external deps).
+
+PPM (P6) is the simplest portable raster format; every image viewer
+opens it.  Used by the examples to dump frames for visual inspection
+and by tests to round-trip rendered output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def to_rgb8(image: np.ndarray) -> np.ndarray:
+    """Float [0,1] RGBA/RGB image to uint8 RGB."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] not in (3, 4):
+        raise ReproError(
+            f"expected an (h, w, 3|4) image, got shape {image.shape}"
+        )
+    rgb = np.clip(image[..., :3].astype(np.float64), 0.0, 1.0)
+    return (rgb * 255.0 + 0.5).astype(np.uint8)
+
+
+def save_ppm(path, image: np.ndarray) -> None:
+    """Write a float [0,1] RGBA/RGB image to a binary PPM file."""
+    rgb = to_rgb8(image)
+    height, width = rgb.shape[:2]
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(rgb.tobytes())
+
+
+def load_ppm(path) -> np.ndarray:
+    """Read a binary PPM back into a float [0,1] RGB array."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    # Parse the three header tokens (magic, dims, maxval), allowing
+    # arbitrary whitespace, then the raw pixel block.
+    if not data.startswith(b"P6"):
+        raise ReproError(f"{path}: not a binary PPM (P6) file")
+    tokens = []
+    index = 2
+    while len(tokens) < 3:
+        while index < len(data) and data[index:index + 1].isspace():
+            index += 1
+        if index < len(data) and data[index:index + 1] == b"#":
+            while index < len(data) and data[index] != 0x0A:
+                index += 1
+            continue
+        start = index
+        while index < len(data) and not data[index:index + 1].isspace():
+            index += 1
+        tokens.append(data[start:index])
+    index += 1  # single whitespace after maxval
+    try:
+        width, height, maxval = (int(t) for t in tokens)
+    except ValueError as exc:
+        raise ReproError(f"{path}: malformed PPM header") from exc
+    if maxval != 255:
+        raise ReproError(f"{path}: only maxval 255 supported")
+    pixels = np.frombuffer(
+        data, dtype=np.uint8, count=width * height * 3, offset=index
+    )
+    return (pixels.reshape(height, width, 3).astype(np.float32) / 255.0)

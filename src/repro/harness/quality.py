@@ -1,0 +1,121 @@
+"""Image-quality metrics for technique verification.
+
+Rendering Elimination is only safe if signature matches imply equal
+pixels; Section V argues CRC32 false positives are ~one per 4 billion
+tiles and would be visually negligible anyway.  This module provides
+the measurement side of that argument:
+
+* :func:`psnr` / :func:`mse` — frame-level fidelity between a technique
+  run and the baseline (infinite PSNR = bit-identical, the expected
+  result for RE and TE);
+* :func:`tile_errors` — per-tile maximum absolute error, to localize
+  any divergence to the tile that caused it;
+* :func:`compare_runs` — end-to-end: render a workload under two
+  techniques and report the fidelity of every frame.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..config import GpuConfig
+from ..pipeline import Gpu
+from ..workloads.games import build_scene
+from .runner import make_technique
+
+
+def mse(reference: np.ndarray, image: np.ndarray) -> float:
+    """Mean squared error over float [0, 1] RGBA images."""
+    reference = np.asarray(reference, dtype=np.float64)
+    image = np.asarray(image, dtype=np.float64)
+    if reference.shape != image.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {image.shape}"
+        )
+    return float(np.mean((reference - image) ** 2))
+
+
+def psnr(reference: np.ndarray, image: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB; ``inf`` for identical images."""
+    error = mse(reference, image)
+    if error == 0.0:
+        return math.inf
+    return 10.0 * math.log10(1.0 / error)
+
+
+def tile_errors(config: GpuConfig, reference: np.ndarray,
+                image: np.ndarray) -> np.ndarray:
+    """Per-tile maximum absolute channel error, shape ``(num_tiles,)``."""
+    diff = np.abs(
+        np.asarray(reference, np.float64) - np.asarray(image, np.float64)
+    )
+    errors = np.zeros(config.num_tiles, dtype=np.float64)
+    size = config.tile_size
+    for tile_id in range(config.num_tiles):
+        tx = tile_id % config.tiles_x
+        ty = tile_id // config.tiles_x
+        region = diff[
+            ty * size:min((ty + 1) * size, config.screen_height),
+            tx * size:min((tx + 1) * size, config.screen_width),
+        ]
+        errors[tile_id] = region.max() if region.size else 0.0
+    return errors
+
+
+@dataclasses.dataclass
+class FidelityReport:
+    """Per-frame fidelity of a technique against the baseline."""
+
+    alias: str
+    technique: str
+    frames: int
+    min_psnr_db: float
+    identical_frames: int
+    worst_tile_error: float
+
+    @property
+    def lossless(self) -> bool:
+        return self.identical_frames == self.frames
+
+
+def compare_runs(alias: str, technique: str, config: GpuConfig = None,
+                 num_frames: int = 6) -> FidelityReport:
+    """Render ``alias`` under ``technique`` and the baseline in lockstep
+    and measure output fidelity frame by frame."""
+    config = config or GpuConfig.small()
+    scene_a = build_scene(alias)
+    scene_b = build_scene(alias)
+    base_gpu = Gpu(config)
+    tech_gpu = Gpu(config, make_technique(technique, config))
+
+    min_psnr = math.inf
+    identical = 0
+    worst_tile = 0.0
+    for stream_a, stream_b in zip(
+        scene_a.frames(num_frames), scene_b.frames(num_frames)
+    ):
+        expected = base_gpu.render_frame(
+            stream_a, clear_color=scene_a.clear_color
+        ).frame_colors
+        actual = tech_gpu.render_frame(
+            stream_b, clear_color=scene_b.clear_color
+        ).frame_colors
+        value = psnr(expected, actual)
+        min_psnr = min(min_psnr, value)
+        if value == math.inf:
+            identical += 1
+        else:
+            worst_tile = max(
+                worst_tile, tile_errors(config, expected, actual).max()
+            )
+    return FidelityReport(
+        alias=alias,
+        technique=technique,
+        frames=num_frames,
+        min_psnr_db=min_psnr,
+        identical_frames=identical,
+        worst_tile_error=worst_tile,
+    )

@@ -1,0 +1,85 @@
+"""One-command evaluation report: every figure, one markdown file.
+
+:func:`generate_report` runs the complete experiment registry against a
+shared :class:`~repro.harness.experiments.RunCache` and writes a single
+``REPORT.md`` with each figure's table, ASCII chart and paper notes —
+the whole evaluation section of the paper, regenerated in one call
+(also exposed as ``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import GpuConfig
+from .charts import chart_for
+from .experiments import (
+    EXPERIMENTS,
+    RunCache,
+    hash_quality,
+    table1_parameters,
+)
+
+#: Order in which the report presents its sections.
+REPORT_ORDER = (
+    "table1", "fig01", "fig02", "fig14a", "fig14b", "fig15a",
+    "fig15b", "fig16", "fig17a", "fig17b", "re_overheads", "hash_quality",
+)
+
+
+def _run_experiment(experiment_id: str, cache: RunCache):
+    if experiment_id == "table1":
+        return table1_parameters(cache.config)
+    if experiment_id == "hash_quality":
+        return hash_quality(
+            cache.config, num_frames=min(8, cache.num_frames),
+            aliases=("ccs", "ctr", "mst", "tib"),
+        )
+    return EXPERIMENTS[experiment_id](cache)
+
+
+def generate_report(path, config: GpuConfig = None, num_frames: int = 20,
+                    experiment_ids=REPORT_ORDER, progress=None) -> list:
+    """Run the selected experiments and write a markdown report.
+
+    Returns the list of :class:`ExperimentResult` in report order.
+    ``progress`` (if given) is called with each experiment id before it
+    runs, so CLIs can narrate the long parts.
+    """
+    cache = RunCache(config or GpuConfig.benchmark(), num_frames=num_frames)
+    results = []
+    started = time.time()
+    for experiment_id in experiment_ids:
+        if progress is not None:
+            progress(experiment_id)
+        results.append(_run_experiment(experiment_id, cache))
+
+    lines = [
+        "# Rendering Elimination — regenerated evaluation",
+        "",
+        f"Configuration: {cache.config.screen_width}x"
+        f"{cache.config.screen_height}, {cache.config.tile_size}x"
+        f"{cache.config.tile_size} tiles, {num_frames} frames per game.",
+        f"Generated in {time.time() - started:.0f} s.",
+        "",
+    ]
+    for result in results:
+        lines.append(f"## {result.experiment_id} — {result.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.table())
+        try:
+            chart = chart_for(result)
+        except (ValueError, TypeError, IndexError):
+            chart = ""
+        if chart:
+            lines.append("")
+            lines.append(chart)
+        lines.append("```")
+        if result.notes:
+            lines.append("")
+            lines.append(f"*{result.notes}*")
+        lines.append("")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines))
+    return results

@@ -1,0 +1,58 @@
+"""Plain-text tables matching the paper's rows and series.
+
+The experiment functions produce numeric rows; this module renders them
+the way the paper's figures present them (games in figure order, AVG
+column, values normalized to the baseline) so EXPERIMENTS.md can record
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def format_table(headers: typing.Sequence, rows: typing.Sequence,
+                 float_format: str = "{:.3f}") -> str:
+    """Align a list of rows (mixed str/number cells) under headers."""
+    def render(cell):
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows))
+        if text_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def with_average(values: typing.Sequence) -> list:
+    """Append the arithmetic mean (the paper's AVG bar)."""
+    values = list(values)
+    avg = sum(values) / len(values) if values else 0.0
+    return values + [avg]
+
+
+def normalized(values: typing.Sequence, baseline: typing.Sequence) -> list:
+    """Element-wise normalization to a baseline series."""
+    return [
+        v / b if b else 0.0 for v, b in zip(values, baseline)
+    ]
+
+
+def geomean(values: typing.Sequence) -> float:
+    product = 1.0
+    count = 0
+    for value in values:
+        if value > 0:
+            product *= value
+            count += 1
+    return product ** (1.0 / count) if count else 0.0

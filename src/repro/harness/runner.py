@@ -1,0 +1,209 @@
+"""Run workloads under techniques and collect per-frame metrics.
+
+This is the experiment driver the paper's evaluation flows through: it
+renders N frames of a benchmark on a fresh simulated GPU with a chosen
+technique, converts activity to cycles and energy, and records per-tile
+color checksums (and input signatures for RE runs) so the tile-level
+analyses of Figs. 2 and 15a are *measured* from rendered output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+
+import numpy as np
+
+from ..config import GpuConfig
+from ..core import RenderingElimination
+from ..errors import ReproError
+from ..pipeline import Gpu
+from ..power import EnergyBreakdown, EnergyModel, technique_event_counts
+from ..techniques import (
+    CombinedElimination,
+    FragmentMemoization,
+    Technique,
+    TransactionElimination,
+)
+from ..timing import CycleBreakdown, TimingModel
+from ..workloads.games import build_scene
+
+#: Technique registry keyed by the names used throughout the benchmarks.
+TECHNIQUES = ("baseline", "re", "te", "memo", "re+te")
+
+
+def make_technique(name: str, config: GpuConfig):
+    """Instantiate a technique by registry name."""
+    if name == "baseline":
+        return Technique()
+    if name == "re":
+        return RenderingElimination(config)
+    if name == "te":
+        return TransactionElimination(config)
+    if name == "memo":
+        return FragmentMemoization(config)
+    if name == "re+te":
+        return CombinedElimination(config)
+    raise ReproError(f"unknown technique {name!r}; choose from {TECHNIQUES}")
+
+
+@dataclasses.dataclass
+class FrameMetrics:
+    """Per-frame digest of a rendered frame."""
+
+    cycles: CycleBreakdown
+    energy: EnergyBreakdown
+    tiles_skipped: int
+    flushes_suppressed: int
+    fragments_rasterized: int
+    fragments_shaded: int
+    fragments_memoized: int
+    traffic: dict
+    geometry_overhead_cycles: int
+    raster_overhead_cycles: int
+
+
+@dataclasses.dataclass
+class RunResult:
+    """A complete benchmark run: one game, one technique."""
+
+    alias: str
+    technique: str
+    config: GpuConfig
+    num_frames: int
+    frames: list
+    tile_color_crcs: np.ndarray            # (frames, tiles) uint32
+    tile_input_sigs: np.ndarray = None     # (frames, tiles) uint32, RE only
+    final_frame_crc: int = 0
+    technique_stats: object = None
+
+    # Aggregates ----------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        return sum(f.cycles.total_cycles for f in self.frames)
+
+    @property
+    def geometry_cycles(self) -> float:
+        return sum(f.cycles.geometry_cycles for f in self.frames)
+
+    @property
+    def raster_cycles(self) -> float:
+        return sum(f.cycles.raster_cycles for f in self.frames)
+
+    @property
+    def total_energy_nj(self) -> float:
+        return sum(f.energy.total_nj for f in self.frames)
+
+    @property
+    def gpu_energy_nj(self) -> float:
+        return sum(f.energy.gpu_nj for f in self.frames)
+
+    @property
+    def dram_energy_nj(self) -> float:
+        return sum(f.energy.dram_nj for f in self.frames)
+
+    @property
+    def fragments_shaded(self) -> int:
+        return sum(f.fragments_shaded for f in self.frames)
+
+    @property
+    def fragments_rasterized(self) -> int:
+        return sum(f.fragments_rasterized for f in self.frames)
+
+    @property
+    def tiles_skipped(self) -> int:
+        return sum(f.tiles_skipped for f in self.frames)
+
+    def traffic_bytes(self, stream: str) -> int:
+        return sum(f.traffic.get(stream, 0) for f in self.frames)
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(sum(f.traffic.values()) for f in self.frames)
+
+    def skipped_fraction(self, warmup: int = 2) -> float:
+        """Fraction of tiles skipped, ignoring the warm-up frames that
+        cannot match (no reference bank yet)."""
+        frames = self.frames[warmup:]
+        if not frames:
+            return 0.0
+        total = len(frames) * self.config.num_tiles
+        return sum(f.tiles_skipped for f in frames) / total
+
+
+def tile_color_crcs(config: GpuConfig, frame_colors: np.ndarray,
+                    tile_rect) -> np.ndarray:
+    """Per-tile CRC32 of a frame's RGBA8-quantized colors."""
+    quantized = (np.clip(frame_colors, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    crcs = np.empty(config.num_tiles, dtype=np.uint32)
+    for tile_id in range(config.num_tiles):
+        x0, y0, x1, y1 = tile_rect(tile_id)
+        crcs[tile_id] = zlib.crc32(
+            np.ascontiguousarray(quantized[y0:y1, x0:x1]).tobytes()
+        )
+    return crcs
+
+
+def run_workload(alias: str, technique: str = "baseline",
+                 config: GpuConfig = None, num_frames: int = 50,
+                 exact_signatures: bool = False) -> RunResult:
+    """Render ``num_frames`` of a benchmark under a technique."""
+    config = config or GpuConfig.benchmark()
+    scene = build_scene(alias)
+    tech = make_technique(technique, config)
+    if technique == "re" and exact_signatures:
+        tech = RenderingElimination(config, exact=True)
+    gpu = Gpu(config, tech)
+    timing = TimingModel(config)
+    energy_model = EnergyModel(config)
+
+    frames = []
+    color_crcs = np.empty((num_frames, config.num_tiles), dtype=np.uint32)
+    input_sigs = (
+        np.empty((num_frames, config.num_tiles), dtype=np.uint32)
+        if hasattr(tech, "current_signatures") else None
+    )
+    events_before = technique_event_counts(tech)
+    final_crc = 0
+
+    for index, stream in enumerate(scene.frames(num_frames)):
+        stats = gpu.render_frame(stream, clear_color=scene.clear_color)
+        cycles = timing.frame_cycles(stats)
+        events_after = technique_event_counts(tech)
+        frame_events = {
+            key: events_after.get(key, 0) - events_before.get(key, 0)
+            for key in events_after
+        }
+        events_before = events_after
+        energy = energy_model.frame_energy(stats, cycles, frame_events)
+
+        frames.append(FrameMetrics(
+            cycles=cycles,
+            energy=energy,
+            tiles_skipped=stats.raster.tiles_skipped,
+            flushes_suppressed=stats.raster.flushes_suppressed,
+            fragments_rasterized=stats.raster.fragments_rasterized,
+            fragments_shaded=stats.fragment.fragments_shaded,
+            fragments_memoized=stats.fragment.fragments_memoized,
+            traffic=dict(stats.traffic),
+            geometry_overhead_cycles=stats.technique_geometry_stall_cycles,
+            raster_overhead_cycles=stats.technique_raster_overhead_cycles,
+        ))
+        color_crcs[index] = tile_color_crcs(
+            config, stats.frame_colors, gpu.framebuffer.tile_rect
+        )
+        if input_sigs is not None:
+            input_sigs[index] = tech.current_signatures()
+        final_crc = zlib.crc32(stats.frame_colors.tobytes())
+
+    return RunResult(
+        alias=alias,
+        technique=technique,
+        config=config,
+        num_frames=num_frames,
+        frames=frames,
+        tile_color_crcs=color_crcs,
+        tile_input_sigs=input_sigs,
+        final_frame_crc=final_crc,
+        technique_stats=getattr(tech, "stats", None),
+    )

@@ -1,0 +1,82 @@
+"""Parameter sweeps: run one workload across a grid of configurations.
+
+The benchmark harness's generic sweep driver: takes a base
+:class:`~repro.config.GpuConfig`, a dict of parameter lists, and a
+metric extractor, and returns one row per configuration.  The ablation
+benchmarks are hand-rolled instances of this pattern; the sweep driver
+exposes it as a public API so downstream users can explore the design
+space (tile size x OT-queue depth x compare distance x ...) without
+writing loops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from ..config import GpuConfig
+from ..errors import ReproError
+from .runner import RunResult, run_workload
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """One configuration of a sweep and its run result."""
+
+    parameters: dict
+    run: RunResult
+
+    def metric(self, name: str):
+        """Common metrics by name, for quick tabulation."""
+        metrics = {
+            "total_cycles": self.run.total_cycles,
+            "total_energy_nj": self.run.total_energy_nj,
+            "fragments_shaded": self.run.fragments_shaded,
+            "tiles_skipped": self.run.tiles_skipped,
+            "skipped_fraction": self.run.skipped_fraction(),
+            "traffic_bytes": self.run.total_traffic_bytes,
+        }
+        if name not in metrics:
+            raise ReproError(
+                f"unknown metric {name!r}; choose from {sorted(metrics)}"
+            )
+        return metrics[name]
+
+
+def sweep(alias: str, technique: str, parameters: dict,
+          base_config: GpuConfig = None, num_frames: int = 8,
+          technique_params: dict = None) -> list:
+    """Run ``alias`` under ``technique`` for every combination of
+    ``parameters`` (a mapping of GpuConfig field name -> list of values).
+
+    Returns a list of :class:`SweepPoint` in grid order.  Example::
+
+        points = sweep("cde", "re",
+                       {"tile_size": [8, 16, 32],
+                        "ot_queue_entries": [16, 64]})
+    """
+    base_config = base_config or GpuConfig.small()
+    names = list(parameters)
+    for name in names:
+        if not hasattr(base_config, name):
+            raise ReproError(f"GpuConfig has no parameter {name!r}")
+
+    points = []
+    for values in itertools.product(*(parameters[n] for n in names)):
+        assignment = dict(zip(names, values))
+        config = dataclasses.replace(base_config, **assignment)
+        run = run_workload(
+            alias, technique, config=config, num_frames=num_frames,
+            **(technique_params or {}),
+        )
+        points.append(SweepPoint(parameters=assignment, run=run))
+    return points
+
+
+def tabulate(points: typing.Sequence, metric: str) -> list:
+    """Rows of (parameter values..., metric) for reporting."""
+    rows = []
+    for point in points:
+        rows.append(list(point.parameters.values()) + [point.metric(metric)])
+    return rows

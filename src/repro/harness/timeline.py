@@ -1,0 +1,95 @@
+"""Per-frame redundancy timelines.
+
+Section V attributes each benchmark's results to its camera behaviour
+over time: always-static games skip almost every frame, mst never
+skips, and the mixed games alternate phases.  This module extracts that
+time series from a run — the fraction of tiles skipped (or color-equal)
+per frame — and summarizes its phase structure, so the behaviour-class
+claims can be tested rather than asserted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .runner import RunResult
+
+
+def skip_timeline(run: RunResult) -> np.ndarray:
+    """Fraction of tiles skipped per frame, shape ``(num_frames,)``."""
+    tiles = run.config.num_tiles
+    return np.array(
+        [frame.tiles_skipped / tiles for frame in run.frames],
+        dtype=np.float64,
+    )
+
+
+def equal_colors_timeline(run: RunResult, distance: int = 1) -> np.ndarray:
+    """Fraction of color-unchanged tiles per frame (first ``distance``
+    frames have no reference and report 0)."""
+    colors = run.tile_color_crcs
+    timeline = np.zeros(len(colors), dtype=np.float64)
+    if len(colors) > distance:
+        eq = colors[distance:] == colors[:-distance]
+        timeline[distance:] = eq.mean(axis=1)
+    return timeline
+
+
+@dataclasses.dataclass
+class PhaseSummary:
+    """Phase structure of a redundancy timeline."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    quiet_frames: int      # >= quiet_threshold redundancy
+    busy_frames: int       # <= busy_threshold redundancy
+    transitions: int       # quiet<->busy boundary crossings
+
+    @property
+    def is_bimodal(self) -> bool:
+        """Both full-skip phases and full-render phases occur."""
+        return self.quiet_frames > 0 and self.busy_frames > 0
+
+
+def summarize_phases(timeline: np.ndarray, quiet_threshold: float = 0.8,
+                     busy_threshold: float = 0.3,
+                     skip_warmup: int = 2) -> PhaseSummary:
+    """Classify each frame as quiet/busy and count phase transitions."""
+    series = np.asarray(timeline, dtype=np.float64)[skip_warmup:]
+    if series.size == 0:
+        return PhaseSummary(0.0, 0.0, 0.0, 0, 0, 0)
+    quiet = series >= quiet_threshold
+    busy = series <= busy_threshold
+    states = np.where(quiet, 1, np.where(busy, -1, 0))
+    meaningful = states[states != 0]
+    transitions = (
+        int(np.sum(meaningful[1:] != meaningful[:-1]))
+        if meaningful.size > 1 else 0
+    )
+    return PhaseSummary(
+        mean=float(series.mean()),
+        minimum=float(series.min()),
+        maximum=float(series.max()),
+        quiet_frames=int(quiet.sum()),
+        busy_frames=int(busy.sum()),
+        transitions=transitions,
+    )
+
+
+def sparkline(timeline: np.ndarray, width: int = None) -> str:
+    """Compact text rendering of a timeline (one glyph per frame)."""
+    glyphs = " ▁▂▃▄▅▆▇█"
+    series = np.asarray(timeline, dtype=np.float64)
+    if width is not None and series.size > width:
+        # Downsample by averaging buckets.
+        edges = np.linspace(0, series.size, width + 1).astype(int)
+        series = np.array([
+            series[a:b].mean() if b > a else 0.0
+            for a, b in zip(edges[:-1], edges[1:])
+        ])
+    cells = np.clip((series * (len(glyphs) - 1)).round().astype(int),
+                    0, len(glyphs) - 1)
+    return "".join(glyphs[c] for c in cells)

@@ -1,0 +1,58 @@
+"""CRC32 signature substrate (Sections III-C .. III-D of the paper).
+
+Public surface:
+
+* :func:`crc32_bitwise` / :func:`crc32_table` — plain-convention CRC32
+  reference implementations.
+* :func:`shift_crc` / :func:`combine` / :class:`IncrementalCrc` — the
+  incremental combination identity of Algorithm 1.
+* :class:`ComputeCrcUnit` / :class:`AccumulateCrcUnit` — cycle-counted
+  hardware models of the Fig. 8/9 units.
+* :data:`XOR_SCHEMES` — weak hash baselines for the Section V comparison.
+"""
+
+from .crc32 import POLY, crc32_bits, crc32_bitwise, crc32_table, crc32_zip
+from .incremental import (
+    IncrementalCrc,
+    combine,
+    combine_many,
+    shift_crc,
+    x_pow_mod,
+)
+from .parallel import (
+    AccumulateCrcUnit,
+    ComputeCrcUnit,
+    ShiftSubunit,
+    SignSubunit,
+    UnitStats,
+    reference_crc,
+)
+from .tables import LUT_BYTES, lut_for_shift, lut_storage_bytes
+from .xor_hash import XOR_SCHEMES, add32, fnv1a, rotate_xor, xor_fold
+
+__all__ = [
+    "POLY",
+    "crc32_bits",
+    "crc32_bitwise",
+    "crc32_table",
+    "crc32_zip",
+    "IncrementalCrc",
+    "combine",
+    "combine_many",
+    "shift_crc",
+    "x_pow_mod",
+    "AccumulateCrcUnit",
+    "ComputeCrcUnit",
+    "ShiftSubunit",
+    "SignSubunit",
+    "UnitStats",
+    "reference_crc",
+    "LUT_BYTES",
+    "lut_for_shift",
+    "lut_storage_bytes",
+    "XOR_SCHEMES",
+    "add32",
+    "fnv1a",
+    "rotate_xor",
+    "xor_fold",
+]

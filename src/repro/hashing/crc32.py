@@ -1,0 +1,136 @@
+"""CRC32 reference implementations.
+
+The paper's Signature Unit is built on CRC32 [20] with the incremental and
+table-based computation schemes of Sun & Kim [21].  Those schemes rely on
+the *linearity* of the CRC, which holds cleanly for the "plain polynomial
+remainder" convention:
+
+    CRC(M) = M(x) mod G(x)
+
+with zero initial value, no final XOR and no bit reflection, where message
+bits are taken MSB-first and G(x) is the standard CRC-32 generator
+0x04C11DB7.  All signature hardware in :mod:`repro.core` uses this
+convention; this module provides bit-serial and byte-table software models
+of it, plus the familiar ZIP-style reflected CRC32 (identical to
+:func:`zlib.crc32`) used only for cross-checking in tests.
+
+Under the plain convention, for messages A and B with ``|B| = b`` bits:
+
+    CRC(A || B) = CRC(bits(CRC(A)) || 0^b)  XOR  CRC(B)
+
+which is exactly Algorithm 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from ..errors import HashingError
+
+#: Standard CRC-32 generator polynomial, MSB-first (x^32 implied).
+POLY = 0x04C11DB7
+
+#: Reflected form of :data:`POLY`, used by the ZIP/zlib convention.
+POLY_REFLECTED = 0xEDB88320
+
+_MASK32 = 0xFFFFFFFF
+
+
+def crc32_bits(bits: str) -> int:
+    """CRC of an arbitrary bit string given as a string of '0'/'1'.
+
+    Bit-serial long division; the slowest but most obviously correct
+    model, used as the ground truth in property tests.
+    """
+    if any(c not in "01" for c in bits):
+        raise HashingError("bit string may contain only '0' and '1'")
+    reg = 0
+    for c in bits:
+        msb = (reg >> 31) & 1
+        reg = ((reg << 1) & _MASK32) | (1 if c == "1" else 0)
+        if msb:
+            reg ^= POLY
+    # Flush: with the plain convention CRC(M) = M(x) mod G, feeding the
+    # message bits through the register computes exactly M(x) mod G once
+    # every bit has entered, with no augmentation needed -- the register
+    # holds the running remainder of the bits seen so far.
+    return reg
+
+
+def crc32_bitwise(data: bytes, init: int = 0) -> int:
+    """Plain-convention CRC32 of ``data``, bit-serial, MSB-first.
+
+    ``init`` seeds the remainder register, which lets callers chain calls
+    over consecutive chunks of one logical message:
+
+    >>> crc32_bitwise(b"ab") == crc32_bitwise(b"b", init=crc32_bitwise(b"a"))
+    True
+    """
+    reg = init & _MASK32
+    for byte in data:
+        for i in range(7, -1, -1):
+            msb = (reg >> 31) & 1
+            reg = ((reg << 1) & _MASK32) | ((byte >> i) & 1)
+            if msb:
+                reg ^= POLY
+    return reg
+
+
+def _build_byte_table() -> list:
+    """256-entry table T with T[b] = CRC contribution of byte b.
+
+    For the byte-at-a-time algorithm we need, for each byte value b,
+    the remainder of b(x) * x^32 mod G -- i.e. the effect of shifting a
+    byte fully out of the 32-bit register.
+    """
+    table = []
+    for byte in range(256):
+        reg = byte << 24
+        for _ in range(8):
+            if reg & 0x80000000:
+                reg = ((reg << 1) & _MASK32) ^ POLY
+            else:
+                reg = (reg << 1) & _MASK32
+        table.append(reg)
+    return table
+
+
+_BYTE_TABLE = _build_byte_table()
+
+
+def crc32_table(data: bytes, init: int = 0) -> int:
+    """Plain-convention CRC32 via the classic byte-table algorithm.
+
+    Bit-identical to :func:`crc32_bitwise` but ~8x faster; this is the
+    software fast path the simulator uses for signing bulk data.
+    """
+    reg = init & _MASK32
+    for byte in data:
+        # Shift the next byte into the remainder register and reduce the
+        # byte that fell off the top: reg' = ((reg<<8)|byte) mod G.
+        reg = (((reg << 8) & _MASK32) ^ byte) ^ _BYTE_TABLE[(reg >> 24) & 0xFF]
+    return reg
+
+
+def crc32_zip(data: bytes) -> int:
+    """The familiar reflected CRC32 (equals ``zlib.crc32``).
+
+    Not used by the signature hardware (its algebra is awkward for the
+    incremental scheme); provided so tests can demonstrate both are true
+    CRCs over the same generator polynomial.
+    """
+    reg = _MASK32
+    for byte in data:
+        reg ^= byte
+        for _ in range(8):
+            if reg & 1:
+                reg = (reg >> 1) ^ POLY_REFLECTED
+            else:
+                reg >>= 1
+    return reg ^ _MASK32
+
+
+def bytes_of_crc(crc: int) -> bytes:
+    """The 4-byte MSB-first encoding of a CRC value, as it would appear
+    on the wire when a CRC register is treated as a 32-bit message."""
+    if not (0 <= crc <= _MASK32):
+        raise HashingError(f"CRC value {crc:#x} does not fit in 32 bits")
+    return crc.to_bytes(4, "big")

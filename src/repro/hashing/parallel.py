@@ -1,0 +1,186 @@
+"""Hardware models of the CRC subunits of Figures 8-11.
+
+These classes mirror the paper's block diagrams at the granularity the
+timing and energy models need: every LUT read, XOR and cycle is counted.
+
+* :class:`SignSubunit` (Fig. 10) — CRC32 of one fixed-size block using one
+  1-KB LUT per byte, combined with a XOR tree.
+* :class:`ShiftSubunit` (Fig. 11) — CRC32 of a 32-bit register value
+  followed by one block's worth of zeros (the ``CRC << 64`` of
+  Algorithms 2 and 3), using four LUTs.
+* :class:`ComputeCrcUnit` (Fig. 8, Algorithm 2) — signs a variable-length
+  message by iterating Sign+Shift over fixed-size subblocks; reports the
+  block count ("Shift Amount") for the accumulate step.
+* :class:`AccumulateCrcUnit` (Fig. 9, Algorithm 3) — re-aligns a stored
+  tile CRC by repeatedly applying the Shift subunit.
+
+All units are bit-exact against the reference :func:`crc32_table` over the
+(zero-padded) message; tests in ``tests/hashing`` prove it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import HashingError
+from .crc32 import bytes_of_crc, crc32_table
+from .tables import lut_for_shift
+
+
+@dataclasses.dataclass
+class UnitStats:
+    """Activity counters for one CRC unit, consumed by the power model."""
+
+    invocations: int = 0
+    lut_reads: int = 0
+    xor_ops: int = 0
+    cycles: int = 0
+
+    def reset(self) -> None:
+        self.invocations = 0
+        self.lut_reads = 0
+        self.xor_ops = 0
+        self.cycles = 0
+
+    def merge(self, other: "UnitStats") -> None:
+        self.invocations += other.invocations
+        self.lut_reads += other.lut_reads
+        self.xor_ops += other.xor_ops
+        self.cycles += other.cycles
+
+
+class SignSubunit:
+    """CRC32 of one ``block_bytes``-byte block via parallel LUTs."""
+
+    def __init__(self, block_bytes: int = 8) -> None:
+        if block_bytes <= 0:
+            raise HashingError("block_bytes must be positive")
+        self.block_bytes = block_bytes
+        self._luts = [
+            lut_for_shift(block_bytes - 1 - i) for i in range(block_bytes)
+        ]
+        self.stats = UnitStats()
+
+    def crc(self, block: bytes) -> int:
+        """CRC of ``block``; its length must equal ``block_bytes``."""
+        if len(block) != self.block_bytes:
+            raise HashingError(
+                f"Sign subunit expects {self.block_bytes}-byte blocks, "
+                f"got {len(block)}"
+            )
+        result = 0
+        for i, byte in enumerate(block):
+            result ^= self._luts[i][byte]
+        self.stats.invocations += 1
+        self.stats.lut_reads += self.block_bytes
+        self.stats.xor_ops += self.block_bytes - 1
+        self.stats.cycles += 1
+        return result
+
+
+class ShiftSubunit:
+    """CRC32 of a 32-bit CRC value followed by ``block_bytes`` zeros.
+
+    Realizes one application of ``CRC(crc << 8*block_bytes)``; the four
+    bytes of the input CRC each index a LUT whose zero-shift accounts for
+    both their position within the 32-bit word and the appended zeros.
+    """
+
+    def __init__(self, block_bytes: int = 8) -> None:
+        if block_bytes <= 0:
+            raise HashingError("block_bytes must be positive")
+        self.block_bytes = block_bytes
+        # Byte j of the CRC (MSB-first) is followed by (3 - j) CRC bytes
+        # and then block_bytes zeros.
+        self._luts = [lut_for_shift(3 - j + block_bytes) for j in range(4)]
+        self.stats = UnitStats()
+
+    def shift(self, crc: int) -> int:
+        value = bytes_of_crc(crc)
+        result = 0
+        for j, byte in enumerate(value):
+            result ^= self._luts[j][byte]
+        self.stats.invocations += 1
+        self.stats.lut_reads += 4
+        self.stats.xor_ops += 3
+        self.stats.cycles += 1
+        return result
+
+
+class ComputeCrcUnit:
+    """Fig. 8 / Algorithm 2: sign a variable-length message.
+
+    Messages whose length is not a multiple of the subblock size are
+    zero-padded at the end (the simulator's framing layer in
+    :mod:`repro.core.signature` always records the padded length, so
+    padding cannot create aliasing between different messages of the
+    same padded length).
+
+    :meth:`compute` returns ``(crc, shift_amount)`` where ``shift_amount``
+    counts subblocks, matching the Shift Amount P / Shift Amount C
+    registers of Fig. 7.
+    """
+
+    def __init__(self, block_bytes: int = 8) -> None:
+        self.block_bytes = block_bytes
+        self.sign = SignSubunit(block_bytes)
+        self.shifter = ShiftSubunit(block_bytes)
+        self.stats = UnitStats()
+
+    def pad(self, message: bytes) -> bytes:
+        """Zero-pad ``message`` to a whole number of subblocks."""
+        remainder = len(message) % self.block_bytes
+        if remainder:
+            message = message + b"\x00" * (self.block_bytes - remainder)
+        return message
+
+    def compute(self, message: bytes) -> tuple:
+        """Sign ``message``; returns ``(crc32, shift_amount_subblocks)``."""
+        message = self.pad(message)
+        crc_out = 0
+        shift_amount = 0
+        for offset in range(0, len(message), self.block_bytes):
+            block = message[offset:offset + self.block_bytes]
+            crc_block = self.sign.crc(block)
+            if shift_amount == 0:
+                # First subblock: the register is zero, shifting it is a
+                # no-op the hardware elides.
+                crc_out = crc_block
+            else:
+                crc_out = crc_block ^ self.shifter.shift(crc_out)
+                self.stats.xor_ops += 1
+            shift_amount += 1
+            self.stats.cycles += 1
+        self.stats.invocations += 1
+        return crc_out, shift_amount
+
+
+class AccumulateCrcUnit:
+    """Fig. 9 / Algorithm 3: left-shift a stored tile CRC.
+
+    Applies the Shift subunit once per subblock of the message that was
+    just signed, re-aligning the tile's previous CRC so it can be XORed
+    with the new block's CRC (Algorithm 1's ``ComputeCRC(CRC_A << b)``).
+    """
+
+    def __init__(self, block_bytes: int = 8) -> None:
+        self.block_bytes = block_bytes
+        self.shifter = ShiftSubunit(block_bytes)
+        self.stats = UnitStats()
+
+    def accumulate(self, crc: int, shift_amount: int) -> int:
+        if shift_amount < 0:
+            raise HashingError("shift_amount must be non-negative")
+        result = crc
+        for _ in range(shift_amount):
+            result = self.shifter.shift(result)
+            self.stats.cycles += 1
+        self.stats.invocations += 1
+        return result
+
+
+def reference_crc(message: bytes, block_bytes: int = 8) -> int:
+    """CRC the hardware should produce for ``message``: the plain CRC32
+    of the message zero-padded to a whole number of subblocks."""
+    unit = ComputeCrcUnit(block_bytes)
+    return crc32_table(unit.pad(message))

@@ -1,0 +1,41 @@
+"""Precomputed CRC look-up tables for the parallel scheme (Section III-D).
+
+A message of ``k`` bytes ``B1..Bk`` satisfies
+
+    CRC(B1..Bk) = XOR_i CRC(Bi || 0^(8*(k-i)))
+
+so each byte position needs one 256-entry LUT mapping a byte value to the
+CRC of that byte followed by a fixed number of zero bytes.  Each LUT entry
+is a 32-bit CRC, so each LUT costs 1 KB of storage — eight of them for the
+paper's 8-byte subblock Sign subunit, four more for the Shift subunit.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..errors import HashingError
+from .crc32 import crc32_table
+
+
+@functools.lru_cache(maxsize=None)
+def lut_for_shift(shift_bytes: int) -> tuple:
+    """The 256-entry LUT for a byte followed by ``shift_bytes`` zeros.
+
+    ``lut_for_shift(s)[b] == crc32_table(bytes([b]) + b"\\x00" * s)``.
+    Cached: the hardware holds these in ROM, so building them once per
+    process mirrors the hardware cost model (storage, not recomputation).
+    """
+    if shift_bytes < 0:
+        raise HashingError("shift_bytes must be non-negative")
+    zeros = b"\x00" * shift_bytes
+    return tuple(crc32_table(bytes([b]) + zeros) for b in range(256))
+
+
+LUT_BYTES = 256 * 4  # 1 KB per table, as the paper states
+
+
+def lut_storage_bytes(block_bytes: int) -> int:
+    """Total LUT ROM for a Sign subunit over ``block_bytes``-byte blocks
+    plus its companion Shift subunit (4 LUTs for the 32-bit CRC)."""
+    return (block_bytes + 4) * LUT_BYTES

@@ -1,0 +1,80 @@
+"""XOR-based hash baselines.
+
+Section V states that CRC32 "outperforms well-known hashing approaches
+such as XOR-based schemes".  These cheap schemes are implemented here so
+the hash-quality benchmark can measure their collision behaviour on real
+tile-input bitstreams against CRC32.
+
+All hashes share the signature ``hash(data: bytes) -> int`` (32-bit
+result) and, like the CRC units, support incremental folding so they can
+drop into the Signature Unit for ablation runs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _words(data: bytes):
+    """Iterate ``data`` as 32-bit big-endian words, zero-padding the tail."""
+    tail = len(data) % 4
+    if tail:
+        data = data + b"\x00" * (4 - tail)
+    for (word,) in struct.iter_unpack(">I", data):
+        yield word
+
+
+def xor_fold(data: bytes) -> int:
+    """Plain XOR of all 32-bit words.
+
+    Order-insensitive and self-cancelling (two identical words erase each
+    other) — the weakest scheme, kept as the lower anchor.
+    """
+    result = 0
+    for word in _words(data):
+        result ^= word
+    return result
+
+
+def _rotl(value: int, amount: int) -> int:
+    amount &= 31
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+def rotate_xor(data: bytes) -> int:
+    """Rotate-then-XOR: result is rotated left 1 bit before each fold.
+
+    Order-sensitive but still linear; misses many multi-word swaps.
+    """
+    result = 0
+    for word in _words(data):
+        result = _rotl(result, 1) ^ word
+    return result
+
+
+def add32(data: bytes) -> int:
+    """Modular sum of 32-bit words (checksum-style)."""
+    result = 0
+    for word in _words(data):
+        result = (result + word) & _MASK32
+    return result
+
+
+def fnv1a(data: bytes) -> int:
+    """32-bit FNV-1a — a strong non-CRC comparison point."""
+    result = 0x811C9DC5
+    for byte in data:
+        result = ((result ^ byte) * 0x01000193) & _MASK32
+    return result
+
+
+#: Registry used by the hash-quality experiment; CRC32 is appended by the
+#: harness from :mod:`repro.hashing.crc32`.
+XOR_SCHEMES = {
+    "xor_fold": xor_fold,
+    "rotate_xor": rotate_xor,
+    "add32": add32,
+    "fnv1a": fnv1a,
+}

@@ -1,0 +1,18 @@
+"""Memory hierarchy substrate: caches, DRAM model, traffic accounting."""
+
+from .cache import Cache, CacheStats, line_addresses
+from .dram import Dram, DramStats, LATENCY_OVERLAP, latency_overlap
+from .traffic import ALL_STREAMS, RASTER_STREAMS, TrafficCounters
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "line_addresses",
+    "Dram",
+    "DramStats",
+    "LATENCY_OVERLAP",
+    "latency_overlap",
+    "ALL_STREAMS",
+    "RASTER_STREAMS",
+    "TrafficCounters",
+]

@@ -1,0 +1,122 @@
+"""Set-associative cache simulation.
+
+Models the on-chip caches of Table I (vertex, texture, tile, L2) with LRU
+replacement and write-back/write-allocate behaviour.  The functional
+pipeline reduces its per-batch address streams to line granularity (see
+:func:`line_addresses`) and drives them through these caches; misses feed
+the DRAM model and the traffic counters.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+import numpy as np
+
+from ..config import CacheConfig
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+
+class Cache:
+    """One set-associative, LRU, write-back cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        # Hot-path constants, resolved once.
+        self.line_bytes = config.line_bytes
+        self.num_sets = config.num_sets
+        self._ways_limit = config.ways
+        # set index -> OrderedDict mapping tag -> dirty flag; ordering is
+        # recency (last = most recently used).
+        self._sets = collections.defaultdict(collections.OrderedDict)
+
+    def _locate(self, line_address: int) -> tuple:
+        set_index = line_address % self.num_sets
+        tag = line_address // self.num_sets
+        return set_index, tag
+
+    def access(self, line_address: int, write: bool = False) -> bool:
+        """Touch one cache line; returns True on hit.
+
+        A miss allocates the line, evicting the LRU way; evicting a dirty
+        line counts a writeback (which the caller should forward to DRAM).
+        """
+        num_sets = self.num_sets
+        ways = self._sets[line_address % num_sets]
+        tag = line_address // num_sets
+        stats = self.stats
+        stats.accesses += 1
+        if tag in ways:
+            stats.hits += 1
+            dirty = ways.pop(tag)
+            ways[tag] = dirty or write
+            return True
+        stats.misses += 1
+        if len(ways) >= self._ways_limit:
+            _, evicted_dirty = ways.popitem(last=False)
+            if evicted_dirty:
+                stats.writebacks += 1
+        ways[tag] = write
+        return False
+
+    def access_many(self, line_addrs, write: bool = False) -> int:
+        """Access a sequence of line addresses; returns the miss count."""
+        misses = 0
+        for addr in line_addrs:
+            if not self.access(int(addr), write):
+                misses += 1
+        return misses
+
+    def flush(self) -> int:
+        """Drop all contents, counting dirty lines as writebacks."""
+        writebacks = 0
+        for ways in self._sets.values():
+            writebacks += sum(1 for dirty in ways.values() if dirty)
+        self._sets.clear()
+        self.stats.writebacks += writebacks
+        return writebacks
+
+    def contents_size(self) -> int:
+        return sum(len(ways) for ways in self._sets.values())
+
+
+def line_addresses(byte_addresses: np.ndarray, line_bytes: int) -> np.ndarray:
+    """Reduce a byte-address stream to its ordered unique line addresses.
+
+    Consecutive accesses to the same line are collapsed (they would hit
+    trivially); the caller keeps the full access count for energy
+    accounting and feeds only this reduced stream through the cache
+    model.  ``np.unique`` also sorts, which loses temporal order, so this
+    uses a dedup that preserves first-occurrence order.
+    """
+    lines = np.asarray(byte_addresses, dtype=np.int64) // line_bytes
+    if lines.size == 0:
+        return lines
+    # Collapse runs of equal consecutive lines first (cheap), then drop
+    # later duplicates while preserving order.
+    keep = np.ones(len(lines), dtype=bool)
+    keep[1:] = lines[1:] != lines[:-1]
+    lines = lines[keep]
+    _, first_index = np.unique(lines, return_index=True)
+    return lines[np.sort(first_index)]

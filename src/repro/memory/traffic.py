@@ -1,0 +1,50 @@
+"""Main-memory traffic accounting, split by stream.
+
+Figure 15b of the paper decomposes the Raster Pipeline's DRAM traffic
+into Parameter-Buffer primitive reads, texel fetches and Color-Buffer
+flushes; the geometry side adds vertex fetches and Parameter-Buffer
+writes.  :class:`TrafficCounters` tracks bytes per named stream so the
+harness can regenerate that breakdown exactly.
+"""
+
+from __future__ import annotations
+
+import collections
+
+#: Streams reported by Fig. 15b (raster side).
+RASTER_STREAMS = ("primitives", "texels", "colors")
+
+#: All streams the simulator distinguishes.
+ALL_STREAMS = RASTER_STREAMS + ("vertices", "parameter_write", "other")
+
+
+class TrafficCounters:
+    """Byte counters per DRAM traffic stream."""
+
+    def __init__(self) -> None:
+        self._bytes = collections.Counter()
+
+    def add(self, stream: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("traffic bytes must be non-negative")
+        self._bytes[stream] += nbytes
+
+    def bytes(self, stream: str) -> int:
+        return self._bytes[stream]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+    @property
+    def raster_bytes(self) -> int:
+        return sum(self._bytes[s] for s in RASTER_STREAMS)
+
+    def as_dict(self) -> dict:
+        return {stream: self._bytes[stream] for stream in ALL_STREAMS}
+
+    def merge(self, other: "TrafficCounters") -> None:
+        self._bytes.update(other._bytes)
+
+    def reset(self) -> None:
+        self._bytes.clear()

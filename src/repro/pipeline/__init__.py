@@ -1,0 +1,37 @@
+"""The Tile-Based Rendering pipeline (Section II baseline architecture)."""
+
+from .command_processor import CommandProcessor, DrawInvocation
+from .commands import (
+    CommandStream,
+    Draw,
+    SetConstants,
+    SetShader,
+    SetTexture,
+    UploadShader,
+    UploadTexture,
+)
+from .framebuffer import DEFAULT_CLEAR_COLOR, FrameBuffer, TileBuffers
+from .gpu import FrameStats, Gpu
+from .rasterizer import FragmentBatch, rasterize
+from .tiling import ParameterBuffer, PolygonListBuilder
+
+__all__ = [
+    "CommandProcessor",
+    "DrawInvocation",
+    "CommandStream",
+    "Draw",
+    "SetConstants",
+    "SetShader",
+    "SetTexture",
+    "UploadShader",
+    "UploadTexture",
+    "DEFAULT_CLEAR_COLOR",
+    "FrameBuffer",
+    "TileBuffers",
+    "FrameStats",
+    "Gpu",
+    "FragmentBatch",
+    "rasterize",
+    "ParameterBuffer",
+    "PolygonListBuilder",
+]

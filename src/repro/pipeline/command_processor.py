@@ -1,0 +1,119 @@
+"""Command Processor: parses the command stream into draw invocations.
+
+Walks a frame's :class:`~repro.pipeline.commands.CommandStream`,
+maintains the bound pipeline state, and yields one
+:class:`DrawInvocation` per drawcall.  Each invocation snapshots the
+state into a :class:`~repro.geometry.primitives.DrawState` (the pipeline
+state is "held constant during a drawcall invocation").
+
+``constants_version`` increments on every :class:`SetConstants`, which is
+what tells the Signature Unit to re-sign the constants block and clear
+its per-drawcall tile bitmap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..geometry.primitives import DrawState
+from .commands import (
+    CommandStream,
+    Draw,
+    SetConstants,
+    SetShader,
+    SetTexture,
+    UploadShader,
+    UploadTexture,
+)
+
+
+@dataclasses.dataclass
+class DrawInvocation:
+    """One drawcall with its snapshotted state and raster flags."""
+
+    state: DrawState
+    buffer: "object"
+    cull_backfaces: bool
+    depth_test: bool
+    depth_write: bool
+
+
+@dataclasses.dataclass
+class CommandProcessorStats:
+    commands_parsed: int = 0
+    drawcalls: int = 0
+    constant_uploads: int = 0
+    shader_uploads: int = 0
+    texture_uploads: int = 0
+
+
+class CommandProcessor:
+    """Stateful front end of the Geometry Pipeline."""
+
+    def __init__(self) -> None:
+        self._shader = None
+        self._constants = None
+        self._textures: dict = {}
+        self._constants_version = 0
+        self._drawcall_id = 0
+        self.stats = CommandProcessorStats()
+        self.frame_had_upload = False
+
+    def process(self, stream: CommandStream):
+        """Yield a :class:`DrawInvocation` per drawcall in ``stream``."""
+        self.frame_had_upload = stream.has_uploads
+        for command in stream:
+            self.stats.commands_parsed += 1
+            if isinstance(command, (SetShader, UploadShader)):
+                self._shader = command.program
+                if isinstance(command, UploadShader):
+                    self.stats.shader_uploads += 1
+            elif isinstance(command, (SetTexture, UploadTexture)):
+                self._textures[command.unit] = command.texture
+                if isinstance(command, UploadTexture):
+                    self.stats.texture_uploads += 1
+            elif isinstance(command, SetConstants):
+                self._constants = command.values
+                self._constants_version += 1
+                self.stats.constant_uploads += 1
+            elif isinstance(command, Draw):
+                yield self._invoke(command)
+            else:  # pragma: no cover - CommandStream validates types
+                raise PipelineError(f"unknown command {command!r}")
+
+    def _invoke(self, command: Draw) -> DrawInvocation:
+        if self._shader is None:
+            raise PipelineError("drawcall with no shader bound")
+        if self._constants is None:
+            raise PipelineError("drawcall with no constants uploaded")
+        max_units = max(self._textures, default=-1) + 1
+        textures = tuple(self._textures.get(u) for u in range(max_units))
+        if self._shader.texture_fetches > 0 and (
+            not textures or textures[0] is None
+        ):
+            raise PipelineError(
+                f"shader {self._shader.name!r} samples a texture but none "
+                "is bound to unit 0"
+            )
+        state = DrawState(
+            shader=self._shader,
+            constants=np.array(self._constants, dtype=np.float32),
+            textures=textures,
+            drawcall_id=self._drawcall_id,
+            constants_version=self._constants_version,
+            depth_test=command.depth_test,
+            depth_write=command.depth_write,
+            cull_backfaces=command.cull_backfaces,
+        )
+        self._drawcall_id += 1
+        self.stats.drawcalls += 1
+        return DrawInvocation(
+            state=state,
+            buffer=command.buffer,
+            cull_backfaces=command.cull_backfaces,
+            depth_test=command.depth_test,
+            depth_write=command.depth_write,
+        )

@@ -1,0 +1,137 @@
+"""The GPU command stream.
+
+Applications talk to the GPU in two vocabularies (Section II): *state*
+commands that configure the pipeline (shader, textures, constants) and
+*drawcalls* that push a vertex stream through it with the current state.
+
+Two command flavours matter specifically to Rendering Elimination
+(Section III-E):
+
+* :class:`SetConstants` — frequent, cheap, and *included* in tile
+  signatures; every animation in the workloads is a constants change.
+* :class:`UploadShader` / :class:`UploadTexture` — the infrequent API
+  events (``glShaderSource`` / ``glTexImage2D``) that change global data
+  *not* covered by signatures; the driver disables RE for any frame that
+  contains one.
+
+:class:`SetTexture` merely *binds* an already-uploaded texture and does
+not disable RE; binding changes do flow into the signature indirectly
+because workloads encode texture selection in their drawcall constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..geometry.primitives import VertexBuffer
+from ..shaders.program import ShaderProgram, validate_constants
+from ..textures.texture import Texture
+
+
+@dataclasses.dataclass(frozen=True)
+class SetShader:
+    """Bind an already-uploaded shader program."""
+
+    program: ShaderProgram
+
+
+@dataclasses.dataclass(frozen=True)
+class UploadShader:
+    """Upload *new* shader code (glShaderSource): disables RE this frame."""
+
+    program: ShaderProgram
+
+
+@dataclasses.dataclass(frozen=True)
+class SetTexture:
+    """Bind an already-uploaded texture to a texture unit."""
+
+    unit: int
+    texture: Texture
+
+
+@dataclasses.dataclass(frozen=True)
+class UploadTexture:
+    """Upload new texel data (glTexImage2D): disables RE this frame."""
+
+    unit: int
+    texture: Texture
+
+
+class SetConstants:
+    """Upload the drawcall constants ("uniforms") block."""
+
+    def __init__(self, values) -> None:
+        self.values = validate_constants(values)
+
+    def __repr__(self) -> str:
+        return f"SetConstants({self.values[:4]}...)"
+
+
+@dataclasses.dataclass(frozen=True)
+class Draw:
+    """A drawcall: run the bound state over a vertex buffer."""
+
+    buffer: VertexBuffer
+    cull_backfaces: bool = False
+    depth_test: bool = True
+    depth_write: bool = True
+
+
+Command = typing.Union[
+    SetShader, UploadShader, SetTexture, UploadTexture, SetConstants, Draw
+]
+
+_COMMAND_TYPES = (
+    SetShader, UploadShader, SetTexture, UploadTexture, SetConstants, Draw
+)
+
+
+class CommandStream:
+    """An ordered list of commands for one frame."""
+
+    def __init__(self, commands=None) -> None:
+        self._commands: list = []
+        for command in commands or []:
+            self.append(command)
+
+    def append(self, command: Command) -> "CommandStream":
+        if not isinstance(command, _COMMAND_TYPES):
+            raise PipelineError(f"not a GPU command: {command!r}")
+        self._commands.append(command)
+        return self
+
+    # Convenience builders -------------------------------------------------
+    def set_shader(self, program: ShaderProgram) -> "CommandStream":
+        return self.append(SetShader(program))
+
+    def set_texture(self, unit: int, texture: Texture) -> "CommandStream":
+        return self.append(SetTexture(unit, texture))
+
+    def set_constants(self, values) -> "CommandStream":
+        return self.append(SetConstants(np.asarray(values)))
+
+    def draw(self, buffer: VertexBuffer, **flags) -> "CommandStream":
+        return self.append(Draw(buffer, **flags))
+
+    def __iter__(self):
+        return iter(self._commands)
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    @property
+    def num_drawcalls(self) -> int:
+        return sum(1 for c in self._commands if isinstance(c, Draw))
+
+    @property
+    def has_uploads(self) -> bool:
+        """True when the frame contains a shader/texture upload — the
+        condition under which the driver disables RE (Section III-E)."""
+        return any(
+            isinstance(c, (UploadShader, UploadTexture)) for c in self._commands
+        )

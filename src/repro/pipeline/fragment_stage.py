@@ -1,0 +1,120 @@
+"""Fragment Processors: shade surviving fragments and fetch textures.
+
+Shading is vectorized per (primitive, tile) batch — functionally one
+shader invocation per fragment, costed as such by the timing model.
+Texture fetches flow through the texture cache, then the L2, then DRAM
+on the "texels" stream; the cache model sees the line-granular address
+stream in fetch order, so texel locality (or its absence) is measured,
+not assumed.
+
+A technique may install a fragment *memo filter* (Fragment Memoization,
+Section V-A): the filter observes each batch's shading inputs and
+reports how many fragments its LUT would have reused.  Colors are always
+computed functionally — the filter only affects the activity counters —
+which mirrors the paper's evaluation where memoization changes work, not
+(measurably) output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..memory.cache import Cache, line_addresses
+from ..memory.dram import Dram
+from ..textures.sampler import sample_nearest
+
+
+@dataclasses.dataclass
+class FragmentStats:
+    fragments_shaded: int = 0
+    fragments_memoized: int = 0
+    shader_instructions: int = 0
+    texture_fetches: int = 0
+    texture_cache_accesses: int = 0
+    stall_cycles: int = 0
+
+
+class FragmentStage:
+    """Shades fragment batches with texture-cache simulation."""
+
+    def __init__(self, texture_cache: Cache, l2_cache: Cache,
+                 dram: Dram) -> None:
+        self.texture_cache = texture_cache
+        self.l2 = l2_cache
+        self.dram = dram
+        self.stats = FragmentStats()
+        self.memo_filter = None  # optional technique hook
+
+    def shade(self, batch, pass_mask: np.ndarray) -> tuple:
+        """Shade the fragments of ``batch`` selected by ``pass_mask``.
+
+        Returns ``(local_xs_unused, colors)`` where colors has one row
+        per passing fragment, in batch order.
+        """
+        prim = batch.prim
+        state = prim.state
+        count = int(pass_mask.sum())
+        if count == 0:
+            return np.empty((0, 4), dtype=np.float32)
+
+        bary = batch.bary[pass_mask]
+        varyings = {
+            name: (bary @ values.astype(np.float32)).astype(np.float32)
+            for name, values in prim.varyings.items()
+        }
+        screen = np.stack(
+            [batch.xs[pass_mask], batch.ys[pass_mask]], axis=1
+        ).astype(np.float32)
+        varyings["_screen"] = screen
+
+        fetch_addresses = []
+
+        def fetch(unit: int, uv: np.ndarray) -> np.ndarray:
+            if unit >= len(state.textures) or state.textures[unit] is None:
+                raise PipelineError(
+                    f"shader {state.shader.name!r} fetched unbound unit {unit}"
+                )
+            result = sample_nearest(state.textures[unit], uv)
+            fetch_addresses.append(result.addresses)
+            self.stats.texture_fetches += len(uv)
+            return result.colors
+
+        colors = state.shader.run_fragment(varyings, state.constants, fetch)
+        if len(colors) != count:
+            raise PipelineError(
+                f"shader {state.shader.name!r} returned {len(colors)} colors "
+                f"for {count} fragments"
+            )
+
+        # Memoization hook: decides how many of these fragments would
+        # have been reused instead of shaded.
+        memoized = 0
+        if self.memo_filter is not None:
+            memoized = self.memo_filter(prim, varyings)
+        shaded = count - memoized
+        self.stats.fragments_shaded += shaded
+        self.stats.fragments_memoized += memoized
+        self.stats.shader_instructions += (
+            shaded * state.shader.fragment_instructions
+        )
+
+        # Texture traffic: memoized fragments skip their fetches too; we
+        # scale the simulated address stream by the shaded fraction.
+        if fetch_addresses:
+            addresses = np.concatenate(fetch_addresses)
+            if memoized and count:
+                keep = max(0, int(round(len(addresses) * shaded / count)))
+                addresses = addresses[:keep]
+            self.stats.texture_cache_accesses += len(addresses)
+            for line in line_addresses(addresses, self.texture_cache.line_bytes):
+                if self.texture_cache.access(int(line)):
+                    continue
+                if self.l2.access(int(line)):
+                    continue
+                self.stats.stall_cycles += self.dram.read(
+                    self.l2.line_bytes, "texels"
+                )
+        return colors

@@ -1,0 +1,207 @@
+"""Top-level GPU: the full Tile-Based Rendering pipeline of Fig. 4.
+
+:meth:`Gpu.render_frame` runs one frame's command stream through the
+Geometry Pipeline (command processing, vertex shading, primitive
+assembly, tiling) and then the Raster Pipeline tile by tile, returning a
+:class:`FrameStats` with every activity count the timing and power
+models consume, plus the rendered frame for functional verification.
+
+The installed :class:`~repro.techniques.base.Technique` decides which
+tiles are skipped (Rendering Elimination), which flushes are suppressed
+(Transaction Elimination), and which fragments would have been memoized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..config import GpuConfig
+from ..memory.cache import Cache
+from ..memory.dram import Dram
+from ..memory.traffic import TrafficCounters
+from ..techniques.base import Technique
+from .blending import BlendStats
+from .command_processor import CommandProcessor
+from .commands import CommandStream
+from .depth import DepthStats
+from .fragment_stage import FragmentStage, FragmentStats
+from .framebuffer import DEFAULT_CLEAR_COLOR, FrameBuffer
+from .primitive_assembly import AssemblyStats, PrimitiveAssembly
+from .tile_scheduler import RasterPipeline, RasterStats
+from .tiling import PolygonListBuilder, TilingStats
+from .vertex_stage import VertexStage, VertexStageStats
+
+
+@dataclasses.dataclass
+class FrameStats:
+    """Everything measured while rendering one frame."""
+
+    frame_index: int = 0
+    # Geometry side
+    drawcalls: int = 0
+    constant_uploads: int = 0
+    vertex: VertexStageStats = dataclasses.field(default_factory=VertexStageStats)
+    assembly: AssemblyStats = dataclasses.field(default_factory=AssemblyStats)
+    tiling: TilingStats = dataclasses.field(default_factory=TilingStats)
+    geometry_stall_cycles: int = 0
+    technique_geometry_stall_cycles: int = 0
+    # Raster side
+    raster: RasterStats = dataclasses.field(default_factory=RasterStats)
+    depth: DepthStats = dataclasses.field(default_factory=DepthStats)
+    fragment: FragmentStats = dataclasses.field(default_factory=FragmentStats)
+    blend: BlendStats = dataclasses.field(default_factory=BlendStats)
+    technique_raster_overhead_cycles: int = 0
+    # Memory
+    traffic: dict = dataclasses.field(default_factory=dict)
+    cache_accesses: dict = dataclasses.field(default_factory=dict)
+    cache_misses: dict = dataclasses.field(default_factory=dict)
+    # Technique bookkeeping
+    technique_name: str = "baseline"
+    re_disabled: bool = False
+    skipped_tile_ids: tuple = ()
+    # Functional output
+    frame_colors: np.ndarray = None
+
+    @property
+    def tiles_total(self) -> int:
+        return self.raster.tiles_scheduled
+
+    @property
+    def fragments_shaded(self) -> int:
+        return self.fragment.fragments_shaded
+
+
+class Gpu:
+    """A simulated Mali-450-class TBR GPU."""
+
+    def __init__(self, config: GpuConfig, technique: Technique = None) -> None:
+        self.config = config
+        self.technique = technique if technique is not None else Technique()
+        self.traffic = TrafficCounters()
+        self.dram = Dram(config, self.traffic)
+        self.vertex_cache = Cache(config.vertex_cache)
+        self.texture_cache = Cache(config.texture_cache)
+        self.tile_cache = Cache(config.tile_cache)
+        self.l2_cache = Cache(config.l2_cache)
+        self.framebuffer = FrameBuffer(config)
+        self.frame_index = 0
+        self.technique.attach(self)
+
+    # ------------------------------------------------------------------
+    def render_frame(self, commands: CommandStream,
+                     clear_color=DEFAULT_CLEAR_COLOR) -> FrameStats:
+        """Render one frame; returns its statistics and final colors."""
+        stats = FrameStats(frame_index=self.frame_index)
+        stats.technique_name = self.technique.name
+
+        # Frame-boundary cache invalidation: the Parameter Buffer is
+        # rewritten in place every frame (stale lines must not hit), and
+        # the reuse distance of vertex/texel data between frames is an
+        # entire frame -- far beyond on-chip capacity for real content
+        # (Section III's premise).  On-chip buffers therefore start each
+        # frame cold, as they would on hardware rendering real scenes.
+        self.tile_cache.flush()
+        self.l2_cache.flush()
+        self.texture_cache.flush()
+        self.vertex_cache.flush()
+
+        traffic_before = dict(self.traffic.as_dict())
+        caches = {
+            "vertex": self.vertex_cache,
+            "texture": self.texture_cache,
+            "tile": self.tile_cache,
+            "l2": self.l2_cache,
+        }
+        cache_before = {
+            name: (cache.stats.accesses, cache.stats.misses)
+            for name, cache in caches.items()
+        }
+
+        # --- Geometry Pipeline ---------------------------------------
+        command_processor = CommandProcessor()
+        vertex_stage = VertexStage(self.vertex_cache, self.dram)
+        assembly = PrimitiveAssembly(
+            self.config.screen_width, self.config.screen_height
+        )
+        plb = PolygonListBuilder(
+            self.config, self.dram, listeners=(self.technique,)
+        )
+        fragment_stage = FragmentStage(
+            self.texture_cache, self.l2_cache, self.dram
+        )
+        memo_filter = getattr(self.technique, "memo_filter", None)
+        if callable(memo_filter):
+            fragment_stage.memo_filter = memo_filter
+        raster = RasterPipeline(
+            self.config, self.tile_cache, self.l2_cache, self.dram,
+            self.framebuffer, fragment_stage,
+        )
+
+        self.technique.begin_frame(self.frame_index, commands.has_uploads)
+
+        plb.begin_frame()
+        for invocation in command_processor.process(commands):
+            shaded = vertex_stage.run(invocation)
+            primitives = assembly.assemble(invocation, shaded)
+            plb.bin_drawcall(invocation.state, primitives)
+
+        self.technique.on_geometry_complete()
+
+        # --- Raster Pipeline ------------------------------------------
+        skipped = []
+        for tile_id in range(self.config.num_tiles):
+            raster.stats.tiles_scheduled += 1
+            if self.technique.should_skip_tile(tile_id):
+                raster.stats.tiles_skipped += 1
+                skipped.append(tile_id)
+                continue
+            tile_colors = raster.render_tile(
+                tile_id, plb.parameter_buffer, clear_color
+            )
+            if self.technique.should_flush_tile(tile_id, tile_colors):
+                raster.flush_tile(tile_id, tile_colors)
+            else:
+                raster.stats.flushes_suppressed += 1
+                # The Frame Buffer already holds identical colors; the
+                # functional write is still performed so the simulated
+                # output stays exact even if the technique is wrong --
+                # only the DRAM traffic is suppressed.
+                self.framebuffer.write_tile(tile_id, tile_colors)
+
+        self.technique.end_frame()
+
+        # --- Collect ----------------------------------------------------
+        stats.drawcalls = command_processor.stats.drawcalls
+        stats.constant_uploads = command_processor.stats.constant_uploads
+        stats.vertex = vertex_stage.stats
+        stats.assembly = assembly.stats
+        stats.tiling = plb.stats
+        stats.raster = raster.stats
+        stats.depth = raster.depth_stage.stats
+        stats.fragment = fragment_stage.stats
+        stats.blend = raster.blend_stage.stats
+        stats.technique_geometry_stall_cycles = (
+            self.technique.geometry_stall_cycles()
+        )
+        stats.technique_raster_overhead_cycles = (
+            self.technique.raster_overhead_cycles()
+        )
+        stats.skipped_tile_ids = tuple(skipped)
+        stats.re_disabled = getattr(self.technique, "disabled_this_frame", False)
+
+        traffic_after = self.traffic.as_dict()
+        stats.traffic = {
+            stream: traffic_after[stream] - traffic_before.get(stream, 0)
+            for stream in traffic_after
+        }
+        for name, cache in caches.items():
+            before_acc, before_miss = cache_before[name]
+            stats.cache_accesses[name] = cache.stats.accesses - before_acc
+            stats.cache_misses[name] = cache.stats.misses - before_miss
+
+        stats.frame_colors = self.framebuffer.snapshot_back()
+        self.framebuffer.swap()
+        self.frame_index += 1
+        return stats

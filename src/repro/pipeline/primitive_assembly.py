@@ -1,0 +1,84 @@
+"""Primitive Assembly: triangles out of shaded vertices, clipped and
+culled, mapped to screen space.
+
+The screen-space convention: pixel (0, 0) is top-left; NDC y is flipped
+so +y in clip space points up on screen, matching OpenGL.  Depth maps
+from NDC [-1, 1] to [0, 1] with smaller values closer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..geometry import clipping
+from ..geometry.primitives import Primitive
+
+
+@dataclasses.dataclass
+class AssemblyStats:
+    triangles_in: int = 0
+    triangles_out: int = 0
+    culled_near: int = 0
+    culled_backface: int = 0
+    culled_viewport: int = 0
+    culled_degenerate: int = 0
+
+
+class PrimitiveAssembly:
+    """Assemble, clip and cull one drawcall's triangles."""
+
+    def __init__(self, screen_width: int, screen_height: int) -> None:
+        self.width = screen_width
+        self.height = screen_height
+        self.stats = AssemblyStats()
+        self._next_prim_id = 0
+
+    def assemble(self, invocation, shaded) -> list:
+        """Returns the surviving :class:`Primitive` list for a drawcall."""
+        indices = invocation.buffer.indices
+        clip_all = shaded.clip
+        primitives = []
+        self.stats.triangles_in += len(indices)
+
+        # Vectorized screen mapping for all vertices once.
+        w = clip_all[:, 3:4]
+        safe_w = np.where(np.abs(w) < clipping.W_EPSILON, 1.0, w)
+        ndc = clip_all[:, :3] / safe_w
+        screen_x = (ndc[:, 0] + 1.0) * 0.5 * self.width
+        screen_y = (1.0 - (ndc[:, 1] + 1.0) * 0.5) * self.height
+        depth = (ndc[:, 2] + 1.0) * 0.5
+        screen_all = np.stack([screen_x, screen_y], axis=1).astype(np.float32)
+
+        for tri in indices:
+            clip = clip_all[tri]
+            if not clipping.near_plane_ok(clip):
+                self.stats.culled_near += 1
+                continue
+            screen = screen_all[tri]
+            if not clipping.viewport_overlaps(screen, self.width, self.height):
+                self.stats.culled_viewport += 1
+                continue
+            varyings = {
+                name: values[tri] for name, values in shaded.varyings.items()
+            }
+            prim = Primitive(
+                screen=screen,
+                depth=depth[tri].astype(np.float32),
+                clip=clip.astype(np.float32),
+                varyings=varyings,
+                state=invocation.state,
+                prim_id=self._next_prim_id,
+            )
+            area2 = prim.signed_area2()
+            if clipping.is_degenerate(area2):
+                self.stats.culled_degenerate += 1
+                continue
+            if invocation.cull_backfaces and clipping.is_backfacing(area2):
+                self.stats.culled_backface += 1
+                continue
+            self._next_prim_id += 1
+            self.stats.triangles_out += 1
+            primitives.append(prim)
+        return primitives

@@ -1,0 +1,127 @@
+"""Tile Scheduler + Raster Pipeline: render tiles one at a time.
+
+For each tile the scheduler fetches the tile's primitive data from the
+Parameter Buffer (through the Tile Cache and L2 — a primitive binned to
+many tiles is re-fetched per tile, and the 128-KB Tile Cache is what
+makes those re-fetches cheap), then runs the classic raster sequence:
+rasterize, early-Z, fragment shade, blend, and finally flush the on-chip
+Color Buffer to the Frame Buffer in DRAM.
+
+Technique hooks:
+
+* ``should_skip_tile(tile_id)`` — consulted *before* any raster work;
+  Rendering Elimination answers True for redundant tiles, which bypasses
+  the entire sequence including the flush (Fig. 3).
+* ``should_flush_tile(tile_id, colors)`` — consulted after rendering;
+  Transaction Elimination answers False for tiles whose color signature
+  matched, saving only the flush traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..config import GpuConfig
+from ..memory.cache import Cache
+from ..memory.dram import Dram
+from .blending import BlendStage
+from .depth import DepthStage
+from .fragment_stage import FragmentStage
+from .framebuffer import FrameBuffer, TileBuffers
+from .rasterizer import rasterize
+from .tiling import TILE_POINTER_BYTES, ParameterBuffer
+
+
+@dataclasses.dataclass
+class RasterStats:
+    tiles_scheduled: int = 0
+    tiles_rendered: int = 0
+    tiles_skipped: int = 0        # bypassed whole pipeline (RE)
+    flushes_suppressed: int = 0   # rendered but not written back (TE)
+    fragments_rasterized: int = 0
+    interp_attr_fragments: int = 0   # fragments x attributes interpolated
+    prim_tile_pairs: int = 0
+    pb_bytes_fetched: int = 0
+    flush_bytes: int = 0
+    stall_cycles: int = 0
+
+
+class RasterPipeline:
+    """Renders a frame's tiles from a filled Parameter Buffer."""
+
+    def __init__(self, config: GpuConfig, tile_cache: Cache, l2_cache: Cache,
+                 dram: Dram, framebuffer: FrameBuffer,
+                 fragment_stage: FragmentStage) -> None:
+        self.config = config
+        self.tile_cache = tile_cache
+        self.l2 = l2_cache
+        self.dram = dram
+        self.framebuffer = framebuffer
+        self.fragment_stage = fragment_stage
+        self.depth_stage = DepthStage()
+        self.blend_stage = BlendStage()
+        self.buffers = TileBuffers(config.tile_size)
+        self.stats = RasterStats()
+
+    def _fetch_tile_primitives(self, tile_id: int,
+                               parameter_buffer: ParameterBuffer) -> list:
+        """Simulate Parameter-Buffer reads for one tile's polygon list."""
+        prims = parameter_buffer.tile_primitives(tile_id)
+        for prim in prims:
+            nbytes = prim.parameter_buffer_bytes() + TILE_POINTER_BYTES
+            start_line = prim.pb_offset // self.tile_cache.line_bytes
+            end_line = (
+                prim.pb_offset + prim.parameter_buffer_bytes() - 1
+            ) // self.tile_cache.line_bytes
+            for line in range(start_line, end_line + 1):
+                if self.tile_cache.access(line):
+                    continue
+                if self.l2.access(line + (1 << 40)):  # PB region in L2 space
+                    continue
+                self.stats.stall_cycles += self.dram.read(
+                    self.tile_cache.line_bytes, "primitives"
+                )
+            self.stats.pb_bytes_fetched += nbytes
+        return prims
+
+    def render_tile(self, tile_id: int, parameter_buffer: ParameterBuffer,
+                    clear_color) -> np.ndarray:
+        """Render one tile; returns its final on-chip colors (h, w, 4)."""
+        rect = self.framebuffer.tile_rect(tile_id)
+        self.buffers.clear(color=clear_color)
+        prims = self._fetch_tile_primitives(tile_id, parameter_buffer)
+        x0, y0, x1, y1 = rect
+
+        for prim in prims:
+            self.stats.prim_tile_pairs += 1
+            batch = rasterize(prim, rect)
+            if batch.count == 0:
+                continue
+            self.stats.fragments_rasterized += batch.count
+            self.stats.interp_attr_fragments += (
+                batch.count * prim.num_attributes
+            )
+            local_xs = batch.xs - x0
+            local_ys = batch.ys - y0
+            pass_mask = self.depth_stage.test(
+                self.buffers.depth, local_xs, local_ys, batch.depth,
+                depth_test=prim.state.depth_test,
+                depth_write=prim.state.depth_write,
+            )
+            if not pass_mask.any():
+                continue
+            colors = self.fragment_stage.shade(batch, pass_mask)
+            self.blend_stage.blend(
+                self.buffers.color,
+                local_xs[pass_mask], local_ys[pass_mask], colors,
+                alpha=prim.state.shader.uses_alpha_blend,
+            )
+        self.stats.tiles_rendered += 1
+        return self.buffers.color[: y1 - y0, : x1 - x0]
+
+    def flush_tile(self, tile_id: int, tile_colors: np.ndarray) -> None:
+        nbytes = self.framebuffer.write_tile(tile_id, tile_colors)
+        self.stats.flush_bytes += nbytes
+        self.stats.stall_cycles += self.dram.write(nbytes, "colors")

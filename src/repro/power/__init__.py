@@ -1,0 +1,15 @@
+"""Per-event energy model (McPAT/DRAMSim2 substitute)."""
+
+from .energy import (
+    EnergyBreakdown,
+    EnergyConstants,
+    EnergyModel,
+    technique_event_counts,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyConstants",
+    "EnergyModel",
+    "technique_event_counts",
+]

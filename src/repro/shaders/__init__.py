@@ -1,0 +1,35 @@
+"""Shader programs and the built-in shader library."""
+
+from .builtin import (
+    ALPHA_TEXTURED,
+    FLAT_COLOR,
+    LIT_TEXTURED,
+    PROGRAMS,
+    SCROLLING,
+    TEXTURED,
+)
+from .program import (
+    CONSTANTS_FLOATS,
+    ShaderProgram,
+    mvp_from_constants,
+    pack_constants,
+    params_from_constants,
+    tint_from_constants,
+    validate_constants,
+)
+
+__all__ = [
+    "ALPHA_TEXTURED",
+    "FLAT_COLOR",
+    "LIT_TEXTURED",
+    "PROGRAMS",
+    "SCROLLING",
+    "TEXTURED",
+    "CONSTANTS_FLOATS",
+    "ShaderProgram",
+    "mvp_from_constants",
+    "pack_constants",
+    "params_from_constants",
+    "tint_from_constants",
+    "validate_constants",
+]

@@ -1,0 +1,102 @@
+"""Shader programs: application-defined vertex and fragment stages.
+
+A :class:`ShaderProgram` bundles two vectorized Python callables with the
+static costs the timing and power models charge per vertex / fragment.
+Programs are identified by ``program_id``; uploading a new program via
+the command stream is the infrequent API event that disables Rendering
+Elimination for the current frame (Section III-E).
+
+Constants layout convention used by all built-in shaders
+(:data:`CONSTANTS_FLOATS` float32 values per drawcall):
+
+* ``[0:16]``  — 4x4 model-view-projection matrix, row-major;
+* ``[16:20]`` — RGBA tint color;
+* ``[20:24]`` — free parameters (uv scroll offset, light direction, time).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from ..errors import ShaderError
+
+#: Size of the per-drawcall constants block, in float32 values (96 bytes
+#: = 12 eight-byte CRC subblocks).
+CONSTANTS_FLOATS = 24
+
+
+@dataclasses.dataclass(frozen=True)
+class ShaderProgram:
+    """One vertex + fragment program pair with static cost metadata."""
+
+    name: str
+    program_id: int
+    vertex_fn: typing.Callable
+    fragment_fn: typing.Callable
+    vertex_instructions: int
+    fragment_instructions: int
+    texture_fetches: int = 0        # texture samples per fragment
+    uses_alpha_blend: bool = False  # whether output alpha blends
+
+    def run_vertex(self, positions: np.ndarray, attributes: dict,
+                   constants: np.ndarray) -> tuple:
+        """Shade ``(n, 4)`` homogeneous positions; returns
+        ``(clip_positions, varyings)``."""
+        clip, varyings = self.vertex_fn(positions, attributes, constants)
+        if clip.shape != positions.shape:
+            raise ShaderError(
+                f"{self.name}: vertex shader must return (n, 4) positions"
+            )
+        return clip.astype(np.float32), varyings
+
+    def run_fragment(self, varyings: dict, constants: np.ndarray,
+                     fetch: typing.Callable) -> np.ndarray:
+        """Shade a fragment batch; returns ``(m, 4)`` colors.
+
+        ``fetch(unit, uv)`` samples the texture bound at ``unit`` and is
+        provided by the fragment stage, which counts the fetch and its
+        cache traffic.
+        """
+        colors = self.fragment_fn(varyings, constants, fetch)
+        colors = np.asarray(colors, dtype=np.float32)
+        if colors.ndim != 2 or colors.shape[1] != 4:
+            raise ShaderError(
+                f"{self.name}: fragment shader must return (m, 4) colors"
+            )
+        return colors
+
+
+def validate_constants(constants: np.ndarray) -> np.ndarray:
+    """Coerce a constants block to the standard layout."""
+    constants = np.asarray(constants, dtype=np.float32).ravel()
+    if constants.size != CONSTANTS_FLOATS:
+        raise ShaderError(
+            f"constants block must hold {CONSTANTS_FLOATS} floats, "
+            f"got {constants.size}"
+        )
+    return constants
+
+
+def pack_constants(mvp: np.ndarray, tint=(1.0, 1.0, 1.0, 1.0),
+                   params=(0.0, 0.0, 0.0, 0.0)) -> np.ndarray:
+    """Build a constants block from its three conventional pieces."""
+    block = np.empty(CONSTANTS_FLOATS, dtype=np.float32)
+    block[0:16] = np.asarray(mvp, dtype=np.float32).reshape(16)
+    block[16:20] = np.asarray(tint, dtype=np.float32)
+    block[20:24] = np.asarray(params, dtype=np.float32)
+    return block
+
+
+def mvp_from_constants(constants: np.ndarray) -> np.ndarray:
+    return constants[0:16].reshape(4, 4)
+
+
+def tint_from_constants(constants: np.ndarray) -> np.ndarray:
+    return constants[16:20]
+
+
+def params_from_constants(constants: np.ndarray) -> np.ndarray:
+    return constants[20:24]

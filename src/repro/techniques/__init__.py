@@ -1,0 +1,27 @@
+"""Redundancy-elimination techniques: baseline, TE, Fragment Memoization.
+
+Rendering Elimination itself lives in :mod:`repro.core` (it is the
+paper's contribution); this package holds the technique interface and
+the prior-art comparison points.
+"""
+
+from .base import RASTER_STAGES, Technique
+from .combined import CombinedElimination
+from .fragment_memoization import (
+    FragmentMemoization,
+    MemoStats,
+    fragment_input_hashes,
+)
+from .transaction_elimination import TeStats, TransactionElimination, quantize_tile
+
+__all__ = [
+    "RASTER_STAGES",
+    "Technique",
+    "CombinedElimination",
+    "FragmentMemoization",
+    "MemoStats",
+    "fragment_input_hashes",
+    "TeStats",
+    "TransactionElimination",
+    "quantize_tile",
+]

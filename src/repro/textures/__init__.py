@@ -1,0 +1,26 @@
+"""Textures and samplers."""
+
+from .sampler import SAMPLERS, SampleResult, sample_bilinear, sample_nearest
+from .texture import (
+    TEXEL_BYTES,
+    TEXTURE_ADDRESS_STRIDE,
+    Texture,
+    checker_texture,
+    flat_texture,
+    gradient_texture,
+    noise_texture,
+)
+
+__all__ = [
+    "SAMPLERS",
+    "SampleResult",
+    "sample_bilinear",
+    "sample_nearest",
+    "TEXEL_BYTES",
+    "TEXTURE_ADDRESS_STRIDE",
+    "Texture",
+    "checker_texture",
+    "flat_texture",
+    "gradient_texture",
+    "noise_texture",
+]

@@ -1,0 +1,73 @@
+"""Texture sampling: nearest and bilinear filters.
+
+Samplers return both the sampled colors and the texel byte addresses the
+fetch touched; the fragment stage forwards the addresses to the texture
+cache model so texel traffic (Fig. 15b) reflects real access locality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import PipelineError
+from .texture import Texture
+
+
+@dataclasses.dataclass
+class SampleResult:
+    """Colors plus the byte addresses fetched to produce them."""
+
+    colors: np.ndarray        # (m, 4) float32
+    addresses: np.ndarray     # (a,) int64 texel byte addresses
+
+
+def _wrap(coords: np.ndarray, extent: int) -> np.ndarray:
+    """GL_REPEAT wrapping of integer texel coordinates."""
+    return np.mod(coords, extent)
+
+
+def sample_nearest(texture: Texture, uv: np.ndarray) -> SampleResult:
+    """Nearest-texel sampling with repeat wrapping."""
+    uv = np.asarray(uv, dtype=np.float32)
+    if uv.ndim != 2 or uv.shape[1] != 2:
+        raise PipelineError(f"uv must be (m, 2), got {uv.shape}")
+    tx = _wrap(np.floor(uv[:, 0] * texture.width).astype(np.int64), texture.width)
+    ty = _wrap(np.floor(uv[:, 1] * texture.height).astype(np.int64), texture.height)
+    colors = texture.data[ty, tx]
+    addresses = texture.texel_addresses(tx, ty)
+    return SampleResult(colors.astype(np.float32), addresses)
+
+
+def sample_bilinear(texture: Texture, uv: np.ndarray) -> SampleResult:
+    """Bilinear filtering: four texel fetches per sample."""
+    uv = np.asarray(uv, dtype=np.float32)
+    if uv.ndim != 2 or uv.shape[1] != 2:
+        raise PipelineError(f"uv must be (m, 2), got {uv.shape}")
+    fx = uv[:, 0] * texture.width - 0.5
+    fy = uv[:, 1] * texture.height - 0.5
+    x0 = np.floor(fx).astype(np.int64)
+    y0 = np.floor(fy).astype(np.int64)
+    wx = (fx - x0).astype(np.float32)[:, None]
+    wy = (fy - y0).astype(np.float32)[:, None]
+
+    corners = []
+    addresses = []
+    for dy in (0, 1):
+        for dx in (0, 1):
+            tx = _wrap(x0 + dx, texture.width)
+            ty = _wrap(y0 + dy, texture.height)
+            corners.append(texture.data[ty, tx].astype(np.float32))
+            addresses.append(texture.texel_addresses(tx, ty))
+    c00, c10, c01, c11 = corners
+    top = c00 * (1.0 - wx) + c10 * wx
+    bottom = c01 * (1.0 - wx) + c11 * wx
+    colors = top * (1.0 - wy) + bottom * wy
+    return SampleResult(colors.astype(np.float32), np.concatenate(addresses))
+
+
+SAMPLERS = {
+    "nearest": sample_nearest,
+    "bilinear": sample_bilinear,
+}

@@ -1,0 +1,101 @@
+"""Texture objects and procedural texture constructors.
+
+Workloads build their art from deterministic procedural textures (flat
+colors, checkerboards, gradients, seeded noise) so runs are exactly
+reproducible without asset files.  Each texture owns a ``texture_id``
+that places it in a disjoint region of the simulated address space,
+letting the texture caches distinguish fetches from different textures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PipelineError
+
+#: Address-space stride between textures: texel byte addresses are
+#: ``texture_id * TEXTURE_ADDRESS_STRIDE + offset``.
+TEXTURE_ADDRESS_STRIDE = 1 << 28
+
+#: Bytes per texel (RGBA8 in memory; the simulator computes in float).
+TEXEL_BYTES = 4
+
+
+class Texture:
+    """A 2D RGBA texture with float32 components in [0, 1]."""
+
+    def __init__(self, data, texture_id: int) -> None:
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 3 or data.shape[2] != 4:
+            raise PipelineError(
+                f"texture data must be (h, w, 4), got {data.shape}"
+            )
+        if texture_id < 0:
+            raise PipelineError("texture_id must be non-negative")
+        self.data = data
+        self.texture_id = texture_id
+
+    @property
+    def height(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def base_address(self) -> int:
+        return self.texture_id * TEXTURE_ADDRESS_STRIDE
+
+    def texel_addresses(self, tx: np.ndarray, ty: np.ndarray) -> np.ndarray:
+        """Byte addresses of the texels at integer coords (tx, ty)."""
+        offsets = (ty.astype(np.int64) * self.width + tx.astype(np.int64))
+        return self.base_address + offsets * TEXEL_BYTES
+
+    @property
+    def nbytes(self) -> int:
+        return self.width * self.height * TEXEL_BYTES
+
+
+def flat_texture(color, texture_id: int, size: int = 8) -> Texture:
+    """A single flat color — the cheapest texture, and the one that makes
+    camera pans invisible (the Fig. 15a equal-colors-different-inputs
+    tiles)."""
+    data = np.broadcast_to(
+        np.asarray(color, dtype=np.float32), (size, size, 4)
+    ).copy()
+    return Texture(data, texture_id)
+
+
+def checker_texture(color_a, color_b, texture_id: int, size: int = 64,
+                    cells: int = 8) -> Texture:
+    """Checkerboard of two colors."""
+    ys, xs = np.mgrid[0:size, 0:size]
+    mask = ((xs * cells // size) + (ys * cells // size)) % 2 == 0
+    data = np.where(
+        mask[..., None],
+        np.asarray(color_a, dtype=np.float32),
+        np.asarray(color_b, dtype=np.float32),
+    )
+    return Texture(data.astype(np.float32), texture_id)
+
+
+def gradient_texture(color_top, color_bottom, texture_id: int,
+                     size: int = 64) -> Texture:
+    """Vertical gradient between two colors."""
+    t = np.linspace(0.0, 1.0, size, dtype=np.float32)[:, None, None]
+    top = np.asarray(color_top, dtype=np.float32)
+    bottom = np.asarray(color_bottom, dtype=np.float32)
+    data = top * (1.0 - t) + bottom * t
+    return Texture(np.broadcast_to(data, (size, size, 4)).copy(), texture_id)
+
+
+def noise_texture(texture_id: int, size: int = 64, seed: int = 0,
+                  base_color=(0.5, 0.5, 0.5, 1.0), amplitude: float = 0.5) -> Texture:
+    """Seeded random noise around a base color (deterministic)."""
+    rng = np.random.default_rng(seed)
+    noise = rng.random((size, size, 1), dtype=np.float32) * amplitude
+    base = np.asarray(base_color, dtype=np.float32)
+    data = np.clip(base + noise - amplitude / 2.0, 0.0, 1.0)
+    data[..., 3] = base[3]
+    return Texture(data.astype(np.float32), texture_id)

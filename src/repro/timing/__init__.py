@@ -1,0 +1,9 @@
+"""Activity-based timing model (Teapot cycle-simulator substitute)."""
+
+from .model import (
+    OVERLAP_RESIDUE,
+    CycleBreakdown,
+    TimingModel,
+)
+
+__all__ = ["OVERLAP_RESIDUE", "CycleBreakdown", "TimingModel"]

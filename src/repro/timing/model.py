@@ -1,0 +1,157 @@
+"""Activity-based cycle model.
+
+Substitutes for Teapot's cycle-accurate simulator: each pipeline stage's
+busy cycles are derived from its event counts and the Table I throughput
+parameters, and memory stall residues come from the cache/DRAM
+simulation that ran alongside the functional render.  The output is the
+Geometry/Raster split the paper's Fig. 14a reports.
+
+The model is deliberately additive within a pipeline: TBR GPUs overlap
+stages across *different* work items, but over a whole frame the busy
+cycles of a stage are a lower bound that the dominant stage converts
+into elapsed time.  We therefore take, per pipeline, the dominant-stage
+time plus a fixed fraction of the remaining stages' busy time
+(:data:`OVERLAP_RESIDUE`) — a standard bottleneck-plus-residue model
+whose *ratios* (the quantities the paper reports) are robust to the
+residue choice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..config import GpuConfig
+from ..pipeline.gpu import FrameStats
+
+#: Fraction of non-bottleneck stage time that leaks into elapsed time.
+OVERLAP_RESIDUE = 0.3
+
+#: Cycles to parse one command / schedule one drawcall.
+COMMAND_CYCLES = 4
+
+#: Vertex fetch issue rate (vertices per cycle through the two queues).
+VERTEX_FETCH_CYCLES = 2
+
+#: On-chip bandwidth for draining the Color Buffer into the write path,
+#: bytes per cycle (the DRAM transfer itself is in the stall residue).
+FLUSH_DRAIN_BYTES_PER_CYCLE = 16
+
+#: Early-Z throughput: one 2x2 quad per cycle.
+EARLY_Z_FRAGMENTS_PER_CYCLE = 4
+
+#: Blend throughput, fragments per cycle.
+BLEND_FRAGMENTS_PER_CYCLE = 4
+
+#: Tile Scheduler drain rate of Parameter Buffer data, bytes per cycle.
+SCHEDULER_BYTES_PER_CYCLE = 16
+
+
+@dataclasses.dataclass
+class CycleBreakdown:
+    """Per-frame elapsed-cycle estimate, split like Fig. 14a."""
+
+    geometry_cycles: float = 0.0
+    raster_cycles: float = 0.0
+    geometry_parts: dict = dataclasses.field(default_factory=dict)
+    raster_parts: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.geometry_cycles + self.raster_cycles
+
+
+def _pipeline_time(parts: dict) -> float:
+    """Bottleneck stage + residue of the overlapped remainder."""
+    if not parts:
+        return 0.0
+    bottleneck = max(parts.values())
+    remainder = sum(parts.values()) - bottleneck
+    return bottleneck + OVERLAP_RESIDUE * remainder
+
+
+class TimingModel:
+    """Convert one frame's activity counts into cycles."""
+
+    def __init__(self, config: GpuConfig) -> None:
+        self.config = config
+
+    def frame_cycles(self, stats: FrameStats) -> CycleBreakdown:
+        config = self.config
+
+        geometry_parts = {
+            "command_processor": stats.drawcalls * COMMAND_CYCLES
+            + stats.constant_uploads * COMMAND_CYCLES,
+            "vertex_fetch": stats.vertex.vertices_fetched * VERTEX_FETCH_CYCLES,
+            "vertex_shading": stats.vertex.shader_instructions
+            / config.num_vertex_processors,
+            "primitive_assembly": stats.assembly.triangles_in
+            / config.triangles_per_cycle,
+            "binning": stats.tiling.tile_entries
+            + 2 * stats.tiling.primitives_binned,
+            "pb_write": stats.tiling.parameter_bytes_written
+            / config.dram_bytes_per_cycle,
+        }
+        geometry_stalls = (
+            stats.vertex.stall_cycles
+            + stats.tiling.stall_cycles
+        )
+        geometry = (
+            _pipeline_time(geometry_parts)
+            + geometry_stalls
+            + stats.technique_geometry_stall_cycles
+        )
+        geometry_parts["memory_stalls"] = geometry_stalls
+        geometry_parts["technique_stalls"] = (
+            stats.technique_geometry_stall_cycles
+        )
+
+        raster_parts = {
+            "tile_scheduler": stats.raster.pb_bytes_fetched
+            / SCHEDULER_BYTES_PER_CYCLE,
+            "rasterizer": stats.raster.interp_attr_fragments
+            / config.raster_attributes_per_cycle,
+            "early_z": stats.depth.fragments_tested
+            / EARLY_Z_FRAGMENTS_PER_CYCLE,
+            "fragment_shading": stats.fragment.shader_instructions
+            / config.num_fragment_processors,
+            "blend": stats.blend.fragments_blended
+            / BLEND_FRAGMENTS_PER_CYCLE,
+            "tile_flush": stats.raster.flush_bytes
+            / FLUSH_DRAIN_BYTES_PER_CYCLE,
+        }
+        raster_stalls = (
+            stats.raster.stall_cycles + stats.fragment.stall_cycles
+        )
+        raster = (
+            _pipeline_time(raster_parts)
+            + raster_stalls
+            + stats.technique_raster_overhead_cycles
+        )
+        raster_parts["memory_stalls"] = raster_stalls
+        raster_parts["technique_overhead"] = (
+            stats.technique_raster_overhead_cycles
+        )
+
+        return CycleBreakdown(
+            geometry_cycles=geometry,
+            raster_cycles=raster,
+            geometry_parts=geometry_parts,
+            raster_parts=raster_parts,
+        )
+
+    def run_cycles(self, frames) -> CycleBreakdown:
+        """Aggregate breakdown over a sequence of FrameStats."""
+        total = CycleBreakdown()
+        for stats in frames:
+            frame = self.frame_cycles(stats)
+            total.geometry_cycles += frame.geometry_cycles
+            total.raster_cycles += frame.raster_cycles
+            for key, value in frame.geometry_parts.items():
+                total.geometry_parts[key] = (
+                    total.geometry_parts.get(key, 0.0) + value
+                )
+            for key, value in frame.raster_parts.items():
+                total.raster_parts[key] = (
+                    total.raster_parts.get(key, 0.0) + value
+                )
+        return total

@@ -1,0 +1,43 @@
+"""Synthetic game workloads (the Table II benchmark suite)."""
+
+from .camera import (
+    Camera,
+    CameraState,
+    ContinuousCamera,
+    EpisodicCamera,
+    ShakeCamera,
+    StaticCamera,
+)
+from .games import (
+    BENCHMARKS,
+    FIGURE_ORDER,
+    PSEUDO_WORKLOADS,
+    BenchmarkInfo,
+    all_game_aliases,
+    benchmark_info,
+    build_scene,
+)
+from .scene import QuadNode, Scene
+from .scene3d import CameraPath3D, MeshNode, Scene3D, corridor_scene
+
+__all__ = [
+    "CameraPath3D",
+    "MeshNode",
+    "Scene3D",
+    "corridor_scene",
+    "Camera",
+    "CameraState",
+    "ContinuousCamera",
+    "EpisodicCamera",
+    "ShakeCamera",
+    "StaticCamera",
+    "BENCHMARKS",
+    "FIGURE_ORDER",
+    "PSEUDO_WORKLOADS",
+    "BenchmarkInfo",
+    "all_game_aliases",
+    "benchmark_info",
+    "build_scene",
+    "QuadNode",
+    "Scene",
+]

@@ -1,0 +1,116 @@
+"""Camera models driving the per-game redundancy profiles.
+
+The paper sorts its benchmarks into three behaviours (Section V):
+mostly-static cameras (ccs..hop), continuously-moving cameras (mst), and
+mixed phases (abi..tib).  Camera state is a pure function of the frame
+number, so two frames with the same camera state produce bit-identical
+drawcall constants — the property Rendering Elimination detects.
+
+For 2D games the camera contributes a translation folded into every
+camera-affected drawcall's MVP; for 3D games it yields an eye position
+and yaw for a perspective view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class CameraState:
+    """Per-frame camera sample."""
+
+    dx: float = 0.0
+    dy: float = 0.0
+    zoom: float = 1.0
+    yaw: float = 0.0
+    advance: float = 0.0      # forward travel (3D games)
+    moving: bool = False
+
+
+class Camera:
+    """Base camera: static."""
+
+    def state(self, frame: int) -> CameraState:
+        return CameraState()
+
+    def moving_fraction(self, num_frames: int) -> float:
+        """Fraction of frames in which the camera moves (documentation
+        metric used by the benchmark tables)."""
+        if num_frames <= 0:
+            return 0.0
+        moving = sum(1 for f in range(num_frames) if self.state(f).moving)
+        return moving / num_frames
+
+
+class StaticCamera(Camera):
+    """Never moves (puzzle games)."""
+
+
+class ContinuousCamera(Camera):
+    """Moves every frame (first-person shooters, runners)."""
+
+    def __init__(self, speed: float = 0.01, yaw_amplitude: float = 0.15,
+                 yaw_period: int = 24) -> None:
+        self.speed = speed
+        self.yaw_amplitude = yaw_amplitude
+        self.yaw_period = yaw_period
+
+    def state(self, frame: int) -> CameraState:
+        yaw = self.yaw_amplitude * math.sin(
+            2.0 * math.pi * frame / self.yaw_period
+        )
+        return CameraState(
+            dx=0.0, dy=0.0, yaw=yaw,
+            advance=self.speed * frame, moving=True,
+        )
+
+
+class EpisodicCamera(Camera):
+    """Pans during scripted episodes, static otherwise (mixed games).
+
+    ``episodes`` is a sequence of ``(start_frame, end_frame, vx, vy)``;
+    outside all episodes the camera rests wherever the last episode left
+    it (positions are integrated analytically so camera state remains a
+    pure function of the frame index).
+    """
+
+    def __init__(self, episodes: typing.Sequence) -> None:
+        self.episodes = tuple(episodes)
+
+    def state(self, frame: int) -> CameraState:
+        dx = dy = 0.0
+        moving = False
+        for start, end, vx, vy in self.episodes:
+            if frame >= end:
+                dx += vx * (end - start)
+                dy += vy * (end - start)
+            elif frame >= start:
+                dx += vx * (frame - start)
+                dy += vy * (frame - start)
+                moving = True
+        return CameraState(dx=dx, dy=dy, moving=moving)
+
+
+class ShakeCamera(Camera):
+    """Static but with brief single-frame nudges every ``period`` frames
+    (strategy games where the player occasionally drags the map)."""
+
+    def __init__(self, period: int = 16, magnitude: float = 0.03,
+                 burst: int = 2) -> None:
+        self.period = period
+        self.magnitude = magnitude
+        self.burst = burst
+
+    def state(self, frame: int) -> CameraState:
+        phase = frame % self.period
+        if phase < self.burst:
+            # Deterministic nudge: alternate direction per period.
+            direction = 1.0 if (frame // self.period) % 2 == 0 else -1.0
+            return CameraState(
+                dx=direction * self.magnitude * (phase + 1), moving=True
+            )
+        # Rest position after the burst: back at origin.
+        return CameraState()

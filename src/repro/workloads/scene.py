@@ -1,0 +1,172 @@
+"""Scene graph for the synthetic game workloads.
+
+A scene is a list of :class:`QuadNode` objects, each a textured or flat
+quad with optional per-frame animation hooks.  Nodes compile into GPU
+command streams: animation and camera motion enter the stream only
+through the drawcall *constants* (the MVP translation, tint, or shader
+params), so a node whose hooks return the same values on two frames
+contributes bit-identical inputs to every tile it covers — exactly the
+redundancy structure Rendering Elimination exploits.
+
+All animation hooks are pure functions of the frame index; no state is
+accumulated, so runs are deterministic and frames are reproducible in
+isolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..geometry import mat4
+from ..geometry.primitives import VertexBuffer, quad_buffer
+from ..pipeline.commands import CommandStream
+from ..shaders import PROGRAMS, pack_constants
+from ..textures.texture import Texture
+from .camera import Camera, CameraState, StaticCamera
+
+#: Shader aliases accepted by :class:`QuadNode`.
+SHADER_ALIASES = {
+    "flat": "flat_color",
+    "textured": "textured",
+    "scrolling": "scrolling",
+    "lit": "lit_textured",
+    "alpha": "alpha_textured",
+}
+
+
+@dataclasses.dataclass
+class QuadNode:
+    """One drawable quad with optional animation.
+
+    ``rect`` is in normalized screen coordinates ([0, 1] square) and
+    ``z`` in [0, 1] with smaller values closer to the viewer.  Hooks:
+
+    * ``position_fn(frame) -> (dx, dy)`` — translation, via constants;
+    * ``tint_fn(frame) -> rgba`` — color modulation, via constants;
+    * ``params_fn(frame) -> (p0, p1, p2, p3)`` — free shader params
+      (uv scroll, light direction), via constants;
+    * ``active_fn(frame) -> bool`` — whether the node is drawn at all.
+    """
+
+    name: str
+    rect: tuple
+    z: float
+    shader: str = "flat"
+    texture: Texture = None
+    tint: tuple = (1.0, 1.0, 1.0, 1.0)
+    uv_scale: float = 1.0
+    camera_affected: bool = True
+    position_fn: typing.Callable = None
+    tint_fn: typing.Callable = None
+    params_fn: typing.Callable = None
+    active_fn: typing.Callable = None
+    depth_test: bool = True
+    depth_write: bool = True
+    #: When set, the camera's forward travel and yaw are folded into the
+    #: shader params (uv scroll) — the mechanism by which a continuously
+    #: moving camera perturbs every covered tile's constants, whether or
+    #: not the sampled colors actually change (flat textures don't).
+    camera_uv: bool = False
+    #: Tessellation of the quad into an NxN triangle grid (geometric
+    #: detail: more primitives, more Parameter Buffer traffic).
+    subdivide: int = 1
+    buffer_id: int = 0
+    _buffer: VertexBuffer = dataclasses.field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.shader not in SHADER_ALIASES:
+            raise PipelineError(
+                f"node {self.name!r}: unknown shader alias {self.shader!r}"
+            )
+        program = PROGRAMS[SHADER_ALIASES[self.shader]]
+        if program.texture_fetches > 0 and self.texture is None:
+            raise PipelineError(
+                f"node {self.name!r}: shader {self.shader!r} needs a texture"
+            )
+        x0, y0, x1, y1 = self.rect
+        if not (x0 < x1 and y0 < y1):
+            raise PipelineError(f"node {self.name!r}: empty rect {self.rect}")
+
+    @property
+    def program(self):
+        return PROGRAMS[SHADER_ALIASES[self.shader]]
+
+    def buffer(self) -> VertexBuffer:
+        """The node's (cached) static vertex buffer."""
+        if self._buffer is None:
+            x0, y0, x1, y1 = self.rect
+            self._buffer = quad_buffer(
+                x0, y0, x1, y1, z=self.z, uv_scale=self.uv_scale,
+                subdivide=self.subdivide,
+            )
+            self._buffer.buffer_id = self.buffer_id
+        return self._buffer
+
+    def is_active(self, frame: int) -> bool:
+        return self.active_fn(frame) if self.active_fn else True
+
+    def frame_values(self, frame: int, camera: CameraState) -> tuple:
+        """(dx, dy, tint, params) for this node on ``frame``."""
+        dx = dy = 0.0
+        if self.position_fn is not None:
+            dx, dy = self.position_fn(frame)
+        if self.camera_affected:
+            dx -= camera.dx
+            dy -= camera.dy
+        tint = self.tint_fn(frame) if self.tint_fn else self.tint
+        params = self.params_fn(frame) if self.params_fn else (0, 0, 0, 0)
+        if self.camera_uv:
+            params = (
+                params[0] + camera.advance,
+                params[1] + camera.yaw,
+                params[2], params[3],
+            )
+        return dx, dy, tint, params
+
+
+class Scene:
+    """An ordered list of nodes plus a camera and clear color."""
+
+    def __init__(self, nodes: typing.Sequence, camera: Camera = None,
+                 clear_color=(0.0, 0.0, 0.0, 1.0)) -> None:
+        self.nodes = list(nodes)
+        self.camera = camera if camera is not None else StaticCamera()
+        self.clear_color = tuple(clear_color)
+        for index, node in enumerate(self.nodes):
+            if node.buffer_id == 0:
+                node.buffer_id = index + 1
+
+    def command_stream(self, frame: int) -> CommandStream:
+        """Compile the scene into one frame's GPU command stream."""
+        camera = self.camera.state(frame)
+        stream = CommandStream()
+        for node in self.nodes:
+            if not node.is_active(frame):
+                continue
+            dx, dy, tint, params = node.frame_values(frame, camera)
+            mvp = mat4.compose(mat4.ortho2d(), mat4.translate(dx, dy))
+            stream.set_shader(node.program)
+            if node.texture is not None:
+                stream.set_texture(0, node.texture)
+            stream.set_constants(
+                pack_constants(mvp, tint=tint, params=params)
+            )
+            stream.draw(
+                node.buffer(),
+                depth_test=node.depth_test,
+                depth_write=node.depth_write,
+            )
+        return stream
+
+    def frames(self, count: int, start: int = 0):
+        """Yield ``count`` frames' command streams."""
+        for frame in range(start, start + count):
+            yield self.command_stream(frame)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)

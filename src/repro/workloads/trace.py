@@ -1,0 +1,232 @@
+"""Command-stream trace record / replay (the Teapot trace analog).
+
+Teapot intercepts an application's OpenGL command stream into a trace
+file and replays it through the simulator.  This module does the same
+for the simulator's command streams: frames serialize to JSON-lines
+with resource tables (shader programs by name, textures and vertex
+buffers by content digest) deduplicated across frames, so a 50-frame
+trace of a mostly static game stays small.
+
+Traces make runs portable between experiments: record once, replay
+under any technique/config without rebuilding the scene logic.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import typing
+import zlib
+
+import numpy as np
+
+from ..errors import TraceError
+from ..geometry.primitives import VertexBuffer
+from ..pipeline.commands import (
+    CommandStream,
+    Draw,
+    SetConstants,
+    SetShader,
+    SetTexture,
+    UploadShader,
+    UploadTexture,
+)
+from ..shaders import PROGRAMS
+from ..textures.texture import Texture
+
+TRACE_VERSION = 1
+
+
+def _encode_array(array: np.ndarray) -> dict:
+    raw = np.ascontiguousarray(array)
+    return {
+        "dtype": str(raw.dtype),
+        "shape": list(raw.shape),
+        "data": base64.b64encode(zlib.compress(raw.tobytes())).decode("ascii"),
+    }
+
+
+def _decode_array(payload: dict) -> np.ndarray:
+    raw = zlib.decompress(base64.b64decode(payload["data"]))
+    return np.frombuffer(raw, dtype=payload["dtype"]).reshape(
+        payload["shape"]
+    ).copy()
+
+
+class TraceWriter:
+    """Serializes frames of command streams to a JSON-lines file."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._textures: dict = {}   # id(texture) -> key
+        self._buffers: dict = {}
+        self._lines: list = [json.dumps({"type": "header",
+                                         "version": TRACE_VERSION})]
+
+    def _texture_key(self, texture: Texture) -> str:
+        key = self._textures.get(id(texture))
+        if key is None:
+            key = f"tex{len(self._textures)}"
+            self._textures[id(texture)] = key
+            self._lines.append(json.dumps({
+                "type": "texture",
+                "key": key,
+                "texture_id": texture.texture_id,
+                "array": _encode_array(texture.data),
+            }))
+        return key
+
+    def _buffer_key(self, buffer: VertexBuffer) -> str:
+        key = self._buffers.get(id(buffer))
+        if key is None:
+            key = f"buf{len(self._buffers)}"
+            self._buffers[id(buffer)] = key
+            self._lines.append(json.dumps({
+                "type": "buffer",
+                "key": key,
+                "buffer_id": buffer.buffer_id,
+                "positions": _encode_array(buffer.positions),
+                "indices": _encode_array(buffer.indices),
+                "attributes": {
+                    name: _encode_array(values)
+                    for name, values in buffer.attributes.items()
+                },
+            }))
+        return key
+
+    def add_frame(self, stream: CommandStream) -> None:
+        commands = []
+        for command in stream:
+            if isinstance(command, (SetShader, UploadShader)):
+                commands.append({
+                    "op": "upload_shader" if isinstance(command, UploadShader)
+                    else "set_shader",
+                    "program": command.program.name,
+                })
+            elif isinstance(command, (SetTexture, UploadTexture)):
+                commands.append({
+                    "op": "upload_texture"
+                    if isinstance(command, UploadTexture) else "set_texture",
+                    "unit": command.unit,
+                    "texture": self._texture_key(command.texture),
+                })
+            elif isinstance(command, SetConstants):
+                commands.append({
+                    "op": "set_constants",
+                    "values": command.values.tolist(),
+                })
+            elif isinstance(command, Draw):
+                commands.append({
+                    "op": "draw",
+                    "buffer": self._buffer_key(command.buffer),
+                    "cull_backfaces": command.cull_backfaces,
+                    "depth_test": command.depth_test,
+                    "depth_write": command.depth_write,
+                })
+            else:  # pragma: no cover - CommandStream validates
+                raise TraceError(f"cannot trace command {command!r}")
+        self._lines.append(json.dumps({"type": "frame", "commands": commands}))
+
+    def save(self) -> None:
+        with open(self.path, "w") as handle:
+            handle.write("\n".join(self._lines) + "\n")
+
+
+def record_trace(path, frames: typing.Iterable) -> int:
+    """Record an iterable of CommandStreams; returns the frame count."""
+    writer = TraceWriter(path)
+    count = 0
+    for stream in frames:
+        writer.add_frame(stream)
+        count += 1
+    writer.save()
+    return count
+
+
+class TraceReader:
+    """Loads a trace and reconstructs per-frame CommandStreams."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._textures: dict = {}
+        self._buffers: dict = {}
+        self.frames: list = []
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path) as handle:
+                lines = [json.loads(line) for line in handle if line.strip()]
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TraceError(f"cannot read trace {self.path}: {exc}") from exc
+        if not lines or lines[0].get("type") != "header":
+            raise TraceError("trace missing header line")
+        if lines[0].get("version") != TRACE_VERSION:
+            raise TraceError(
+                f"unsupported trace version {lines[0].get('version')}"
+            )
+        for entry in lines[1:]:
+            kind = entry.get("type")
+            if kind == "texture":
+                self._textures[entry["key"]] = Texture(
+                    _decode_array(entry["array"]), entry["texture_id"]
+                )
+            elif kind == "buffer":
+                buffer = VertexBuffer(
+                    _decode_array(entry["positions"]),
+                    _decode_array(entry["indices"]),
+                    {
+                        name: _decode_array(values)
+                        for name, values in entry["attributes"].items()
+                    },
+                    buffer_id=entry["buffer_id"],
+                )
+                self._buffers[entry["key"]] = buffer
+            elif kind == "frame":
+                self.frames.append(entry["commands"])
+            else:
+                raise TraceError(f"unknown trace entry type {kind!r}")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def command_stream(self, frame: int) -> CommandStream:
+        if not (0 <= frame < len(self.frames)):
+            raise TraceError(f"frame {frame} out of range")
+        stream = CommandStream()
+        for entry in self.frames[frame]:
+            op = entry["op"]
+            if op in ("set_shader", "upload_shader"):
+                program = PROGRAMS.get(entry["program"])
+                if program is None:
+                    raise TraceError(f"unknown program {entry['program']!r}")
+                stream.append(
+                    UploadShader(program) if op == "upload_shader"
+                    else SetShader(program)
+                )
+            elif op in ("set_texture", "upload_texture"):
+                texture = self._textures.get(entry["texture"])
+                if texture is None:
+                    raise TraceError(f"unknown texture {entry['texture']!r}")
+                stream.append(
+                    UploadTexture(entry["unit"], texture)
+                    if op == "upload_texture"
+                    else SetTexture(entry["unit"], texture)
+                )
+            elif op == "set_constants":
+                stream.set_constants(np.asarray(entry["values"], np.float32))
+            elif op == "draw":
+                stream.draw(
+                    self._buffers[entry["buffer"]],
+                    cull_backfaces=entry["cull_backfaces"],
+                    depth_test=entry["depth_test"],
+                    depth_write=entry["depth_write"],
+                )
+            else:
+                raise TraceError(f"unknown trace op {op!r}")
+        return stream
+
+    def replay(self):
+        """Yield every frame's CommandStream in order."""
+        for frame in range(len(self.frames)):
+            yield self.command_stream(frame)

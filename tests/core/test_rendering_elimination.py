@@ -1,0 +1,190 @@
+"""Rendering Elimination end-to-end on the simulated GPU."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.core import RenderingElimination
+from repro.geometry import mat4, quad_buffer
+from repro.pipeline import CommandStream, Gpu
+from repro.pipeline.commands import UploadTexture
+from repro.shaders import FLAT_COLOR, TEXTURED, pack_constants
+from repro.techniques.base import RASTER_STAGES
+from repro.textures import checker_texture, flat_texture
+
+PROJ = mat4.ortho2d()
+TEX = checker_texture((1, 0, 0, 1), (0, 0, 1, 1), texture_id=1)
+
+
+def static_stream():
+    """A frame whose inputs never change."""
+    stream = CommandStream()
+    stream.set_shader(FLAT_COLOR)
+    stream.set_constants(pack_constants(PROJ, tint=(0.1, 0.2, 0.3, 1)))
+    stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.9))
+    stream.set_shader(TEXTURED)
+    stream.set_texture(0, TEX)
+    stream.set_constants(pack_constants(PROJ))
+    stream.draw(quad_buffer(0.25, 0.25, 0.75, 0.75, z=0.5))
+    return stream
+
+
+def animated_stream(frame):
+    """A frame with a small moving quad over a static background."""
+    x = 0.1 + 0.02 * frame
+    stream = CommandStream()
+    stream.set_shader(FLAT_COLOR)
+    stream.set_constants(pack_constants(PROJ, tint=(0.1, 0.2, 0.3, 1)))
+    stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.9))
+    stream.set_shader(FLAT_COLOR)
+    stream.set_constants(pack_constants(PROJ, tint=(1, 1, 0, 1)))
+    stream.draw(quad_buffer(x, 0.4, x + 0.15, 0.6, z=0.5))
+    return stream
+
+
+def re_gpu(config=None, **kwargs):
+    config = config or GpuConfig.small()
+    return Gpu(config, RenderingElimination(config, **kwargs))
+
+
+class TestSkipping:
+    def test_static_scene_skips_everything_after_warmup(self):
+        gpu = re_gpu()
+        frames = [gpu.render_frame(static_stream()) for _ in range(4)]
+        assert frames[0].raster.tiles_skipped == 0
+        assert frames[1].raster.tiles_skipped == 0  # warm-up (distance 2)
+        assert frames[2].raster.tiles_skipped == gpu.config.num_tiles
+        assert frames[3].raster.tiles_skipped == gpu.config.num_tiles
+
+    def test_skipped_tiles_consume_no_raster_activity(self):
+        gpu = re_gpu()
+        for _ in range(2):
+            gpu.render_frame(static_stream())
+        stats = gpu.render_frame(static_stream())
+        assert stats.fragments_shaded == 0
+        assert stats.traffic["texels"] == 0
+        assert stats.traffic["colors"] == 0
+        assert stats.traffic["primitives"] == 0
+        # Geometry still ran in full.
+        assert stats.vertex.vertices_shaded == 8
+
+    def test_animated_scene_skips_only_static_tiles(self):
+        gpu = re_gpu()
+        for frame in range(4):
+            stats = gpu.render_frame(animated_stream(frame))
+        skipped = stats.raster.tiles_skipped
+        assert 0 < skipped < gpu.config.num_tiles
+
+    def test_output_identical_to_baseline(self):
+        config = GpuConfig.small()
+        baseline = Gpu(config)
+        re = re_gpu(config)
+        for frame in range(6):
+            expected = baseline.render_frame(animated_stream(frame))
+            actual = re.render_frame(animated_stream(frame))
+            assert np.array_equal(expected.frame_colors, actual.frame_colors), (
+                f"frame {frame} diverged"
+            )
+
+    def test_static_output_identical_to_baseline(self):
+        config = GpuConfig.small()
+        baseline = Gpu(config)
+        re = re_gpu(config)
+        for _ in range(5):
+            expected = baseline.render_frame(static_stream())
+            actual = re.render_frame(static_stream())
+            assert np.array_equal(expected.frame_colors, actual.frame_colors)
+
+
+class TestDisableConditions:
+    def test_upload_disables_for_the_frame(self):
+        gpu = re_gpu()
+        for _ in range(3):
+            gpu.render_frame(static_stream())
+        stream = static_stream()
+        stream.append(UploadTexture(0, flat_texture((1, 1, 1, 1), 9)))
+        stats = gpu.render_frame(stream)
+        assert stats.re_disabled is True
+        assert stats.raster.tiles_skipped == 0
+
+    def test_history_invalidated_after_upload(self):
+        gpu = re_gpu()
+        for _ in range(3):
+            gpu.render_frame(static_stream())
+        stream = static_stream()
+        stream.append(UploadTexture(0, flat_texture((1, 1, 1, 1), 9)))
+        gpu.render_frame(stream)
+        # Frames right after the upload cannot trust pre-upload banks.
+        after1 = gpu.render_frame(static_stream())
+        after2 = gpu.render_frame(static_stream())
+        assert after1.raster.tiles_skipped == 0
+        assert after2.raster.tiles_skipped == 0
+        after3 = gpu.render_frame(static_stream())
+        assert after3.raster.tiles_skipped == gpu.config.num_tiles
+
+    def test_periodic_refresh_forces_render(self):
+        config = dataclasses.replace(
+            GpuConfig.small(), re_refresh_period_frames=4
+        )
+        gpu = re_gpu(config)
+        skipped = []
+        for _ in range(9):
+            skipped.append(
+                gpu.render_frame(static_stream()).raster.tiles_skipped
+            )
+        assert skipped[3] == gpu.config.num_tiles
+        assert skipped[4] == 0          # frame 4: refresh
+        assert skipped[8] == 0          # frame 8: refresh
+
+    def test_multiple_render_targets_disables_wholesale(self):
+        config = GpuConfig.small()
+        gpu = Gpu(config, RenderingElimination(config, multiple_render_targets=True))
+        for _ in range(4):
+            stats = gpu.render_frame(static_stream())
+        assert stats.raster.tiles_skipped == 0
+
+
+class TestOverheadsAndMetadata:
+    def test_compare_overhead_scales_with_tiles(self):
+        gpu = re_gpu()
+        gpu.render_frame(static_stream())
+        stats = gpu.render_frame(static_stream())
+        assert stats.technique_raster_overhead_cycles == (
+            gpu.config.num_tiles * 2
+        )
+
+    def test_storage_under_one_percent_of_paper_area(self):
+        # The paper reports <1% area; sanity-check the added SRAM/ROM is
+        # tens of KB, not MB, at full Table I scale.
+        config = GpuConfig.mali450()
+        technique = RenderingElimination(config)
+        assert technique.storage_bytes < 64 * 1024
+
+    def test_stages_bypassed_is_whole_raster_pipeline(self):
+        assert RenderingElimination.stages_bypassed() == RASTER_STAGES
+
+    def test_frame_records_track_skips(self):
+        gpu = re_gpu()
+        technique = gpu.technique
+        for _ in range(3):
+            gpu.render_frame(static_stream())
+        assert len(technique.frame_records) == 3
+        assert technique.frame_records[2].tiles_skipped == gpu.config.num_tiles
+        assert technique.frame_records[0].signatures.shape == (
+            gpu.config.num_tiles,
+        )
+
+    def test_exact_and_fast_gpu_runs_agree(self):
+        config = GpuConfig.small()
+        fast = Gpu(config, RenderingElimination(config, exact=False))
+        exact = Gpu(config, RenderingElimination(config, exact=True))
+        for frame in range(3):
+            a = fast.render_frame(animated_stream(frame))
+            b = exact.render_frame(animated_stream(frame))
+            assert a.raster.tiles_skipped == b.raster.tiles_skipped
+            assert np.array_equal(
+                fast.technique.current_signatures(),
+                exact.technique.current_signatures(),
+            )

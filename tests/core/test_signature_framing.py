@@ -1,0 +1,45 @@
+"""Tile-input bitstream framing helpers (Section III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants_block, padded_length, primitive_block
+from repro.geometry import DrawState, Primitive, mat4
+from repro.shaders import FLAT_COLOR, pack_constants
+
+
+def make_prim(varyings=None):
+    return Primitive(
+        screen=np.zeros((3, 2), np.float32),
+        depth=np.zeros(3, np.float32),
+        clip=np.arange(12, dtype=np.float32).reshape(3, 4),
+        varyings=varyings or {},
+        state=DrawState(FLAT_COLOR, pack_constants(mat4.ortho2d())),
+    )
+
+
+class TestFraming:
+    def test_constants_block_is_the_uniform_bytes(self):
+        state = DrawState(
+            FLAT_COLOR, pack_constants(mat4.ortho2d(), tint=(1, 2, 3, 4))
+        )
+        block = constants_block(state)
+        assert block == state.constants_bytes()
+        assert len(block) == 96
+
+    def test_primitive_block_is_attribute_bytes(self):
+        prim = make_prim({"uv": np.ones((3, 2), np.float32)})
+        assert primitive_block(prim) == prim.attribute_bytes()
+        assert len(primitive_block(prim)) == 96  # clip + padded uv
+
+    def test_padded_length(self):
+        assert padded_length(0, 8) == 0
+        assert padded_length(1, 8) == 8
+        assert padded_length(8, 8) == 8
+        assert padded_length(9, 8) == 16
+        assert padded_length(96, 8) == 96
+
+    def test_blocks_of_different_content_differ(self):
+        a = make_prim({"uv": np.zeros((3, 2), np.float32)})
+        b = make_prim({"uv": np.ones((3, 2), np.float32)})
+        assert primitive_block(a) != primitive_block(b)

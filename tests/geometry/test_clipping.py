@@ -1,0 +1,56 @@
+"""Clipping and culling predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import clipping
+
+
+class TestNearPlane:
+    def test_all_in_front(self):
+        clip = np.array([[0, 0, 0, 1], [1, 0, 0, 2], [0, 1, 0, 0.5]],
+                        dtype=np.float32)
+        assert clipping.near_plane_ok(clip) is True
+
+    def test_zero_w_rejected(self):
+        clip = np.array([[0, 0, 0, 1], [1, 0, 0, 0.0], [0, 1, 0, 1]],
+                        dtype=np.float32)
+        assert clipping.near_plane_ok(clip) is False
+
+    def test_negative_w_rejected(self):
+        clip = np.array([[0, 0, 0, 1], [1, 0, 0, -2], [0, 1, 0, 1]],
+                        dtype=np.float32)
+        assert clipping.near_plane_ok(clip) is False
+
+    def test_epsilon_boundary(self):
+        clip = np.full((3, 4), clipping.W_EPSILON / 2, dtype=np.float32)
+        assert clipping.near_plane_ok(clip) is False
+
+
+class TestViewport:
+    def test_inside(self):
+        screen = np.array([[10, 10], [20, 10], [10, 20]], dtype=np.float32)
+        assert clipping.viewport_overlaps(screen, 96, 64) is True
+
+    def test_straddling_edge_counts(self):
+        screen = np.array([[-5, 10], [5, 10], [-5, 20]], dtype=np.float32)
+        assert clipping.viewport_overlaps(screen, 96, 64) is True
+
+    @pytest.mark.parametrize("offset", [(-100, 0), (200, 0), (0, -100), (0, 100)])
+    def test_fully_outside_each_side(self, offset):
+        dx, dy = offset
+        screen = np.array(
+            [[10 + dx, 10 + dy], [20 + dx, 10 + dy], [10 + dx, 20 + dy]],
+            dtype=np.float32,
+        )
+        assert clipping.viewport_overlaps(screen, 96, 64) is False
+
+
+class TestFacing:
+    def test_backface_and_degenerate(self):
+        assert clipping.is_backfacing(-1.0) is True
+        assert clipping.is_backfacing(1.0) is False
+        assert clipping.is_backfacing(0.0) is True
+        assert clipping.is_degenerate(0.0) is True
+        assert clipping.is_degenerate(1e-12) is True
+        assert clipping.is_degenerate(0.5) is False

@@ -1,0 +1,80 @@
+"""3D mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.geometry.meshes import box_buffer, grid_buffer, ring_strip_buffer
+
+
+class TestBox:
+    def test_counts(self):
+        box = box_buffer()
+        assert box.num_vertices == 24
+        assert box.num_triangles == 12
+        assert set(box.attributes) == {"uv", "normal"}
+
+    def test_positions_on_surface(self):
+        box = box_buffer(size=2.0)
+        assert np.all(np.abs(box.positions).max(axis=1) == 1.0)
+
+    def test_normals_unit_and_axis_aligned(self):
+        box = box_buffer()
+        normals = box.attributes["normal"]
+        assert np.allclose(np.linalg.norm(normals, axis=1), 1.0)
+        assert np.all(np.count_nonzero(normals, axis=1) == 1)
+
+    def test_normals_point_away_from_center(self):
+        box = box_buffer()
+        dots = np.einsum("ij,ij->i", box.positions, box.attributes["normal"])
+        assert np.all(dots > 0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(PipelineError):
+            box_buffer(size=0)
+
+
+class TestGrid:
+    def test_counts(self):
+        grid = grid_buffer(4.0, 4.0, segments=3)
+        assert grid.num_vertices == 16
+        assert grid.num_triangles == 18
+
+    def test_flat_at_requested_height(self):
+        grid = grid_buffer(2.0, 2.0, segments=2, y=1.5)
+        assert np.all(grid.positions[:, 1] == 1.5)
+
+    def test_uv_scale(self):
+        grid = grid_buffer(2.0, 2.0, segments=2, uv_scale=3.0)
+        assert grid.attributes["uv"].max() == pytest.approx(3.0)
+
+    def test_normals_up(self):
+        grid = grid_buffer(2.0, 2.0)
+        assert np.all(grid.attributes["normal"] == [0, 1, 0])
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(PipelineError):
+            grid_buffer(1.0, 1.0, segments=0)
+
+
+class TestRing:
+    def test_counts(self):
+        ring = ring_strip_buffer(segments=8)
+        assert ring.num_vertices == 18       # (8+1) x 2 levels
+        assert ring.num_triangles == 16
+
+    def test_radius_respected(self):
+        ring = ring_strip_buffer(radius=2.5, segments=12)
+        radii = np.linalg.norm(ring.positions[:, [0, 2]], axis=1)
+        assert np.allclose(radii, 2.5, atol=1e-5)
+
+    def test_normals_point_inward(self):
+        ring = ring_strip_buffer(radius=1.0, segments=6)
+        outward = ring.positions[:, [0, 2]]
+        inward = np.asarray(ring.attributes["normal"])[:, [0, 2]]
+        dots = np.einsum("ij,ij->i", outward, inward)
+        assert np.all(dots < 0)
+
+    def test_rejects_too_few_segments(self):
+        with pytest.raises(PipelineError):
+            ring_strip_buffer(segments=2)

@@ -1,0 +1,100 @@
+"""Vertex buffers, assembled primitives, and signature serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.geometry import DrawState, Primitive, VertexBuffer, quad_buffer
+from repro.shaders import FLAT_COLOR, pack_constants
+from repro.geometry import mat4
+
+
+def make_primitive(z=0.5, uv=None, color=None):
+    screen = np.array([[0, 0], [10, 0], [0, 10]], dtype=np.float32)
+    clip = np.array(
+        [[-1, -1, z, 1], [1, -1, z, 1], [-1, 1, z, 1]], dtype=np.float32
+    )
+    varyings = {}
+    if uv is not None:
+        varyings["uv"] = np.asarray(uv, dtype=np.float32)
+    if color is not None:
+        varyings["color"] = np.asarray(color, dtype=np.float32)
+    state = DrawState(shader=FLAT_COLOR, constants=pack_constants(mat4.identity()))
+    return Primitive(
+        screen=screen, depth=np.full(3, z, np.float32), clip=clip,
+        varyings=varyings, state=state,
+    )
+
+
+class TestVertexBuffer:
+    def test_quad_has_two_triangles(self):
+        quad = quad_buffer(0.0, 0.0, 1.0, 1.0)
+        assert quad.num_triangles == 2
+        assert quad.num_vertices == 4
+        assert "uv" in quad.attributes
+
+    def test_rejects_bad_indices_shape(self):
+        with pytest.raises(PipelineError):
+            VertexBuffer([[0, 0, 0]], [[0, 0]])
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(PipelineError):
+            VertexBuffer([[0, 0, 0]], [[0, 1, 2]])
+
+    def test_rejects_mismatched_attribute_rows(self):
+        with pytest.raises(PipelineError):
+            VertexBuffer(
+                [[0, 0, 0], [1, 0, 0], [0, 1, 0]],
+                [[0, 1, 2]],
+                {"uv": np.zeros((2, 2))},
+            )
+
+    def test_vertex_bytes_counts_positions_and_attributes(self):
+        quad = quad_buffer(0.0, 0.0, 1.0, 1.0)
+        # 3 floats position + 2 floats uv = 20 bytes.
+        assert quad.vertex_bytes() == 20
+
+
+class TestPrimitive:
+    def test_signed_area_positive_for_ccw(self):
+        assert make_primitive().signed_area2() > 0
+
+    def test_num_attributes_counts_position_plus_varyings(self):
+        prim = make_primitive(uv=np.zeros((3, 2)), color=np.zeros((3, 4)))
+        assert prim.num_attributes == 3
+        assert make_primitive().num_attributes == 1
+
+    def test_attribute_bytes_is_48_per_attribute(self):
+        # The paper's unit: 3 vertices x 4 components x 4 bytes.
+        prim = make_primitive(uv=np.zeros((3, 2)), color=np.zeros((3, 4)))
+        assert len(prim.attribute_bytes()) == 48 * prim.num_attributes
+
+    def test_attribute_bytes_deterministic_order(self):
+        uv = np.arange(6, dtype=np.float32).reshape(3, 2)
+        color = np.arange(12, dtype=np.float32).reshape(3, 4)
+        a = make_primitive(uv=uv, color=color).attribute_bytes()
+        b = make_primitive(uv=uv, color=color).attribute_bytes()
+        assert a == b
+
+    def test_attribute_bytes_changes_with_geometry(self):
+        base = make_primitive(uv=np.zeros((3, 2)))
+        moved = make_primitive(uv=np.ones((3, 2)))
+        assert base.attribute_bytes() != moved.attribute_bytes()
+
+    def test_bounds_covers_triangle(self):
+        x0, y0, x1, y1 = make_primitive().bounds()
+        assert (x0, y0) == (0, 0)
+        assert x1 >= 10 and y1 >= 10
+
+
+class TestDrawState:
+    def test_constants_bytes_length(self):
+        state = DrawState(
+            shader=FLAT_COLOR, constants=pack_constants(mat4.identity())
+        )
+        assert len(state.constants_bytes()) == 24 * 4
+
+    def test_constants_bytes_reflect_values(self):
+        a = DrawState(FLAT_COLOR, pack_constants(mat4.identity(), tint=(1, 0, 0, 1)))
+        b = DrawState(FLAT_COLOR, pack_constants(mat4.identity(), tint=(0, 1, 0, 1)))
+        assert a.constants_bytes() != b.constants_bytes()

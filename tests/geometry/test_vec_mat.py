@@ -1,0 +1,114 @@
+"""Vector and matrix math substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PipelineError
+from repro.geometry import mat4
+from repro.geometry.vec import (
+    as_points,
+    dot_rows,
+    homogenize,
+    normalize_rows,
+    perspective_divide,
+    saturate,
+    vec2,
+    vec3,
+    vec4,
+)
+
+finite = st.floats(-100.0, 100.0, allow_nan=False, width=32)
+
+
+class TestVecHelpers:
+    def test_constructors_dtype_and_shape(self):
+        assert vec2(1, 2).shape == (2,)
+        assert vec3(1, 2, 3).dtype == np.float32
+        assert vec4(1, 2, 3).tolist() == [1, 2, 3, 1]
+
+    def test_as_points_validates_shape(self):
+        with pytest.raises(PipelineError):
+            as_points(np.zeros((3,)), 3)
+        with pytest.raises(PipelineError):
+            as_points(np.zeros((3, 2)), 3)
+
+    def test_homogenize_appends_w(self):
+        points = homogenize([[1, 2, 3], [4, 5, 6]])
+        assert points.shape == (2, 4)
+        assert np.all(points[:, 3] == 1.0)
+
+    def test_perspective_divide(self):
+        clip = np.array([[2, 4, 6, 2], [1, 1, 1, 1]], dtype=np.float32)
+        ndc = perspective_divide(clip)
+        assert np.allclose(ndc[0], [1, 2, 3])
+
+    def test_perspective_divide_rejects_zero_w(self):
+        clip = np.array([[1, 1, 1, 0]], dtype=np.float32)
+        with pytest.raises(PipelineError):
+            perspective_divide(clip)
+
+    def test_dot_rows(self):
+        a = np.array([[1, 0, 0], [0, 2, 0]], dtype=np.float32)
+        b = np.array([[1, 1, 1], [1, 1, 1]], dtype=np.float32)
+        assert dot_rows(a, b).tolist() == [1.0, 2.0]
+
+    def test_normalize_rows_handles_zero(self):
+        v = np.array([[3, 0, 0], [0, 0, 0]], dtype=np.float32)
+        n = normalize_rows(v)
+        assert np.allclose(n[0], [1, 0, 0])
+        assert np.allclose(n[1], [0, 0, 0])
+
+    def test_saturate(self):
+        assert saturate(np.array([-1.0, 0.5, 2.0])).tolist() == [0.0, 0.5, 1.0]
+
+
+class TestMat4:
+    def test_identity_transform_is_noop(self):
+        points = homogenize([[1, 2, 3]])
+        assert np.allclose(mat4.transform(mat4.identity(), points), points)
+
+    def test_translate(self):
+        points = homogenize([[0, 0, 0]])
+        moved = mat4.transform(mat4.translate(1, 2, 3), points)
+        assert np.allclose(moved[0, :3], [1, 2, 3])
+
+    def test_scale(self):
+        points = homogenize([[1, 1, 1]])
+        scaled = mat4.transform(mat4.scale(2, 3, 4), points)
+        assert np.allclose(scaled[0, :3], [2, 3, 4])
+
+    @given(st.floats(-3.14, 3.14))
+    def test_rotate_z_preserves_length(self, angle):
+        points = homogenize([[1, 2, 0]])
+        rotated = mat4.transform(mat4.rotate_z(angle), points)
+        assert np.linalg.norm(rotated[0, :2]) == pytest.approx(
+            np.linalg.norm(points[0, :2]), abs=1e-4
+        )
+
+    def test_rotation_composition_matches_sum(self):
+        a, b = 0.3, 0.5
+        combined = mat4.compose(mat4.rotate_z(a), mat4.rotate_z(b))
+        direct = mat4.rotate_z(a + b)
+        assert np.allclose(combined, direct, atol=1e-6)
+
+    def test_ortho_maps_unit_square_to_ndc(self):
+        m = mat4.ortho(0, 1, 0, 1)
+        corners = homogenize([[0, 0, 0], [1, 1, 0]])
+        ndc = mat4.transform(m, corners)
+        assert np.allclose(ndc[0, :2], [-1, -1])
+        assert np.allclose(ndc[1, :2], [1, 1])
+
+    def test_perspective_puts_near_far_on_ndc_bounds(self):
+        m = mat4.perspective(np.pi / 2, 1.0, 1.0, 10.0)
+        near = mat4.transform(m, homogenize([[0, 0, -1]]))
+        far = mat4.transform(m, homogenize([[0, 0, -10]]))
+        assert near[0, 2] / near[0, 3] == pytest.approx(-1.0, abs=1e-5)
+        assert far[0, 2] / far[0, 3] == pytest.approx(1.0, abs=1e-5)
+
+    def test_look_at_centers_target(self):
+        view = mat4.look_at([0, 0, 5], [0, 0, 0])
+        centered = mat4.transform(view, homogenize([[0, 0, 0]]))
+        assert np.allclose(centered[0, :2], [0, 0], atol=1e-6)
+        assert centered[0, 2] == pytest.approx(-5.0, abs=1e-5)

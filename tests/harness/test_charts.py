@@ -1,0 +1,92 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.harness.charts import bar_chart, chart_for, hbar, stacked_chart
+from repro.harness.experiments import ExperimentResult
+
+
+class TestHbar:
+    def test_full_and_empty(self):
+        assert hbar(1.0, 1.0, width=10) == "█" * 10
+        assert hbar(0.0, 1.0, width=10) == ""
+
+    def test_clamps_overflow(self):
+        assert hbar(5.0, 1.0, width=10) == "█" * 10
+        assert hbar(-1.0, 1.0, width=10) == ""
+
+    def test_zero_scale(self):
+        assert hbar(1.0, 0.0) == ""
+
+
+class TestBarChart:
+    def test_labels_and_values_present(self):
+        chart = bar_chart([["ccs", 0.5], ["mst", 1.0]], scale=1.0, width=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("ccs")
+        assert "0.500" in lines[0]
+        assert "█" * 5 in lines[0]
+        assert "█" * 10 in lines[1]
+
+    def test_auto_scale_uses_max(self):
+        chart = bar_chart([["a", 2.0], ["b", 4.0]], width=8)
+        assert "█" * 8 in chart.splitlines()[1]
+
+    def test_empty_rows(self):
+        assert bar_chart([]) == ""
+
+
+class TestStackedChart:
+    def test_segments_and_legend(self):
+        chart = stacked_chart(
+            [["x", 0.25, 0.25]], (1, 2), ("geom", "raster"),
+            width=8, scale=1.0,
+        )
+        lines = chart.splitlines()
+        assert "██▒▒" in lines[0]
+        assert "geom" in lines[-1] and "raster" in lines[-1]
+
+    def test_segments_never_exceed_width(self):
+        chart = stacked_chart(
+            [["x", 0.9, 0.9]], (1, 2), ("a", "b"), width=10, scale=1.0,
+        )
+        bar = chart.splitlines()[0].split("|")[1]
+        assert len(bar) == 10
+
+    def test_too_many_series_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_chart([["x", 1, 1, 1, 1, 1]], (1, 2, 3, 4, 5),
+                          ("a",) * 5)
+
+
+class TestChartFor:
+    def _result(self, experiment_id, headers, rows):
+        return ExperimentResult(
+            experiment_id=experiment_id, title="t",
+            headers=headers, rows=rows,
+        )
+
+    def test_fig14_uses_stacked(self):
+        result = self._result(
+            "fig14a",
+            ["game", "bg", "br", "re_geom", "re_raster", "speedup"],
+            [["ccs", 0.1, 0.9, 0.1, 0.2, 3.0]],
+        )
+        chart = chart_for(result)
+        assert "re_geom" in chart
+
+    def test_fig15a_three_segments(self):
+        result = self._result(
+            "fig15a",
+            ["game", "a", "b", "c", "fp"],
+            [["ccs", 50.0, 12.0, 38.0, 0]],
+        )
+        chart = chart_for(result)
+        assert "different" in chart
+
+    def test_default_single_series(self):
+        result = self._result(
+            "fig02", ["game", "pct"], [["ccs", 97.0], ["mst", 2.0]]
+        )
+        chart = chart_for(result)
+        assert chart.splitlines()[0].startswith("ccs")

@@ -1,0 +1,64 @@
+"""PPM image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.images import load_ppm, save_ppm, to_rgb8
+
+
+class TestConversion:
+    def test_quantization_and_clamping(self):
+        image = np.array([[[0.0, 0.5, 1.5, 1.0]]], dtype=np.float32)
+        rgb = to_rgb8(image)
+        assert rgb.tolist() == [[[0, 128, 255]]]
+
+    def test_rgb_input_accepted(self):
+        image = np.ones((2, 2, 3), dtype=np.float32)
+        assert to_rgb8(image).shape == (2, 2, 3)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ReproError):
+            to_rgb8(np.zeros((4, 4)))
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        rng = np.random.default_rng(3)
+        image = rng.random((8, 12, 4)).astype(np.float32)
+        path = tmp_path / "frame.ppm"
+        save_ppm(path, image)
+        loaded = load_ppm(path)
+        assert loaded.shape == (8, 12, 3)
+        # Quantization-limited round trip.
+        assert np.allclose(loaded, image[..., :3], atol=1.0 / 255.0)
+
+    def test_rendered_frame_round_trips(self, tmp_path):
+        from repro.config import GpuConfig
+        from repro.pipeline import CommandStream, Gpu
+        gpu = Gpu(GpuConfig.small())
+        stats = gpu.render_frame(
+            CommandStream(), clear_color=(0.25, 0.5, 0.75, 1.0)
+        )
+        path = tmp_path / "clear.ppm"
+        save_ppm(path, stats.frame_colors)
+        loaded = load_ppm(path)
+        assert np.allclose(loaded[0, 0], [0.25, 0.5, 0.75], atol=1 / 255)
+
+    def test_header_with_comment(self, tmp_path):
+        path = tmp_path / "c.ppm"
+        path.write_bytes(b"P6\n# a comment\n2 1\n255\n" + bytes(6))
+        loaded = load_ppm(path)
+        assert loaded.shape == (1, 2, 3)
+
+    def test_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"JUNK")
+        with pytest.raises(ReproError):
+            load_ppm(path)
+
+    def test_rejects_wrong_maxval(self, tmp_path):
+        path = tmp_path / "m.ppm"
+        path.write_bytes(b"P6\n1 1\n65535\n\x00\x00\x00")
+        with pytest.raises(ReproError):
+            load_ppm(path)

@@ -1,0 +1,60 @@
+"""Image-quality metrics and technique fidelity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.harness.quality import (
+    compare_runs,
+    mse,
+    psnr,
+    tile_errors,
+)
+
+
+class TestMetrics:
+    def test_identical_images(self):
+        image = np.random.default_rng(0).random((8, 8, 4)).astype(np.float32)
+        assert mse(image, image) == 0.0
+        assert psnr(image, image) == math.inf
+
+    def test_known_mse(self):
+        a = np.zeros((4, 4, 4))
+        b = np.full((4, 4, 4), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+        assert psnr(a, b) == pytest.approx(10 * math.log10(1 / 0.25))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((4, 4, 4)), np.zeros((8, 8, 4)))
+
+    def test_tile_errors_localize(self):
+        config = GpuConfig.small()
+        a = np.zeros((config.screen_height, config.screen_width, 4))
+        b = a.copy()
+        # Corrupt one pixel inside tile (tx=2, ty=1).
+        b[20, 36, 0] = 1.0
+        errors = tile_errors(config, a, b)
+        bad_tile = 1 * config.tiles_x + 2
+        assert errors[bad_tile] == pytest.approx(1.0)
+        assert errors.sum() == pytest.approx(1.0)   # only that tile
+
+
+class TestTechniqueFidelity:
+    @pytest.mark.parametrize("technique", ["re", "te", "memo"])
+    def test_all_techniques_lossless(self, technique):
+        report = compare_runs("ctr", technique, num_frames=5)
+        assert report.lossless, (
+            f"{technique} diverged: min PSNR {report.min_psnr_db:.1f} dB"
+        )
+        assert report.min_psnr_db == math.inf
+        assert report.worst_tile_error == 0.0
+
+    def test_report_fields(self):
+        report = compare_runs("ccs", "re", num_frames=4)
+        assert report.alias == "ccs"
+        assert report.technique == "re"
+        assert report.frames == 4
+        assert report.identical_frames == 4

@@ -1,0 +1,37 @@
+"""Full-report generation."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.harness.report import REPORT_ORDER, generate_report
+
+
+class TestGenerateReport:
+    def test_writes_all_sections(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        seen = []
+        results = generate_report(
+            path, config=GpuConfig.small(), num_frames=5,
+            progress=seen.append,
+        )
+        assert len(results) == len(REPORT_ORDER)
+        assert seen == list(REPORT_ORDER)
+        text = path.read_text()
+        for experiment_id in REPORT_ORDER:
+            assert f"## {experiment_id}" in text
+        # Charts are embedded for the stacked figures.
+        assert "re_raster" in text
+
+    def test_subset_selection(self, tmp_path):
+        path = tmp_path / "mini.md"
+        results = generate_report(
+            path, config=GpuConfig.small(), num_frames=4,
+            experiment_ids=("table1", "fig02"),
+        )
+        assert [r.experiment_id for r in results] == ["table1", "fig02"]
+        text = path.read_text()
+        assert "## fig14a" not in text
+
+    def test_report_order_covers_registry(self):
+        from repro.harness.experiments import EXPERIMENTS
+        assert set(EXPERIMENTS) <= set(REPORT_ORDER)

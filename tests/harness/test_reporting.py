@@ -1,0 +1,52 @@
+"""Reporting helpers: tables, averages, normalization."""
+
+import pytest
+
+from repro.harness.reporting import (
+    format_table,
+    geomean,
+    normalized,
+    with_average,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        table = format_table(
+            ["game", "value"],
+            [["ccs", 0.12345], ["verylongname", 2.0]],
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("game")
+        assert "0.123" in table
+        assert "2.000" in table
+        # All rows equally wide columns: the separator matches header.
+        assert len(lines[1]) >= len("verylongname")
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+    def test_custom_float_format(self):
+        table = format_table(["x"], [[0.123456]], float_format="{:.1f}")
+        assert "0.1" in table
+        assert "0.12" not in table
+
+    def test_mixed_types(self):
+        table = format_table(["k", "v"], [["n", 3], ["m", "text"]])
+        assert "3" in table and "text" in table
+
+
+class TestAggregates:
+    def test_with_average(self):
+        assert with_average([1.0, 2.0, 3.0]) == [1.0, 2.0, 3.0, 2.0]
+        assert with_average([]) == [0.0]
+
+    def test_normalized(self):
+        assert normalized([2.0, 3.0], [4.0, 6.0]) == [0.5, 0.5]
+        assert normalized([1.0], [0.0]) == [0.0]  # guarded division
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0, 4.0]) == pytest.approx(4.0)  # zeros skipped

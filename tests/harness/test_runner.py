@@ -1,0 +1,98 @@
+"""Experiment runner and tile classification."""
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.errors import ReproError
+from repro.harness import (
+    RunResult,
+    classify_run,
+    equal_tiles_fraction,
+    make_technique,
+    run_workload,
+)
+
+CONFIG = GpuConfig.small()
+
+
+@pytest.fixture(scope="module")
+def ccs_re():
+    return run_workload("ccs", "re", CONFIG, num_frames=8)
+
+
+@pytest.fixture(scope="module")
+def ccs_base():
+    return run_workload("ccs", "baseline", CONFIG, num_frames=8)
+
+
+class TestRunner:
+    def test_run_shape(self, ccs_re):
+        assert ccs_re.num_frames == 8
+        assert len(ccs_re.frames) == 8
+        assert ccs_re.tile_color_crcs.shape == (8, CONFIG.num_tiles)
+        assert ccs_re.tile_input_sigs.shape == (8, CONFIG.num_tiles)
+
+    def test_baseline_has_no_signatures(self, ccs_base):
+        assert ccs_base.tile_input_sigs is None
+        assert ccs_base.tiles_skipped == 0
+
+    def test_re_skips_and_is_faster(self, ccs_re, ccs_base):
+        assert ccs_re.tiles_skipped > 0
+        assert ccs_re.total_cycles < ccs_base.total_cycles
+        assert ccs_re.total_energy_nj < ccs_base.total_energy_nj
+
+    def test_outputs_identical_across_techniques(self, ccs_re, ccs_base):
+        # Per-tile color CRCs must match frame by frame: RE is lossless.
+        assert np.array_equal(ccs_re.tile_color_crcs, ccs_base.tile_color_crcs)
+        assert ccs_re.final_frame_crc == ccs_base.final_frame_crc
+
+    def test_aggregates_consistent(self, ccs_base):
+        assert ccs_base.total_cycles == pytest.approx(
+            ccs_base.geometry_cycles + ccs_base.raster_cycles
+        )
+        assert ccs_base.total_energy_nj == pytest.approx(
+            sum(f.energy.total_nj for f in ccs_base.frames)
+        )
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ReproError):
+            make_technique("magic", CONFIG)
+
+    def test_skipped_fraction_ignores_warmup(self, ccs_re):
+        fraction = ccs_re.skipped_fraction(warmup=2)
+        assert 0.0 < fraction <= 1.0
+
+
+class TestClassification:
+    def test_classes_partition_all_tiles(self, ccs_re):
+        classes = classify_run(ccs_re, distance=1)
+        total = (
+            classes.eq_colors_eq_inputs
+            + classes.eq_colors_diff_inputs
+            + classes.diff_colors_diff_inputs
+            + classes.diff_colors_eq_inputs
+        )
+        assert total == classes.total == 7 * CONFIG.num_tiles
+
+    def test_no_false_positives(self, ccs_re):
+        classes = classify_run(ccs_re, distance=1)
+        assert classes.diff_colors_eq_inputs == 0
+
+    def test_equal_tiles_fraction_matches_classes(self, ccs_re):
+        classes = classify_run(ccs_re, distance=1)
+        assert equal_tiles_fraction(ccs_re, 1) == pytest.approx(
+            classes.equal_colors_fraction
+        )
+
+    def test_classification_needs_signatures(self, ccs_base):
+        with pytest.raises(ReproError):
+            classify_run(ccs_base)
+
+    def test_static_game_mostly_equal(self, ccs_re):
+        assert equal_tiles_fraction(ccs_re, 1) > 0.5
+
+    def test_mst_mostly_different(self):
+        run = run_workload("mst", "re", CONFIG, num_frames=6)
+        assert equal_tiles_fraction(run, 1) < 0.3
+        assert run.tiles_skipped == 0

@@ -1,0 +1,75 @@
+"""Per-frame redundancy timelines and phase summaries."""
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.harness import run_workload
+from repro.harness.timeline import (
+    PhaseSummary,
+    equal_colors_timeline,
+    skip_timeline,
+    sparkline,
+    summarize_phases,
+)
+
+CONFIG = GpuConfig.small()
+
+
+class TestTimelines:
+    def test_static_game_timeline_saturates(self):
+        run = run_workload("cde", "re", CONFIG, num_frames=8)
+        timeline = skip_timeline(run)
+        assert timeline.shape == (8,)
+        assert timeline[0] == 0.0          # warm-up
+        # At the tiny test screen (24 tiles) the movers poison ~1/4 of
+        # all tiles, so saturation sits near 0.7 rather than >0.9.
+        assert timeline[-1] > 0.6
+
+    def test_mst_timeline_stays_at_zero(self):
+        run = run_workload("mst", "re", CONFIG, num_frames=6)
+        assert skip_timeline(run).max() == 0.0
+
+    def test_equal_colors_timeline_bounds(self):
+        run = run_workload("ctr", "re", CONFIG, num_frames=8)
+        timeline = equal_colors_timeline(run)
+        assert np.all(timeline >= 0.0) and np.all(timeline <= 1.0)
+        assert timeline[0] == 0.0          # no reference frame yet
+
+    def test_mixed_game_is_bimodal(self):
+        # csn alternates 12-frame runs and pauses.
+        run = run_workload("csn", "re", CONFIG, num_frames=30)
+        summary = summarize_phases(skip_timeline(run))
+        assert summary.is_bimodal
+        assert summary.transitions >= 1
+
+    def test_static_game_is_not_bimodal(self):
+        run = run_workload("cde", "re", CONFIG, num_frames=10)
+        summary = summarize_phases(skip_timeline(run), quiet_threshold=0.6)
+        assert summary.quiet_frames > 0
+        assert summary.busy_frames == 0
+
+
+class TestPhaseSummary:
+    def test_synthetic_phases(self):
+        timeline = np.array([0, 0, 1, 1, 1, 0.1, 0.1, 0.9, 0.9])
+        summary = summarize_phases(timeline, skip_warmup=2)
+        assert summary.quiet_frames == 5
+        assert summary.busy_frames == 2
+        assert summary.transitions == 2
+        assert summary.maximum == 1.0
+
+    def test_empty(self):
+        summary = summarize_phases(np.array([]), skip_warmup=0)
+        assert summary == PhaseSummary(0.0, 0.0, 0.0, 0, 0, 0)
+
+
+class TestSparkline:
+    def test_glyph_extremes(self):
+        line = sparkline(np.array([0.0, 1.0]))
+        assert line[0] == " "
+        assert line[-1] == "█"
+
+    def test_downsampling(self):
+        line = sparkline(np.linspace(0, 1, 100), width=10)
+        assert len(line) == 10

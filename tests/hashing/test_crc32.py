@@ -1,0 +1,86 @@
+"""Reference CRC32 implementations agree with each other and with zlib."""
+
+import zlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HashingError
+from repro.hashing import crc32_bits, crc32_bitwise, crc32_table, crc32_zip
+from repro.hashing.crc32 import bytes_of_crc
+
+
+def bits_of(data: bytes) -> str:
+    return "".join(f"{byte:08b}" for byte in data)
+
+
+class TestBitSerialGroundTruth:
+    def test_empty_message_is_zero(self):
+        assert crc32_bitwise(b"") == 0
+        assert crc32_table(b"") == 0
+        assert crc32_bits("") == 0
+
+    def test_single_one_bit(self):
+        # The remainder of the 1-bit message "1" is the polynomial 1.
+        assert crc32_bits("1") == 1
+
+    def test_single_byte(self):
+        assert crc32_bitwise(b"\x01") == 1
+        assert crc32_bitwise(b"\x80") == 0x80
+
+    def test_generator_reduces_to_zero(self):
+        # The generator polynomial itself (33 bits: x^32 + POLY) is a
+        # multiple of G, so its remainder must be zero.
+        bits = "1" + f"{0x04C11DB7:032b}"
+        assert crc32_bits(bits) == 0
+
+    def test_rejects_non_binary_bits(self):
+        with pytest.raises(HashingError):
+            crc32_bits("10x")
+
+    @given(st.binary(max_size=64))
+    def test_bitwise_equals_bit_serial(self, data):
+        assert crc32_bitwise(data) == crc32_bits(bits_of(data))
+
+
+class TestTableEqualsBitwise:
+    @given(st.binary(max_size=256))
+    def test_table_matches_bitwise(self, data):
+        assert crc32_table(data) == crc32_bitwise(data)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_init_chaining(self, a, b):
+        chained = crc32_table(b, init=crc32_table(a))
+        assert chained == crc32_table(a + b)
+
+    def test_known_distinctness(self):
+        # Adjacent single-bit flips produce different CRCs.
+        base = crc32_table(b"rendering elimination")
+        for i in range(8):
+            flipped = bytes([ord("r") ^ (1 << i)]) + b"endering elimination"
+            assert crc32_table(flipped) != base
+
+
+class TestZipConvention:
+    @given(st.binary(max_size=256))
+    def test_matches_zlib(self, data):
+        assert crc32_zip(data) == zlib.crc32(data)
+
+    def test_conventions_differ_but_both_detect_changes(self):
+        a, b = b"tile-0-inputs", b"tile-1-inputs"
+        assert crc32_zip(a) != crc32_zip(b)
+        assert crc32_table(a) != crc32_table(b)
+        # The two conventions are different functions.
+        assert crc32_zip(a) != crc32_table(a)
+
+
+class TestBytesOfCrc:
+    def test_round_trip(self):
+        assert bytes_of_crc(0x12345678) == b"\x12\x34\x56\x78"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(HashingError):
+            bytes_of_crc(1 << 32)
+        with pytest.raises(HashingError):
+            bytes_of_crc(-1)

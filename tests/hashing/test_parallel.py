@@ -1,0 +1,151 @@
+"""The LUT-based hardware CRC units are bit-exact and count activity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HashingError
+from repro.hashing import (
+    AccumulateCrcUnit,
+    ComputeCrcUnit,
+    ShiftSubunit,
+    SignSubunit,
+    combine,
+    crc32_table,
+    lut_for_shift,
+    lut_storage_bytes,
+    reference_crc,
+    shift_crc,
+)
+
+
+class TestLuts:
+    def test_lut_entries_match_reference(self):
+        lut = lut_for_shift(3)
+        for value in (0, 1, 0x5A, 0xFF):
+            assert lut[value] == crc32_table(bytes([value]) + b"\x00" * 3)
+
+    def test_zero_byte_maps_to_zero(self):
+        for shift in range(12):
+            assert lut_for_shift(shift)[0] == 0
+
+    def test_storage_cost_matches_paper(self):
+        # Eight 1-KB LUTs for the 8-byte Sign subunit + four for Shift.
+        assert lut_storage_bytes(8) == 12 * 1024
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(HashingError):
+            lut_for_shift(-1)
+
+
+class TestSignSubunit:
+    @given(st.binary(min_size=8, max_size=8))
+    def test_matches_reference_crc(self, block):
+        unit = SignSubunit(8)
+        assert unit.crc(block) == crc32_table(block)
+
+    def test_wrong_block_length_rejected(self):
+        unit = SignSubunit(8)
+        with pytest.raises(HashingError):
+            unit.crc(b"short")
+
+    def test_counts_one_cycle_and_eight_lut_reads_per_block(self):
+        unit = SignSubunit(8)
+        unit.crc(b"8 bytes!")
+        unit.crc(b"8 more!!")
+        assert unit.stats.invocations == 2
+        assert unit.stats.cycles == 2
+        assert unit.stats.lut_reads == 16
+
+
+class TestShiftSubunit:
+    @given(st.integers(0, 2**32 - 1))
+    def test_matches_algebraic_shift(self, crc):
+        unit = ShiftSubunit(8)
+        assert unit.shift(crc) == shift_crc(crc, 64)
+
+    def test_four_lut_reads_per_shift(self):
+        unit = ShiftSubunit(8)
+        unit.shift(0xCAFEBABE)
+        assert unit.stats.lut_reads == 4
+        assert unit.stats.cycles == 1
+
+
+class TestComputeCrcUnit:
+    @given(st.binary(max_size=200))
+    def test_matches_padded_reference(self, message):
+        unit = ComputeCrcUnit(8)
+        crc, shift_amount = unit.compute(message)
+        assert crc == reference_crc(message, 8)
+        expected_blocks = (len(message) + 7) // 8
+        assert shift_amount == expected_blocks
+
+    def test_cycles_equal_subblock_count(self):
+        unit = ComputeCrcUnit(8)
+        unit.compute(b"\xAA" * 48)  # one primitive's attributes: 6 blocks
+        assert unit.stats.cycles == 6
+
+    def test_average_primitive_latency_from_paper(self):
+        # Paper Section III-G: 3 attributes x 48 bytes = 144 bytes = 18
+        # subblocks -> 18 cycles for the average primitive.
+        unit = ComputeCrcUnit(8)
+        _, shift_amount = unit.compute(b"\x11" * (3 * 48))
+        assert shift_amount == 18
+        assert unit.stats.cycles == 18
+
+    def test_average_constants_latency_from_paper(self):
+        # 16 four-byte constant values = 64 bytes = 8 subblocks -> 8 cycles.
+        unit = ComputeCrcUnit(8)
+        _, shift_amount = unit.compute(b"\x22" * 64)
+        assert shift_amount == 8
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_compose_with_accumulate(self, first, second):
+        """The full Algorithm 1 flow over hardware units equals the
+        reference CRC of the padded concatenation."""
+        compute = ComputeCrcUnit(8)
+        accumulate = AccumulateCrcUnit(8)
+        crc1, _ = compute.compute(first)
+        crc2, shift2 = compute.compute(second)
+        tile_crc = crc2 ^ accumulate.accumulate(crc1, shift2)
+        padded = compute.pad(first) + compute.pad(second)
+        assert tile_crc == crc32_table(padded)
+
+
+class TestAccumulateCrcUnit:
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 24))
+    def test_matches_algebraic_shift(self, crc, blocks):
+        unit = AccumulateCrcUnit(8)
+        assert unit.accumulate(crc, blocks) == shift_crc(crc, blocks * 64)
+
+    def test_cycles_equal_shift_amount(self):
+        unit = AccumulateCrcUnit(8)
+        unit.accumulate(0x1234, 18)
+        assert unit.stats.cycles == 18
+
+    def test_negative_shift_rejected(self):
+        unit = AccumulateCrcUnit(8)
+        with pytest.raises(HashingError):
+            unit.accumulate(1, -2)
+
+
+class TestAlternateBlockSizes:
+    """The Section III-G tradeoff: the units stay correct for other
+    subblock sizes (used by the ablation benchmark)."""
+
+    @pytest.mark.parametrize("block_bytes", [4, 8, 16, 32])
+    def test_compute_correct_for_block_size(self, block_bytes):
+        unit = ComputeCrcUnit(block_bytes)
+        message = bytes(range(97)) * 2
+        crc, _ = unit.compute(message)
+        assert crc == crc32_table(unit.pad(message))
+
+    @pytest.mark.parametrize("block_bytes", [4, 16])
+    def test_combine_across_block_sizes(self, block_bytes):
+        compute = ComputeCrcUnit(block_bytes)
+        accumulate = AccumulateCrcUnit(block_bytes)
+        a, b = b"\x03" * block_bytes, b"\x04" * block_bytes
+        crc_a, _ = compute.compute(a)
+        crc_b, shift_b = compute.compute(b)
+        combined = crc_b ^ accumulate.accumulate(crc_a, shift_b)
+        assert combined == combine(crc_a, crc_b, len(b) * 8)

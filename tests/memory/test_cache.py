@@ -1,0 +1,100 @@
+"""Set-associative cache model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+from repro.memory import Cache, line_addresses
+
+
+def small_cache(ways=2, size=1024, line=64):
+    return Cache(CacheConfig("test", size, line_bytes=line, ways=ways))
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = small_cache()
+        sets = cache.num_sets
+        cache.access(0)
+        cache.access(1)  # different set
+        assert cache.access(0) is True
+        assert cache.access(1) is True
+
+    def test_lru_eviction_within_set(self):
+        cache = small_cache(ways=2)
+        sets = cache.num_sets
+        # Three lines mapping to set 0.
+        a, b, c = 0, sets, 2 * sets
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)      # refresh a; b becomes LRU
+        cache.access(c)      # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = small_cache(ways=1)
+        sets = cache.num_sets
+        cache.access(0, write=True)
+        cache.access(sets)  # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_flush_counts_dirty_lines(self):
+        cache = small_cache()
+        cache.access(0, write=True)
+        cache.access(1, write=False)
+        assert cache.flush() == 1
+        assert cache.contents_size() == 0
+
+    def test_access_many_returns_miss_count(self):
+        cache = small_cache()
+        misses = cache.access_many([0, 1, 0, 2, 1])
+        assert misses == 3
+
+    @given(st.lists(st.integers(0, 500), max_size=200))
+    def test_capacity_bound_holds(self, addrs):
+        cache = small_cache(ways=2, size=512)
+        cache.access_many(addrs)
+        assert cache.contents_size() <= cache.config.ways * cache.num_sets
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=100))
+    def test_second_pass_over_small_set_hits(self, addrs):
+        # Any working set smaller than capacity fully hits on re-access
+        # when it fits in every set it maps to.
+        unique = sorted(set(addrs))[:4]
+        cache = Cache(CacheConfig("big", 64 * 1024, ways=8))
+        cache.access_many(unique)
+        hits_before = cache.stats.hits
+        cache.access_many(unique)
+        assert cache.stats.hits == hits_before + len(unique)
+
+
+class TestCacheConfigValidation:
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1000, line_bytes=64, ways=3)
+
+
+class TestLineAddresses:
+    def test_collapses_runs_and_duplicates(self):
+        addrs = np.array([0, 4, 8, 64, 65, 0, 128])
+        lines = line_addresses(addrs, 64)
+        assert lines.tolist() == [0, 1, 2]
+
+    def test_preserves_first_occurrence_order(self):
+        addrs = np.array([640, 0, 320, 640])
+        lines = line_addresses(addrs, 64)
+        assert lines.tolist() == [10, 0, 5]
+
+    def test_empty_stream(self):
+        assert line_addresses(np.array([]), 64).size == 0

@@ -1,0 +1,104 @@
+"""DRAM model and traffic counters."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.memory import Dram, TrafficCounters, RASTER_STREAMS
+
+
+class TestTrafficCounters:
+    def test_streams_accumulate_independently(self):
+        t = TrafficCounters()
+        t.add("texels", 100)
+        t.add("colors", 50)
+        t.add("texels", 10)
+        assert t.bytes("texels") == 110
+        assert t.bytes("colors") == 50
+        assert t.total_bytes == 160
+
+    def test_raster_bytes_sums_fig15b_streams(self):
+        t = TrafficCounters()
+        for stream in RASTER_STREAMS:
+            t.add(stream, 10)
+        t.add("vertices", 99)
+        assert t.raster_bytes == 30
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficCounters().add("texels", -1)
+
+    def test_merge(self):
+        a, b = TrafficCounters(), TrafficCounters()
+        a.add("colors", 5)
+        b.add("colors", 7)
+        a.merge(b)
+        assert a.bytes("colors") == 12
+
+
+class TestDram:
+    def test_read_accumulates_traffic_and_stats(self):
+        dram = Dram(GpuConfig.small())
+        stall = dram.read(256, "texels")
+        assert stall > 0
+        assert dram.traffic.bytes("texels") == 256
+        assert dram.stats.read_bytes == 256
+        assert dram.stats.transactions == 1
+
+    def test_transfer_cycles_respect_bandwidth(self):
+        config = GpuConfig.small()
+        dram = Dram(config)
+        dram.read(400, "colors")
+        assert dram.stats.transfer_cycles == 100  # 400 B / 4 B-per-cycle
+
+    def test_zero_byte_transaction_is_free(self):
+        dram = Dram(GpuConfig.small())
+        assert dram.write(0, "colors") == 0
+        assert dram.stats.transactions == 0
+
+    def test_negative_size_rejected(self):
+        dram = Dram(GpuConfig.small())
+        with pytest.raises(ValueError):
+            dram.read(-5, "texels")
+
+    def test_latency_rises_under_pressure(self):
+        dram = Dram(GpuConfig.small())
+        first = dram.read(64, "texels")
+        for _ in range(100):
+            dram.read(64, "texels")
+        later = dram.read(64, "texels")
+        assert later >= first
+
+    def test_shared_traffic_counter(self):
+        traffic = TrafficCounters()
+        dram = Dram(GpuConfig.small(), traffic)
+        dram.write(64, "colors")
+        assert traffic.bytes("colors") == 64
+
+
+class TestLatencyHiding:
+    def test_baseline_queue_hides_ninety_percent(self):
+        from repro.memory.dram import latency_overlap
+        assert latency_overlap(GpuConfig.mali450()) == pytest.approx(0.9)
+
+    def test_shallower_queues_hide_less(self):
+        import dataclasses
+        from repro.config import QueueConfig
+        from repro.memory.dram import latency_overlap
+        shallow = dataclasses.replace(
+            GpuConfig.small(), fragment_queue=QueueConfig("fragment", 4, 233)
+        )
+        deep = dataclasses.replace(
+            GpuConfig.small(), fragment_queue=QueueConfig("fragment", 256, 233)
+        )
+        assert latency_overlap(shallow) < latency_overlap(GpuConfig.small())
+        assert latency_overlap(deep) > latency_overlap(GpuConfig.small())
+
+    def test_shallow_queue_increases_stalls(self):
+        import dataclasses
+        from repro.config import QueueConfig
+        shallow_cfg = dataclasses.replace(
+            GpuConfig.small(), fragment_queue=QueueConfig("fragment", 4, 233)
+        )
+        deep = Dram(GpuConfig.small())
+        shallow = Dram(shallow_cfg)
+        assert shallow.read(64, "texels") > deep.read(64, "texels")

@@ -1,0 +1,119 @@
+"""Command stream construction and the command processor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError, ShaderError
+from repro.geometry import mat4, quad_buffer
+from repro.pipeline import CommandStream
+from repro.pipeline.command_processor import CommandProcessor
+from repro.pipeline.commands import UploadShader, UploadTexture
+from repro.shaders import FLAT_COLOR, TEXTURED, pack_constants
+from repro.textures import flat_texture
+
+
+def minimal_stream(shader=FLAT_COLOR, tint=(1, 0, 0, 1)):
+    stream = CommandStream()
+    stream.set_shader(shader)
+    stream.set_constants(pack_constants(mat4.ortho2d(), tint=tint))
+    stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0))
+    return stream
+
+
+class TestCommandStream:
+    def test_counts_drawcalls(self):
+        stream = minimal_stream()
+        stream.draw(quad_buffer(0.0, 0.0, 0.5, 0.5))
+        assert stream.num_drawcalls == 2
+
+    def test_rejects_non_commands(self):
+        with pytest.raises(PipelineError):
+            CommandStream().append("draw please")
+
+    def test_has_uploads_flags_upload_commands(self):
+        stream = minimal_stream()
+        assert stream.has_uploads is False
+        stream.append(UploadTexture(0, flat_texture((1, 1, 1, 1), 1)))
+        assert stream.has_uploads is True
+
+    def test_set_constants_validates_size(self):
+        with pytest.raises(ShaderError):
+            CommandStream().set_constants(np.zeros(7))
+
+
+class TestCommandProcessor:
+    def test_snapshots_state_per_drawcall(self):
+        stream = CommandStream()
+        stream.set_shader(FLAT_COLOR)
+        stream.set_constants(pack_constants(mat4.ortho2d(), tint=(1, 0, 0, 1)))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0))
+        stream.set_constants(pack_constants(mat4.ortho2d(), tint=(0, 1, 0, 1)))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0))
+        invocations = list(CommandProcessor().process(stream))
+        assert len(invocations) == 2
+        assert invocations[0].state.constants[16] == 1.0
+        assert invocations[1].state.constants[17] == 1.0
+        # Snapshots are independent copies.
+        assert invocations[0].state.constants[17] == 0.0
+
+    def test_constants_version_increments(self):
+        stream = CommandStream()
+        stream.set_shader(FLAT_COLOR)
+        stream.set_constants(pack_constants(mat4.ortho2d()))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0))
+        stream.set_constants(pack_constants(mat4.ortho2d(), tint=(0, 0, 1, 1)))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0))
+        versions = [
+            inv.state.constants_version
+            for inv in CommandProcessor().process(stream)
+        ]
+        assert versions[0] == versions[1]
+        assert versions[2] == versions[1] + 1
+
+    def test_drawcall_ids_are_sequential(self):
+        stream = minimal_stream()
+        stream.draw(quad_buffer(0.0, 0.0, 0.5, 0.5))
+        ids = [inv.state.drawcall_id for inv in CommandProcessor().process(stream)]
+        assert ids == [0, 1]
+
+    def test_draw_without_shader_fails(self):
+        stream = CommandStream()
+        stream.set_constants(pack_constants(mat4.ortho2d()))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0))
+        with pytest.raises(PipelineError):
+            list(CommandProcessor().process(stream))
+
+    def test_draw_without_constants_fails(self):
+        stream = CommandStream()
+        stream.set_shader(FLAT_COLOR)
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0))
+        with pytest.raises(PipelineError):
+            list(CommandProcessor().process(stream))
+
+    def test_texturing_shader_requires_bound_texture(self):
+        stream = CommandStream()
+        stream.set_shader(TEXTURED)
+        stream.set_constants(pack_constants(mat4.ortho2d()))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0))
+        with pytest.raises(PipelineError):
+            list(CommandProcessor().process(stream))
+
+    def test_upload_counts_tracked(self):
+        stream = minimal_stream()
+        stream.append(UploadShader(TEXTURED))
+        processor = CommandProcessor()
+        list(processor.process(stream))
+        assert processor.stats.shader_uploads == 1
+        assert processor.frame_had_upload is True
+
+    def test_raster_flags_propagate(self):
+        stream = CommandStream()
+        stream.set_shader(FLAT_COLOR)
+        stream.set_constants(pack_constants(mat4.ortho2d()))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0),
+                    depth_test=False, depth_write=False, cull_backfaces=True)
+        (inv,) = CommandProcessor().process(stream)
+        assert inv.state.depth_test is False
+        assert inv.state.depth_write is False
+        assert inv.state.cull_backfaces is True

@@ -1,0 +1,158 @@
+"""End-to-end frame rendering through the full TBR pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.geometry import mat4, quad_buffer
+from repro.pipeline import CommandStream, Gpu
+from repro.shaders import FLAT_COLOR, TEXTURED, ALPHA_TEXTURED, pack_constants
+from repro.textures import checker_texture, flat_texture
+
+PROJ = mat4.ortho2d()
+
+
+def scene_stream(bg_tint=(0.1, 0.2, 0.3, 1.0), quad_z=0.5,
+                 quad_rect=(0.25, 0.25, 0.75, 0.75)):
+    tex = checker_texture((1, 0, 0, 1), (0, 0, 1, 1), texture_id=1)
+    stream = CommandStream()
+    stream.set_shader(FLAT_COLOR)
+    stream.set_constants(pack_constants(PROJ, tint=bg_tint))
+    stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.9))
+    stream.set_shader(TEXTURED)
+    stream.set_texture(0, tex)
+    stream.set_constants(pack_constants(PROJ))
+    stream.draw(quad_buffer(*quad_rect, z=quad_z))
+    return stream
+
+
+@pytest.fixture()
+def gpu():
+    return Gpu(GpuConfig.small())
+
+
+class TestFunctionalRendering:
+    def test_background_and_overlay_colors(self, gpu):
+        stats = gpu.render_frame(scene_stream())
+        img = stats.frame_colors
+        assert np.allclose(img[0, 0], [0.1, 0.2, 0.3, 1.0], atol=1e-6)
+        center = img[32, 48]
+        assert np.allclose(center, [1, 0, 0, 1]) or np.allclose(center, [0, 0, 1, 1])
+
+    def test_every_pixel_shaded_once_for_opaque_background(self, gpu):
+        stats = gpu.render_frame(scene_stream(quad_z=0.95))
+        # Overlay is *behind* the background: early-Z culls all of it.
+        config = gpu.config
+        assert stats.fragments_shaded == config.screen_width * config.screen_height
+        assert stats.depth.fragments_culled > 0
+
+    def test_depth_order_independent_of_draw_order(self):
+        # Drawing the near quad first must not change the image.
+        gpu_a, gpu_b = Gpu(GpuConfig.small()), Gpu(GpuConfig.small())
+        tex = checker_texture((1, 0, 0, 1), (0, 0, 1, 1), texture_id=1)
+
+        front_first = CommandStream()
+        front_first.set_shader(TEXTURED)
+        front_first.set_texture(0, tex)
+        front_first.set_constants(pack_constants(PROJ))
+        front_first.draw(quad_buffer(0.25, 0.25, 0.75, 0.75, z=0.5))
+        front_first.set_shader(FLAT_COLOR)
+        front_first.set_constants(pack_constants(PROJ, tint=(0.1, 0.2, 0.3, 1)))
+        front_first.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.9))
+
+        a = gpu_a.render_frame(front_first).frame_colors
+        b = gpu_b.render_frame(scene_stream()).frame_colors
+        assert np.allclose(a, b)
+
+    def test_alpha_blending(self, gpu):
+        overlay = flat_texture((1.0, 0.0, 0.0, 0.5), texture_id=2)
+        stream = CommandStream()
+        stream.set_shader(FLAT_COLOR)
+        stream.set_constants(pack_constants(PROJ, tint=(0, 0, 1, 1)))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.9))
+        stream.set_shader(ALPHA_TEXTURED)
+        stream.set_texture(0, overlay)
+        stream.set_constants(pack_constants(PROJ))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.5))
+        img = gpu.render_frame(stream).frame_colors
+        assert np.allclose(img[5, 5], [0.5, 0.0, 0.5, 1.0], atol=1e-5)
+
+    def test_identical_frames_render_identically(self, gpu):
+        a = gpu.render_frame(scene_stream()).frame_colors
+        b = gpu.render_frame(scene_stream()).frame_colors
+        assert np.array_equal(a, b)
+
+
+class TestDoubleBuffering:
+    def test_front_buffer_lags_one_frame(self, gpu):
+        gpu.render_frame(scene_stream(bg_tint=(1, 0, 0, 1), quad_z=0.95))
+        red_frame = gpu.framebuffer.front.copy()
+        assert np.allclose(red_frame[0, 0], [1, 0, 0, 1])
+        gpu.render_frame(scene_stream(bg_tint=(0, 1, 0, 1), quad_z=0.95))
+        assert np.allclose(gpu.framebuffer.front[0, 0], [0, 1, 0, 1])
+        # The back buffer now holds the *red* frame again (two-deep ring).
+        assert np.allclose(gpu.framebuffer.back[0, 0], [1, 0, 0, 1])
+
+
+class TestActivityCounters:
+    def test_tile_accounting_sums(self, gpu):
+        stats = gpu.render_frame(scene_stream())
+        assert stats.raster.tiles_scheduled == gpu.config.num_tiles
+        assert stats.raster.tiles_rendered == gpu.config.num_tiles
+        assert stats.raster.tiles_skipped == 0
+
+    def test_flush_traffic_matches_screen(self, gpu):
+        stats = gpu.render_frame(scene_stream())
+        screen_bytes = gpu.config.screen_width * gpu.config.screen_height * 4
+        assert stats.traffic["colors"] == screen_bytes
+
+    def test_texel_traffic_only_with_textures(self, gpu):
+        stream = CommandStream()
+        stream.set_shader(FLAT_COLOR)
+        stream.set_constants(pack_constants(PROJ, tint=(1, 1, 1, 1)))
+        stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.5))
+        stats = gpu.render_frame(stream)
+        assert stats.traffic["texels"] == 0
+        textured = gpu.render_frame(scene_stream())
+        assert textured.traffic["texels"] > 0
+
+    def test_vertex_and_fragment_instruction_counts(self, gpu):
+        stats = gpu.render_frame(scene_stream())
+        assert stats.vertex.vertices_shaded == 8
+        expected = 4 * FLAT_COLOR.vertex_instructions + 4 * TEXTURED.vertex_instructions
+        assert stats.vertex.shader_instructions == expected
+        assert stats.fragment.shader_instructions > 0
+
+    def test_parameter_buffer_roundtrip_bytes(self, gpu):
+        stats = gpu.render_frame(scene_stream())
+        assert stats.tiling.parameter_bytes_written > 0
+        assert stats.raster.pb_bytes_fetched > 0
+        # Fetch >= write because shared primitives are re-fetched per tile.
+        assert stats.raster.pb_bytes_fetched >= stats.tiling.parameter_bytes_written
+
+    def test_frame_index_advances(self, gpu):
+        a = gpu.render_frame(scene_stream())
+        b = gpu.render_frame(scene_stream())
+        assert (a.frame_index, b.frame_index) == (0, 1)
+
+
+class TestEmptyFrames:
+    def test_empty_command_stream_renders_clear_color(self, gpu):
+        from repro.pipeline import CommandStream
+        stats = gpu.render_frame(CommandStream(), clear_color=(0.2, 0.3, 0.4, 1.0))
+        assert stats.drawcalls == 0
+        assert stats.fragments_shaded == 0
+        assert np.allclose(stats.frame_colors[0, 0], [0.2, 0.3, 0.4, 1.0])
+        # Every tile still flushes its cleared contents.
+        assert stats.raster.tiles_rendered == gpu.config.num_tiles
+
+    def test_re_skips_repeated_empty_frames(self):
+        from repro.config import GpuConfig
+        from repro.core import RenderingElimination
+        from repro.pipeline import CommandStream
+        config = GpuConfig.small()
+        re_gpu = Gpu(config, RenderingElimination(config))
+        for _ in range(3):
+            stats = re_gpu.render_frame(CommandStream())
+        # Empty tiles have the EMPTY signature every frame: all skip.
+        assert stats.raster.tiles_skipped == config.num_tiles

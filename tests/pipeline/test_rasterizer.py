@@ -1,0 +1,136 @@
+"""Rasterization: coverage, fill rule, interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import DrawState, Primitive, mat4
+from repro.pipeline.rasterizer import rasterize
+from repro.shaders import FLAT_COLOR, pack_constants
+
+STATE = DrawState(FLAT_COLOR, pack_constants(mat4.identity()))
+
+
+def prim(points, depth=(0.5, 0.5, 0.5), varyings=None):
+    return Primitive(
+        screen=np.asarray(points, dtype=np.float32),
+        depth=np.asarray(depth, dtype=np.float32),
+        clip=np.zeros((3, 4), dtype=np.float32),
+        varyings=varyings or {},
+        state=STATE,
+    )
+
+
+def coverage(prims, size=16):
+    grid = np.zeros((size, size), dtype=int)
+    for p in prims:
+        batch = rasterize(p, (0, 0, size, size))
+        for x, y in zip(batch.xs, batch.ys):
+            grid[y, x] += 1
+    return grid
+
+
+class TestCoverage:
+    def test_full_square_quad_covers_exactly_once(self):
+        t1 = prim([[0, 0], [16, 0], [16, 16]])
+        t2 = prim([[0, 0], [16, 16], [0, 16]])
+        grid = coverage([t1, t2])
+        assert np.all(grid == 1)
+
+    def test_reversed_winding_also_exact(self):
+        t1 = prim([[0, 0], [16, 16], [16, 0]])
+        t2 = prim([[0, 0], [0, 16], [16, 16]])
+        assert np.all(coverage([t1, t2]) == 1)
+
+    def test_adjacent_quads_share_edge_without_double_cover(self):
+        quads = [
+            prim([[0, 0], [8, 0], [8, 16]]),
+            prim([[0, 0], [8, 16], [0, 16]]),
+            prim([[8, 0], [16, 0], [16, 16]]),
+            prim([[8, 0], [16, 16], [8, 16]]),
+        ]
+        assert np.all(coverage(quads) == 1)
+
+    def test_offscreen_triangle_is_empty(self):
+        batch = rasterize(prim([[100, 100], [110, 100], [100, 110]]),
+                          (0, 0, 16, 16))
+        assert batch.count == 0
+
+    def test_degenerate_triangle_is_empty(self):
+        batch = rasterize(prim([[0, 0], [8, 8], [16, 16]]), (0, 0, 16, 16))
+        assert batch.count == 0
+
+    def test_sub_pixel_triangle_between_centers_is_empty(self):
+        batch = rasterize(prim([[0.6, 0.6], [0.9, 0.6], [0.6, 0.9]]),
+                          (0, 0, 16, 16))
+        assert batch.count == 0
+
+    def test_rect_clips_coverage(self):
+        t = prim([[0, 0], [16, 0], [0, 16]])
+        batch = rasterize(t, (0, 0, 4, 4))
+        assert batch.count == 16
+        assert batch.xs.max() < 4 and batch.ys.max() < 4
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 16, allow_nan=False),
+                      st.floats(0, 16, allow_nan=False)),
+            min_size=3, max_size=3, unique=True,
+        )
+    )
+    def test_coverage_within_bbox_and_count_consistent(self, points):
+        p = prim(points)
+        batch = rasterize(p, (0, 0, 16, 16))
+        if batch.count:
+            x0, y0, x1, y1 = p.bounds()
+            assert batch.xs.min() >= max(0, x0)
+            assert batch.ys.max() <= min(16, y1)
+            # Barycentric weights sum to 1.
+            assert np.allclose(batch.bary.sum(axis=1), 1.0, atol=1e-4)
+
+
+class TestInterpolation:
+    def test_depth_interpolates_linearly(self):
+        t = prim([[0, 0], [16, 0], [0, 16]], depth=(0.0, 1.0, 1.0))
+        batch = rasterize(t, (0, 0, 16, 16))
+        near_origin = (batch.xs == 0) & (batch.ys == 0)
+        # Pixel (15, 0) lies exactly on the diagonal edge and is excluded
+        # by the fill rule; (14, 0) is the farthest interior pixel.
+        far_corner = (batch.xs == 14) & (batch.ys == 0)
+        assert batch.depth[near_origin][0] < 0.1
+        assert batch.depth[far_corner][0] > 0.9
+
+    def test_varying_interpolation_matches_bary(self):
+        values = np.array([[0, 0], [1, 0], [0, 1]], dtype=np.float32)
+        t = prim([[0, 0], [16, 0], [0, 16]], varyings={"uv": values})
+        batch = rasterize(t, (0, 0, 16, 16))
+        interp = batch.interpolate(values)
+        assert interp.shape == (batch.count, 2)
+        # uv.x should equal x/16 at pixel centers (affine map).
+        assert np.allclose(interp[:, 0], (batch.xs + 0.5) / 16.0, atol=1e-5)
+
+    def test_orientation_swap_keeps_vertex_binding(self):
+        # Same triangle with both windings must interpolate identically.
+        values = np.array([[5], [7], [9]], dtype=np.float32)
+        fwd = prim([[0, 0], [16, 0], [0, 16]], varyings={"v": values})
+        rev = Primitive(
+            screen=fwd.screen[[0, 2, 1]].copy(),
+            depth=fwd.depth[[0, 2, 1]].copy(),
+            clip=fwd.clip,
+            varyings={"v": values[[0, 2, 1]].copy()},
+            state=STATE,
+        )
+        bf = rasterize(fwd, (0, 0, 16, 16))
+        br = rasterize(rev, (0, 0, 16, 16))
+        # Same pixels covered (fill rule differences allowed only on
+        # shared edges; interior must match).
+        key_f = {(x, y): v for x, y, v in
+                 zip(bf.xs, bf.ys, bf.interpolate(values)[:, 0])}
+        key_r = {(x, y): v for x, y, v in
+                 zip(br.xs, br.ys, br.interpolate(values[[0, 2, 1]])[:, 0])}
+        common = set(key_f) & set(key_r)
+        assert len(common) > 50
+        for pixel in common:
+            assert key_f[pixel] == pytest.approx(key_r[pixel], abs=1e-4)

@@ -1,0 +1,97 @@
+"""Raster pipeline driver: tile scheduling, PB fetch, flush accounting."""
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.geometry import DrawState, Primitive, mat4
+from repro.memory.cache import Cache
+from repro.memory.dram import Dram
+from repro.pipeline.fragment_stage import FragmentStage
+from repro.pipeline.framebuffer import FrameBuffer
+from repro.pipeline.tile_scheduler import RasterPipeline
+from repro.pipeline.tiling import ParameterBuffer
+from repro.shaders import FLAT_COLOR, pack_constants
+
+CONFIG = GpuConfig.small()
+
+
+def make_raster():
+    dram = Dram(CONFIG)
+    tile_cache = Cache(CONFIG.tile_cache)
+    l2 = Cache(CONFIG.l2_cache)
+    fragment_stage = FragmentStage(Cache(CONFIG.texture_cache), l2, dram)
+    fb = FrameBuffer(CONFIG)
+    return RasterPipeline(CONFIG, tile_cache, l2, dram, fb, fragment_stage), dram
+
+
+def full_tile_prim(tint=(1, 0, 0, 1), z=0.5, pb_offset=0):
+    state = DrawState(FLAT_COLOR, pack_constants(mat4.ortho2d(), tint=tint))
+    prim = Primitive(
+        screen=np.array([[0, 0], [40, 0], [0, 40]], dtype=np.float32),
+        depth=np.full(3, z, np.float32),
+        clip=np.zeros((3, 4), np.float32),
+        varyings={},
+        state=state,
+        pb_offset=pb_offset,
+    )
+    return prim
+
+
+class TestRenderTile:
+    def test_clear_color_when_no_primitives(self):
+        raster, _ = make_raster()
+        pb = ParameterBuffer(CONFIG.num_tiles)
+        colors = raster.render_tile(0, pb, clear_color=(0.3, 0.1, 0.2, 1.0))
+        assert np.allclose(colors[0, 0], [0.3, 0.1, 0.2, 1.0])
+        assert raster.stats.tiles_rendered == 1
+        assert raster.stats.fragments_rasterized == 0
+
+    def test_primitive_covers_tile(self):
+        raster, _ = make_raster()
+        pb = ParameterBuffer(CONFIG.num_tiles)
+        pb.insert(full_tile_prim(), [0])
+        colors = raster.render_tile(0, pb, clear_color=(0, 0, 0, 1))
+        assert np.allclose(colors[0, 0], [1, 0, 0, 1])
+        assert raster.stats.prim_tile_pairs == 1
+        assert raster.stats.fragments_rasterized > 100
+
+    def test_pb_fetch_counts_bytes_and_traffic(self):
+        raster, dram = make_raster()
+        pb = ParameterBuffer(CONFIG.num_tiles)
+        prim = full_tile_prim()
+        pb.insert(prim, [0])
+        raster.render_tile(0, pb, clear_color=(0, 0, 0, 1))
+        assert raster.stats.pb_bytes_fetched > prim.parameter_buffer_bytes() - 1
+        assert dram.traffic.bytes("primitives") > 0
+
+    def test_shared_primitive_refetch_hits_tile_cache(self):
+        raster, dram = make_raster()
+        pb = ParameterBuffer(CONFIG.num_tiles)
+        prim = full_tile_prim()
+        pb.insert(prim, [0, 1])
+        raster.render_tile(0, pb, clear_color=(0, 0, 0, 1))
+        first = dram.traffic.bytes("primitives")
+        raster.render_tile(1, pb, clear_color=(0, 0, 0, 1))
+        # Second tile re-reads the same PB lines: cache hits, no DRAM.
+        assert dram.traffic.bytes("primitives") == first
+
+    def test_flush_writes_framebuffer_and_traffic(self):
+        raster, dram = make_raster()
+        pb = ParameterBuffer(CONFIG.num_tiles)
+        pb.insert(full_tile_prim(tint=(0, 1, 0, 1)), [0])
+        colors = raster.render_tile(0, pb, clear_color=(0, 0, 0, 1))
+        raster.flush_tile(0, colors)
+        assert raster.stats.flush_bytes == 16 * 16 * 4
+        assert dram.traffic.bytes("colors") == 16 * 16 * 4
+        assert np.allclose(raster.framebuffer.back[0, 0], [0, 1, 0, 1])
+
+    def test_depth_between_primitives_in_one_tile(self):
+        raster, _ = make_raster()
+        pb = ParameterBuffer(CONFIG.num_tiles)
+        pb.insert(full_tile_prim(tint=(1, 0, 0, 1), z=0.2, pb_offset=0), [0])
+        pb.insert(full_tile_prim(tint=(0, 0, 1, 1), z=0.8, pb_offset=256), [0])
+        colors = raster.render_tile(0, pb, clear_color=(0, 0, 0, 1))
+        # The nearer (red) primitive wins even though drawn first.
+        assert np.allclose(colors[0, 0], [1, 0, 0, 1])
+        assert raster.depth_stage.stats.fragments_culled > 0

@@ -1,0 +1,102 @@
+"""Per-event energy model."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.core import RenderingElimination
+from repro.geometry import mat4, quad_buffer
+from repro.pipeline import CommandStream, Gpu
+from repro.power import EnergyConstants, EnergyModel, technique_event_counts
+from repro.shaders import TEXTURED, pack_constants
+from repro.techniques import TransactionElimination
+from repro.textures import checker_texture
+from repro.timing import TimingModel
+
+PROJ = mat4.ortho2d()
+
+
+def scene():
+    tex = checker_texture((1, 0, 0, 1), (0, 0, 1, 1), texture_id=1)
+    stream = CommandStream()
+    stream.set_shader(TEXTURED)
+    stream.set_texture(0, tex)
+    stream.set_constants(pack_constants(PROJ))
+    stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.5))
+    return stream
+
+
+def frame_energy(gpu, technique_events=None):
+    config = gpu.config
+    stats = gpu.render_frame(scene())
+    cycles = TimingModel(config).frame_cycles(stats)
+    return EnergyModel(config).frame_energy(
+        stats, cycles, technique_events or {}
+    )
+
+
+class TestEnergyModel:
+    def test_positive_and_split(self):
+        energy = frame_energy(Gpu(GpuConfig.small()))
+        assert energy.gpu_nj > 0
+        assert energy.dram_nj > 0
+        assert energy.total_nj == pytest.approx(energy.gpu_nj + energy.dram_nj)
+
+    def test_dram_energy_tracks_traffic(self):
+        config = GpuConfig.small()
+        gpu = Gpu(config)
+        full = frame_energy(gpu)
+        # RE run with everything skipped: almost no DRAM dynamic energy.
+        re_gpu = Gpu(config, RenderingElimination(config))
+        for _ in range(3):
+            stats = re_gpu.render_frame(scene())
+        cycles = TimingModel(config).frame_cycles(stats)
+        skipped = EnergyModel(config).frame_energy(stats, cycles, {})
+        assert skipped.dram_dynamic_nj < 0.2 * full.dram_dynamic_nj
+
+    def test_technique_energy_counted(self):
+        config = GpuConfig.small()
+        re_gpu = Gpu(config, RenderingElimination(config))
+        re_gpu.render_frame(scene())
+        events = technique_event_counts(re_gpu.technique)
+        assert events["lut_reads"] > 0
+        assert events["signature_buffer_accesses"] > 0
+        stats = re_gpu.render_frame(scene())
+        cycles = TimingModel(config).frame_cycles(stats)
+        energy = EnergyModel(config).frame_energy(stats, cycles, events)
+        assert energy.technique_nj > 0
+        # RE's own energy is a small overhead (paper: <0.5%).
+        assert energy.technique_nj < 0.05 * energy.total_nj
+
+    def test_te_events_extracted(self):
+        config = GpuConfig.small()
+        te_gpu = Gpu(config, TransactionElimination(config))
+        te_gpu.render_frame(scene())
+        events = technique_event_counts(te_gpu.technique)
+        assert events["te_bytes_hashed"] > 0
+
+    def test_baseline_has_no_technique_events(self):
+        gpu = Gpu(GpuConfig.small())
+        gpu.render_frame(scene())
+        assert technique_event_counts(gpu.technique) == {}
+
+    def test_constants_are_tunable(self):
+        config = GpuConfig.small()
+        gpu = Gpu(config)
+        stats = gpu.render_frame(scene())
+        cycles = TimingModel(config).frame_cycles(stats)
+        cheap = EnergyModel(config, EnergyConstants(dram_byte_nj=0.0))
+        expensive = EnergyModel(config, EnergyConstants(dram_byte_nj=1.0))
+        assert (
+            cheap.frame_energy(stats, cycles).dram_dynamic_nj
+            < expensive.frame_energy(stats, cycles).dram_dynamic_nj
+        )
+
+    def test_breakdown_add(self):
+        from repro.power import EnergyBreakdown
+        a = EnergyBreakdown(gpu_dynamic_nj=1, dram_dynamic_nj=2,
+                            parts={"x": 1.0})
+        b = EnergyBreakdown(gpu_dynamic_nj=3, dram_dynamic_nj=4,
+                            parts={"x": 2.0, "y": 5.0})
+        a.add(b)
+        assert a.gpu_dynamic_nj == 4
+        assert a.parts == {"x": 3.0, "y": 5.0}

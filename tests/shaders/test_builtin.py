@@ -1,0 +1,141 @@
+"""Built-in shader library behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import mat4
+from repro.geometry.vec import homogenize
+from repro.shaders import (
+    ALPHA_TEXTURED,
+    FLAT_COLOR,
+    LIT_TEXTURED,
+    PROGRAMS,
+    SCROLLING,
+    TEXTURED,
+    pack_constants,
+)
+from repro.textures import flat_texture, gradient_texture, sample_nearest
+
+
+def make_fetch(texture):
+    def fetch(unit, uv):
+        assert unit == 0
+        return sample_nearest(texture, uv).colors
+    return fetch
+
+
+class TestLibrary:
+    def test_registry_complete(self):
+        assert set(PROGRAMS) == {
+            "flat_color", "textured", "scrolling", "lit_textured",
+            "alpha_textured",
+        }
+
+    def test_program_ids_unique(self):
+        ids = [p.program_id for p in PROGRAMS.values()]
+        assert len(set(ids)) == len(ids)
+
+    def test_costs_ordered_by_complexity(self):
+        assert (FLAT_COLOR.fragment_instructions
+                < TEXTURED.fragment_instructions
+                <= SCROLLING.fragment_instructions
+                < LIT_TEXTURED.fragment_instructions)
+
+    def test_only_alpha_program_blends(self):
+        assert ALPHA_TEXTURED.uses_alpha_blend
+        assert not TEXTURED.uses_alpha_blend
+
+
+class TestFlatColor:
+    def test_outputs_tint_everywhere(self):
+        constants = pack_constants(mat4.ortho2d(), tint=(0.3, 0.6, 0.9, 1.0))
+        colors = FLAT_COLOR.run_fragment(
+            {"_screen": np.zeros((7, 2), np.float32)}, constants, fetch=None
+        )
+        assert colors.shape == (7, 4)
+        assert np.allclose(colors, [0.3, 0.6, 0.9, 1.0])
+
+    def test_vertex_transform_applies_mvp(self):
+        constants = pack_constants(mat4.ortho2d())
+        positions = homogenize([[0.5, 0.5, 0.25]])
+        clip, varyings = FLAT_COLOR.run_vertex(positions, {}, constants)
+        assert np.allclose(clip[0, :2], [0.0, 0.0], atol=1e-6)  # center
+        assert varyings == {}
+
+
+class TestTextured:
+    def test_samples_and_tints(self):
+        texture = flat_texture((0.5, 1.0, 0.25, 1.0), texture_id=1)
+        constants = pack_constants(mat4.ortho2d(), tint=(2.0, 1.0, 0.0, 1.0))
+        varyings = {
+            "uv": np.array([[0.5, 0.5]], np.float32),
+            "_screen": np.zeros((1, 2), np.float32),
+        }
+        colors = TEXTURED.run_fragment(varyings, constants, make_fetch(texture))
+        assert np.allclose(colors[0], [1.0, 1.0, 0.0, 1.0])
+
+    def test_vertex_passes_uv(self):
+        constants = pack_constants(mat4.ortho2d())
+        uv = np.array([[0.1, 0.9]], np.float32)
+        _, varyings = TEXTURED.run_vertex(
+            homogenize([[0, 0, 0]]), {"uv": uv}, constants
+        )
+        assert np.allclose(varyings["uv"], uv)
+
+
+class TestScrolling:
+    def test_uv_offset_from_params(self):
+        texture = gradient_texture((0, 0, 0, 1), (1, 1, 1, 1),
+                                   texture_id=2, size=64)
+        varyings = {
+            "uv": np.array([[0.0, 0.1]], np.float32),
+            "_screen": np.zeros((1, 2), np.float32),
+        }
+        still = SCROLLING.run_fragment(
+            varyings, pack_constants(mat4.ortho2d()), make_fetch(texture)
+        )
+        shifted = SCROLLING.run_fragment(
+            varyings,
+            pack_constants(mat4.ortho2d(), params=(0.0, 0.7, 0, 0)),
+            make_fetch(texture),
+        )
+        # The vertical gradient brightens with v: shifting uv changes output.
+        assert shifted[0, 0] > still[0, 0]
+
+
+class TestLitTextured:
+    def run_with_normal(self, normal, light=(0, 0, 1, 0)):
+        texture = flat_texture((1, 1, 1, 1), texture_id=3)
+        constants = pack_constants(mat4.ortho2d(), params=light)
+        varyings = {
+            "uv": np.array([[0.5, 0.5]], np.float32),
+            "normal": np.array([normal], np.float32),
+            "_screen": np.zeros((1, 2), np.float32),
+        }
+        return LIT_TEXTURED.run_fragment(
+            varyings, constants, make_fetch(texture)
+        )
+
+    def test_facing_light_is_bright(self):
+        colors = self.run_with_normal([0, 0, 1])
+        assert colors[0, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_away_from_light_clamps_to_ambient(self):
+        colors = self.run_with_normal([0, 0, -1])
+        assert colors[0, 0] == pytest.approx(0.2, abs=1e-6)
+
+    def test_alpha_untouched_by_lighting(self):
+        colors = self.run_with_normal([0, 0, -1])
+        assert colors[0, 3] == pytest.approx(1.0)
+
+    def test_vertex_passes_normals(self):
+        constants = pack_constants(mat4.ortho2d())
+        _, varyings = LIT_TEXTURED.run_vertex(
+            homogenize([[0, 0, 0]]),
+            {
+                "uv": np.zeros((1, 2), np.float32),
+                "normal": np.array([[0, 0, 1]], np.float32),
+            },
+            constants,
+        )
+        assert "normal" in varyings

@@ -1,0 +1,93 @@
+"""ShaderProgram contract and the constants-block layout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShaderError
+from repro.geometry import mat4
+from repro.shaders import (
+    CONSTANTS_FLOATS,
+    ShaderProgram,
+    mvp_from_constants,
+    pack_constants,
+    params_from_constants,
+    tint_from_constants,
+    validate_constants,
+)
+
+
+class TestConstantsLayout:
+    def test_pack_and_unpack_round_trip(self):
+        mvp = mat4.translate(1, 2, 3)
+        block = pack_constants(mvp, tint=(0.1, 0.2, 0.3, 0.4),
+                               params=(5, 6, 7, 8))
+        assert block.shape == (CONSTANTS_FLOATS,)
+        assert np.allclose(mvp_from_constants(block), mvp)
+        assert np.allclose(tint_from_constants(block), [0.1, 0.2, 0.3, 0.4])
+        assert np.allclose(params_from_constants(block), [5, 6, 7, 8])
+
+    def test_block_is_96_bytes(self):
+        # 12 eight-byte CRC subblocks: the Signature Unit's average
+        # constants-signing latency derives from this.
+        block = pack_constants(mat4.identity())
+        assert block.nbytes == 96
+
+    def test_validate_rejects_wrong_size(self):
+        with pytest.raises(ShaderError):
+            validate_constants(np.zeros(10))
+
+    def test_validate_flattens_and_casts(self):
+        block = validate_constants(np.zeros((6, 4), dtype=np.float64))
+        assert block.dtype == np.float32
+        assert block.shape == (CONSTANTS_FLOATS,)
+
+
+class TestShaderProgramContract:
+    def make_program(self, vertex_fn=None, fragment_fn=None):
+        def default_vs(positions, attributes, constants):
+            return positions.copy(), {}
+
+        def default_fs(varyings, constants, fetch):
+            count = varyings["_screen"].shape[0]
+            return np.zeros((count, 4), dtype=np.float32)
+
+        return ShaderProgram(
+            name="test", program_id=42,
+            vertex_fn=vertex_fn or default_vs,
+            fragment_fn=fragment_fn or default_fs,
+            vertex_instructions=1, fragment_instructions=1,
+        )
+
+    def test_vertex_shape_enforced(self):
+        def bad_vs(positions, attributes, constants):
+            return positions[:, :2], {}
+
+        program = self.make_program(vertex_fn=bad_vs)
+        with pytest.raises(ShaderError):
+            program.run_vertex(
+                np.zeros((3, 4), np.float32), {}, pack_constants(mat4.identity())
+            )
+
+    def test_fragment_shape_enforced(self):
+        def bad_fs(varyings, constants, fetch):
+            return np.zeros((4, 3), dtype=np.float32)  # not RGBA
+
+        program = self.make_program(fragment_fn=bad_fs)
+        with pytest.raises(ShaderError):
+            program.run_fragment(
+                {"_screen": np.zeros((4, 2), np.float32)},
+                pack_constants(mat4.identity()),
+                fetch=None,
+            )
+
+    def test_valid_program_passes_through(self):
+        program = self.make_program()
+        clip, varyings = program.run_vertex(
+            np.ones((2, 4), np.float32), {}, pack_constants(mat4.identity())
+        )
+        assert clip.shape == (2, 4)
+        colors = program.run_fragment(
+            {"_screen": np.zeros((5, 2), np.float32)},
+            pack_constants(mat4.identity()), fetch=None,
+        )
+        assert colors.shape == (5, 4)

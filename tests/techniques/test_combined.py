@@ -1,0 +1,70 @@
+"""RE + TE combined technique."""
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.harness.runner import run_workload
+from repro.pipeline import Gpu
+from repro.techniques import CombinedElimination
+from repro.techniques.base import RASTER_STAGES
+from repro.workloads import build_scene
+
+CONFIG = GpuConfig.small()
+
+
+def run_game(alias, technique, frames=8):
+    return run_workload(alias, technique, CONFIG, num_frames=frames)
+
+
+class TestCombinedCorrectness:
+    @pytest.mark.parametrize("alias", ["ctr", "hop", "abi"])
+    def test_output_identical_to_baseline(self, alias):
+        base = run_game(alias, "baseline")
+        combined = run_game(alias, "re+te")
+        assert np.array_equal(
+            base.tile_color_crcs, combined.tile_color_crcs
+        )
+        assert base.final_frame_crc == combined.final_frame_crc
+
+    def test_stages_bypassed_is_full_pipeline(self):
+        assert CombinedElimination.stages_bypassed() == RASTER_STAGES
+
+
+class TestCombinedDominance:
+    def test_skips_match_plain_re(self):
+        re = run_game("ctr", "re")
+        combined = run_game("ctr", "re+te")
+        assert combined.tiles_skipped == re.tiles_skipped
+
+    def test_flush_traffic_at_most_te(self):
+        te = run_game("hop", "te")
+        combined = run_game("hop", "re+te")
+        assert combined.traffic_bytes("colors") <= te.traffic_bytes("colors")
+
+    def test_combined_energy_not_worse_than_re(self):
+        # hop has a large black-on-black population: TE's backstop
+        # should recover flush energy RE alone cannot.
+        re = run_game("hop", "re", frames=10)
+        combined = run_game("hop", "re+te", frames=10)
+        assert combined.traffic_bytes("colors") < re.traffic_bytes("colors")
+        assert combined.total_energy_nj <= re.total_energy_nj * 1.01
+
+    def test_te_bank_carried_forward_for_skipped_tiles(self):
+        """After RE starts skipping a fully static scene, TE's backstop
+        must keep suppressing flushes if skipping ever pauses."""
+        config = GpuConfig.small()
+        technique = CombinedElimination(config)
+        gpu = Gpu(config, technique)
+        scene = build_scene("cde")
+        for stream in scene.frames(6):
+            stats = gpu.render_frame(stream, clear_color=scene.clear_color)
+        # Force a full render by disabling RE for one frame.
+        technique.re.signature_buffer.invalidate_all()
+        for index, stream in enumerate(scene.frames(3, start=6)):
+            stats = gpu.render_frame(stream, clear_color=scene.clear_color)
+            if index == 0:
+                # RE cannot skip (history invalidated) but TE still
+                # suppresses most flushes thanks to the carried bank.
+                assert stats.raster.tiles_skipped < config.num_tiles
+                assert stats.raster.flushes_suppressed > 0

@@ -1,0 +1,54 @@
+"""Fig. 3: which Raster Pipeline stages each technique bypasses.
+
+The paper's central structural claim: Transaction Elimination skips
+only the Tile Flush, Fragment Memoization skips only Fragment
+Processing, Rendering Elimination skips the *whole* Raster Pipeline.
+"""
+
+from repro.core import RenderingElimination
+from repro.techniques import (
+    FragmentMemoization,
+    Technique,
+    TransactionElimination,
+)
+from repro.techniques.base import RASTER_STAGES
+
+
+class TestFig3StageCoverage:
+    def test_raster_stages_complete_and_ordered(self):
+        assert RASTER_STAGES == (
+            "tile_scheduler",
+            "rasterizer",
+            "early_depth",
+            "fragment_processing",
+            "blend",
+            "tile_flush",
+        )
+
+    def test_baseline_bypasses_nothing(self):
+        assert Technique.stages_bypassed() == ()
+
+    def test_te_bypasses_only_the_flush(self):
+        assert TransactionElimination.stages_bypassed() == ("tile_flush",)
+
+    def test_memoization_bypasses_only_fragment_processing(self):
+        assert FragmentMemoization.stages_bypassed() == (
+            "fragment_processing",
+        )
+
+    def test_re_bypasses_every_stage(self):
+        assert RenderingElimination.stages_bypassed() == RASTER_STAGES
+
+    def test_coverage_strictly_increases(self):
+        te = set(TransactionElimination.stages_bypassed())
+        memo = set(FragmentMemoization.stages_bypassed())
+        re = set(RenderingElimination.stages_bypassed())
+        assert te < re
+        assert memo < re
+        assert te.isdisjoint(memo)   # prior techniques skip different stages
+
+    def test_every_bypassed_stage_is_a_real_stage(self):
+        for technique in (TransactionElimination, FragmentMemoization,
+                          RenderingElimination):
+            for stage in technique.stages_bypassed():
+                assert stage in RASTER_STAGES

@@ -1,0 +1,87 @@
+"""Transaction Elimination end-to-end."""
+
+import numpy as np
+
+from repro.config import GpuConfig
+from repro.geometry import mat4, quad_buffer
+from repro.pipeline import CommandStream, Gpu
+from repro.shaders import FLAT_COLOR, pack_constants
+from repro.techniques import TransactionElimination, quantize_tile
+
+PROJ = mat4.ortho2d()
+
+
+def frame_stream(bg=(0.1, 0.2, 0.3, 1.0), mover_x=None):
+    stream = CommandStream()
+    stream.set_shader(FLAT_COLOR)
+    stream.set_constants(pack_constants(PROJ, tint=bg))
+    stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.9))
+    if mover_x is not None:
+        stream.set_constants(pack_constants(PROJ, tint=(1, 1, 0, 1)))
+        stream.draw(quad_buffer(mover_x, 0.4, mover_x + 0.2, 0.6, z=0.5))
+    return stream
+
+
+def te_gpu():
+    config = GpuConfig.small()
+    return Gpu(config, TransactionElimination(config))
+
+
+class TestFlushSuppression:
+    def test_static_scene_suppresses_all_flushes_after_warmup(self):
+        gpu = te_gpu()
+        frames = [gpu.render_frame(frame_stream()) for _ in range(4)]
+        assert frames[0].raster.flushes_suppressed == 0
+        assert frames[1].raster.flushes_suppressed == 0
+        assert frames[2].raster.flushes_suppressed == gpu.config.num_tiles
+        assert frames[2].traffic["colors"] == 0
+
+    def test_rendering_still_happens_on_suppressed_tiles(self):
+        gpu = te_gpu()
+        for _ in range(2):
+            gpu.render_frame(frame_stream())
+        stats = gpu.render_frame(frame_stream())
+        pixels = gpu.config.screen_width * gpu.config.screen_height
+        assert stats.fragments_shaded == pixels     # TE never skips shading
+        assert stats.raster.tiles_skipped == 0
+
+    def test_moving_object_flushes_only_changed_tiles(self):
+        gpu = te_gpu()
+        xs = [0.1, 0.1, 0.15, 0.2]
+        for x in xs:
+            stats = gpu.render_frame(frame_stream(mover_x=x))
+        suppressed = stats.raster.flushes_suppressed
+        assert 0 < suppressed < gpu.config.num_tiles
+
+    def test_output_identical_to_baseline(self):
+        config = GpuConfig.small()
+        base = Gpu(config)
+        te = Gpu(config, TransactionElimination(config))
+        for i in range(5):
+            a = base.render_frame(frame_stream(mover_x=0.1 + 0.03 * i))
+            b = te.render_frame(frame_stream(mover_x=0.1 + 0.03 * i))
+            assert np.array_equal(a.frame_colors, b.frame_colors)
+
+    def test_no_false_positives_observed(self):
+        gpu = te_gpu()
+        for i in range(6):
+            gpu.render_frame(frame_stream(mover_x=0.1 + 0.02 * i))
+        assert gpu.technique.stats.false_positives == 0
+
+    def test_energy_accounting_counts_hashed_bytes(self):
+        gpu = te_gpu()
+        gpu.render_frame(frame_stream())
+        stats = gpu.technique.stats
+        pixels = gpu.config.screen_width * gpu.config.screen_height
+        assert stats.bytes_hashed == pixels * 4
+        assert stats.tiles_hashed == gpu.config.num_tiles
+
+    def test_stages_bypassed_is_only_flush(self):
+        assert TransactionElimination.stages_bypassed() == ("tile_flush",)
+
+
+class TestQuantization:
+    def test_quantize_is_deterministic_and_clamps(self):
+        tile = np.array([[[1.5, -0.2, 0.5, 1.0]]], dtype=np.float32)
+        raw = quantize_tile(tile)
+        assert raw == bytes([255, 0, 128, 255])

@@ -1,0 +1,60 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_games_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Candy Crush Saga" in out
+        assert "fig14a" in out
+        assert "baseline, re, te, memo" in out
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        assert main(["--frames", "4", "run", "cde", "--technique", "re"]) == 0
+        out = capsys.readouterr().out
+        assert "cde under re" in out
+        assert "tiles skipped" in out
+        assert "DRAM traffic" in out
+
+    def test_default_technique_is_re(self, capsys):
+        assert main(["--frames", "3", "run", "ccs"]) == 0
+        assert "ccs under re" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "400 MHz" in out
+
+    def test_figure_experiment(self, capsys):
+        assert main(["--frames", "5", "experiment", "fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "Equal-color tiles" in out
+        assert "AVG" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "REPORT.md"
+        assert main(["--frames", "5", "report", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "# Rendering Elimination" in text
+        assert "## fig14a" in text
+        assert "## hash_quality" in text
+        stdout = capsys.readouterr().out
+        assert "wrote 12 sections" in stdout

@@ -1,0 +1,105 @@
+"""GpuConfig: Table I parameters and derived geometry."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import CacheConfig, GpuConfig
+from repro.errors import ConfigError
+
+
+class TestTable1Defaults:
+    def test_mali450_matches_paper(self):
+        config = GpuConfig.mali450()
+        assert config.clock_mhz == 400
+        assert config.technology_nm == 32
+        assert (config.screen_width, config.screen_height) == (1196, 768)
+        assert config.tile_size == 16
+        assert config.dram_latency_min_cycles == 50
+        assert config.dram_latency_max_cycles == 100
+        assert config.dram_bytes_per_cycle == 4
+        assert config.vertex_cache.size_bytes == 4 * 1024
+        assert config.texture_cache.size_bytes == 8 * 1024
+        assert config.num_texture_caches == 4
+        assert config.tile_cache.size_bytes == 128 * 1024
+        assert config.tile_cache.ways == 8
+        assert config.l2_cache.size_bytes == 256 * 1024
+        assert config.l2_cache.latency_cycles == 2
+        assert config.num_vertex_processors == 1
+        assert config.num_fragment_processors == 4
+        assert config.triangles_per_cycle == 1
+        assert config.raster_attributes_per_cycle == 16
+
+    def test_queue_shapes_match_paper(self):
+        config = GpuConfig.mali450()
+        assert (config.vertex_queues.entries, config.vertex_queues.entry_bytes) == (16, 136)
+        assert (config.triangle_queue.entries, config.triangle_queue.entry_bytes) == (16, 388)
+        assert (config.fragment_queue.entries, config.fragment_queue.entry_bytes) == (64, 233)
+
+
+class TestDerivedGeometry:
+    def test_paper_tile_grid(self):
+        config = GpuConfig.mali450()
+        assert config.tiles_x == 75    # ceil(1196/16)
+        assert config.tiles_y == 48    # 768/16
+        assert config.num_tiles == 3600
+        assert config.pixels_per_tile == 256
+
+    def test_signature_buffer_spans_two_frames(self):
+        config = GpuConfig.mali450()
+        assert config.signature_buffer_bytes == 2 * 3600 * 4
+
+    def test_crc_lut_storage(self):
+        config = GpuConfig.mali450()
+        # 8 Sign LUTs + 4 Shift LUTs at 1 KB each.
+        assert config.crc_lut_bytes == 12 * 1024
+
+    def test_tile_index_round_trip(self):
+        config = GpuConfig.small()
+        assert config.tile_index(0, 0) == 0
+        assert config.tile_index(2, 1) == config.tiles_x + 2
+
+    def test_tile_index_bounds_checked(self):
+        config = GpuConfig.small()
+        with pytest.raises(ConfigError):
+            config.tile_index(config.tiles_x, 0)
+        with pytest.raises(ConfigError):
+            config.tile_index(0, -1)
+
+    def test_partial_edge_tiles_counted(self):
+        config = dataclasses.replace(
+            GpuConfig.small(), screen_width=100, screen_height=50
+        )
+        assert config.tiles_x == 7   # 100/16 -> 6.25
+        assert config.tiles_y == 4   # 50/16 -> 3.125
+
+
+class TestValidation:
+    def test_rejects_bad_tile_size(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(tile_size=0)
+
+    def test_rejects_bad_screen(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(screen_width=0)
+
+    def test_rejects_bad_crc_block(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(crc_block_bytes=6)
+
+    def test_rejects_inverted_latency(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(dram_latency_min_cycles=200, dram_latency_max_cycles=100)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(num_fragment_processors=0)
+
+    def test_cache_config_validates_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size_bytes=100, line_bytes=64, ways=2)
+
+    def test_replace_supports_ablations(self):
+        config = dataclasses.replace(GpuConfig.small(), tile_size=32)
+        assert config.tile_size == 32
+        assert config.num_tiles < GpuConfig.small().num_tiles

@@ -1,0 +1,88 @@
+"""Textures and samplers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.textures import (
+    TEXTURE_ADDRESS_STRIDE,
+    checker_texture,
+    flat_texture,
+    gradient_texture,
+    noise_texture,
+    sample_bilinear,
+    sample_nearest,
+)
+
+
+class TestTextureConstruction:
+    def test_flat_texture_is_uniform(self):
+        tex = flat_texture((0.2, 0.4, 0.6, 1.0), texture_id=1)
+        assert np.allclose(tex.data, [0.2, 0.4, 0.6, 1.0])
+
+    def test_checker_has_both_colors(self):
+        tex = checker_texture((1, 1, 1, 1), (0, 0, 0, 1), texture_id=2)
+        assert tex.data[..., 0].max() == 1.0
+        assert tex.data[..., 0].min() == 0.0
+
+    def test_gradient_interpolates(self):
+        tex = gradient_texture((0, 0, 0, 1), (1, 1, 1, 1), texture_id=3, size=32)
+        assert tex.data[0, 0, 0] < tex.data[-1, 0, 0]
+
+    def test_noise_is_deterministic(self):
+        a = noise_texture(texture_id=4, seed=7)
+        b = noise_texture(texture_id=4, seed=7)
+        assert np.array_equal(a.data, b.data)
+        c = noise_texture(texture_id=4, seed=8)
+        assert not np.array_equal(a.data, c.data)
+
+    def test_rejects_bad_shape(self):
+        from repro.textures import Texture
+        with pytest.raises(PipelineError):
+            Texture(np.zeros((4, 4, 3)), texture_id=0)
+
+    def test_address_spaces_disjoint(self):
+        a = flat_texture((1, 1, 1, 1), texture_id=0)
+        b = flat_texture((1, 1, 1, 1), texture_id=1)
+        assert b.base_address - a.base_address == TEXTURE_ADDRESS_STRIDE
+        assert a.base_address + a.nbytes <= b.base_address
+
+
+class TestSampling:
+    def test_nearest_picks_exact_texel(self):
+        tex = checker_texture((1, 0, 0, 1), (0, 0, 1, 1), texture_id=1,
+                              size=8, cells=8)
+        # Center of texel (0,0): a "color_a" cell.
+        result = sample_nearest(tex, np.array([[0.0625, 0.0625]]))
+        assert np.allclose(result.colors[0], [1, 0, 0, 1])
+
+    def test_nearest_wraps(self):
+        tex = flat_texture((0.5, 0.5, 0.5, 1.0), texture_id=1)
+        result = sample_nearest(tex, np.array([[1.5, -0.25]]))
+        assert np.allclose(result.colors[0], [0.5, 0.5, 0.5, 1.0])
+
+    def test_nearest_one_address_per_sample(self):
+        tex = flat_texture((1, 1, 1, 1), texture_id=1)
+        uv = np.random.default_rng(0).random((10, 2)).astype(np.float32)
+        result = sample_nearest(tex, uv)
+        assert result.addresses.shape == (10,)
+        assert np.all(result.addresses >= tex.base_address)
+
+    def test_bilinear_four_addresses_per_sample(self):
+        tex = flat_texture((1, 1, 1, 1), texture_id=1)
+        result = sample_bilinear(tex, np.array([[0.5, 0.5], [0.2, 0.8]]))
+        assert result.addresses.shape == (8,)
+
+    def test_bilinear_interpolates_between_texels(self):
+        data = np.zeros((1, 2, 4), dtype=np.float32)
+        data[0, 1] = 1.0
+        from repro.textures import Texture
+        tex = Texture(data, texture_id=1)
+        # Halfway between the two texel centers.
+        result = sample_bilinear(tex, np.array([[0.5, 0.5]]))
+        assert result.colors[0, 0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_bad_uv_shape_rejected(self):
+        tex = flat_texture((1, 1, 1, 1), texture_id=1)
+        with pytest.raises(PipelineError):
+            sample_nearest(tex, np.zeros((5, 3)))

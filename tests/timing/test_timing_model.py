@@ -1,0 +1,91 @@
+"""Activity-based cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.core import RenderingElimination
+from repro.geometry import mat4, quad_buffer
+from repro.pipeline import CommandStream, Gpu
+from repro.shaders import FLAT_COLOR, TEXTURED, pack_constants
+from repro.textures import checker_texture
+from repro.timing import CycleBreakdown, TimingModel
+
+PROJ = mat4.ortho2d()
+
+
+def scene():
+    tex = checker_texture((1, 0, 0, 1), (0, 0, 1, 1), texture_id=1)
+    stream = CommandStream()
+    stream.set_shader(TEXTURED)
+    stream.set_texture(0, tex)
+    stream.set_constants(pack_constants(PROJ))
+    stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=0.5))
+    return stream
+
+
+class TestCycleModel:
+    def test_positive_cycles_for_real_frame(self):
+        config = GpuConfig.small()
+        gpu = Gpu(config)
+        stats = gpu.render_frame(scene())
+        cycles = TimingModel(config).frame_cycles(stats)
+        assert cycles.geometry_cycles > 0
+        assert cycles.raster_cycles > 0
+        assert cycles.total_cycles == pytest.approx(
+            cycles.geometry_cycles + cycles.raster_cycles
+        )
+
+    def test_raster_dominates_for_full_screen_shading(self):
+        # A full-screen textured quad: thousands of fragments vs 4
+        # vertices -- the raster pipeline must dominate, as in the paper.
+        config = GpuConfig.small()
+        gpu = Gpu(config)
+        stats = gpu.render_frame(scene())
+        cycles = TimingModel(config).frame_cycles(stats)
+        assert cycles.raster_cycles > 5 * cycles.geometry_cycles
+
+    def test_re_skipping_reduces_raster_cycles_only(self):
+        config = GpuConfig.small()
+        base_gpu = Gpu(config)
+        re_gpu = Gpu(config, RenderingElimination(config))
+        model = TimingModel(config)
+        base = re = None
+        for _ in range(4):
+            base = model.frame_cycles(base_gpu.render_frame(scene()))
+            re = model.frame_cycles(re_gpu.render_frame(scene()))
+        assert re.raster_cycles < 0.05 * base.raster_cycles
+        # Geometry is unchanged modulo the tiny signature overhead.
+        assert re.geometry_cycles == pytest.approx(
+            base.geometry_cycles, rel=0.05
+        )
+
+    def test_fragment_shading_is_a_major_raster_part(self):
+        config = GpuConfig.small()
+        gpu = Gpu(config)
+        stats = gpu.render_frame(scene())
+        cycles = TimingModel(config).frame_cycles(stats)
+        shading = cycles.raster_parts["fragment_shading"]
+        assert shading == max(
+            v for k, v in cycles.raster_parts.items()
+            if k not in ("memory_stalls", "technique_overhead")
+        )
+
+    def test_run_cycles_aggregates(self):
+        config = GpuConfig.small()
+        gpu = Gpu(config)
+        model = TimingModel(config)
+        frames = [gpu.render_frame(scene()) for _ in range(3)]
+        total = model.run_cycles(frames)
+        per_frame_sum = sum(
+            model.frame_cycles(f).total_cycles for f in frames
+        )
+        assert total.total_cycles == pytest.approx(per_frame_sum)
+        # Identical frames cost (nearly) identical cycles: caches start
+        # each frame cold by design, so only DRAM-pressure state drifts.
+        assert model.frame_cycles(frames[2]).total_cycles == pytest.approx(
+            model.frame_cycles(frames[1]).total_cycles, rel=0.02
+        )
+
+    def test_empty_breakdown_is_zero(self):
+        assert CycleBreakdown().total_cycles == 0.0

@@ -1,0 +1,46 @@
+"""Whole-suite determinism: every benchmark renders bit-identically
+across independent processes-worth of state (fresh scenes, fresh GPUs).
+
+Rendering Elimination's evaluation depends on byte-exact repeatability:
+signatures compare raw bytes, so any nondeterminism in textures, scene
+animation or rasterization would silently destroy redundancy.  This
+net catches regressions anywhere in that chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.pipeline import Gpu
+from repro.workloads import FIGURE_ORDER, build_scene
+
+CONFIG = GpuConfig.small()
+FRAMES = 3
+
+
+def render_crcs(alias):
+    import zlib
+    scene = build_scene(alias)
+    gpu = Gpu(CONFIG)
+    crcs = []
+    for stream in scene.frames(FRAMES):
+        stats = gpu.render_frame(stream, clear_color=scene.clear_color)
+        crcs.append(zlib.crc32(stats.frame_colors.tobytes()))
+    return crcs
+
+
+@pytest.mark.parametrize("alias", FIGURE_ORDER)
+def test_game_renders_deterministically(alias):
+    assert render_crcs(alias) == render_crcs(alias)
+
+
+@pytest.mark.parametrize("alias", ["desktop", "antutu"])
+def test_pseudo_workloads_deterministic(alias):
+    assert render_crcs(alias) == render_crcs(alias)
+
+
+def test_games_render_distinct_content():
+    finals = {alias: render_crcs(alias)[-1] for alias in FIGURE_ORDER}
+    assert len(set(finals.values())) == len(finals), (
+        "two games rendered identical frames — scene setup collision"
+    )

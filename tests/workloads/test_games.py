@@ -1,0 +1,106 @@
+"""The Table II benchmark suite: structure and behaviour classes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.pipeline.commands import SetConstants
+from repro.workloads import (
+    BENCHMARKS,
+    FIGURE_ORDER,
+    all_game_aliases,
+    benchmark_info,
+    build_scene,
+)
+
+
+class TestTable2:
+    def test_ten_benchmarks(self):
+        assert len(BENCHMARKS) == 10
+
+    def test_aliases_unique_and_ordered(self):
+        aliases = {b.alias for b in BENCHMARKS}
+        assert len(aliases) == 10
+        assert set(FIGURE_ORDER) == aliases
+        assert all_game_aliases() == FIGURE_ORDER
+
+    def test_genres_match_paper(self):
+        assert benchmark_info("ccs").genre == "Puzzle"
+        assert benchmark_info("mst").genre == "First Person Shooter"
+        assert benchmark_info("tib").type == "3D"
+        assert benchmark_info("abi").type == "2D"
+
+    def test_unknown_alias_rejected(self):
+        with pytest.raises(ReproError):
+            benchmark_info("nope")
+        with pytest.raises(ReproError):
+            build_scene("nope")
+
+
+def changed_constants_fraction(scene, frame_a, frame_b):
+    """Fraction of drawcall constants that changed between two frames."""
+    a = [c.values.tobytes() for c in scene.command_stream(frame_a)
+         if isinstance(c, SetConstants)]
+    b = [c.values.tobytes() for c in scene.command_stream(frame_b)
+         if isinstance(c, SetConstants)]
+    if len(a) != len(b):
+        return 1.0
+    changed = sum(1 for x, y in zip(a, b) if x != y)
+    return changed / max(1, len(a))
+
+
+class TestBehaviourClasses:
+    """The paper's three categories, at the command-stream level."""
+
+    @pytest.mark.parametrize("alias", ["ccs", "cde", "ctr", "hop"])
+    def test_static_camera_games_mostly_static(self, alias):
+        scene = build_scene(alias)
+        # The large static layers' constants are identical across
+        # adjacent frames (animated sprites are small-area nodes).
+        assert changed_constants_fraction(scene, 3, 4) < 1.0
+        assert scene.camera.moving_fraction(50) == 0.0
+
+    def test_mst_changes_everything_every_frame(self):
+        scene = build_scene("mst")
+        assert scene.camera.moving_fraction(50) == 1.0
+        assert changed_constants_fraction(scene, 3, 4) == 1.0
+
+    @pytest.mark.parametrize("alias", ["abi", "csn", "tib"])
+    def test_mixed_games_have_both_phases(self, alias):
+        scene = build_scene(alias)
+        fraction = scene.camera.moving_fraction(50)
+        assert 0.0 < fraction < 1.0
+
+    def test_all_scenes_build_and_draw(self):
+        for alias in list(FIGURE_ORDER) + ["desktop", "antutu"]:
+            scene = build_scene(alias)
+            stream = scene.command_stream(0)
+            assert stream.num_drawcalls >= 1
+            assert len(scene.clear_color) == 4
+
+    def test_texture_address_spaces_disjoint_across_games(self):
+        ids = []
+        for alias in FIGURE_ORDER:
+            scene = build_scene(alias)
+            for node in scene.nodes:
+                if node.texture is not None:
+                    ids.append(node.texture.texture_id)
+        assert len(ids) == len(set(ids))
+
+    def test_scenes_are_deterministic_across_builds(self):
+        a = build_scene("coc")
+        b = build_scene("coc")
+        sa = [c.values.tobytes() for c in a.command_stream(7)
+              if isinstance(c, SetConstants)]
+        sb = [c.values.tobytes() for c in b.command_stream(7)
+              if isinstance(c, SetConstants)]
+        assert sa == sb
+
+    def test_hop_has_black_on_black_mover(self):
+        """The shadow monster: moving geometry rendered in the darkness
+        color (the paper's equal-colors-different-inputs source)."""
+        scene = build_scene("hop")
+        monster = next(n for n in scene.nodes if n.name == "shadow-monster")
+        darkness = next(n for n in scene.nodes if n.name == "darkness")
+        assert monster.tint == darkness.tint
+        assert monster.position_fn is not None

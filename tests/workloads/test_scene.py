@@ -1,0 +1,129 @@
+"""Scene graph and camera models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline.commands import Draw, SetConstants
+from repro.textures import flat_texture
+from repro.workloads import (
+    ContinuousCamera,
+    EpisodicCamera,
+    QuadNode,
+    Scene,
+    ShakeCamera,
+    StaticCamera,
+)
+
+
+def constants_of(stream):
+    return [c.values.tobytes() for c in stream if isinstance(c, SetConstants)]
+
+
+class TestQuadNode:
+    def test_rejects_unknown_shader(self):
+        with pytest.raises(PipelineError):
+            QuadNode("x", (0, 0, 1, 1), z=0.5, shader="raytrace")
+
+    def test_textured_needs_texture(self):
+        with pytest.raises(PipelineError):
+            QuadNode("x", (0, 0, 1, 1), z=0.5, shader="textured")
+
+    def test_rejects_empty_rect(self):
+        with pytest.raises(PipelineError):
+            QuadNode("x", (0.5, 0.5, 0.5, 1.0), z=0.5)
+
+    def test_buffer_cached_and_tessellated(self):
+        node = QuadNode("x", (0, 0, 1, 1), z=0.5, subdivide=4)
+        buffer = node.buffer()
+        assert buffer is node.buffer()
+        assert buffer.num_triangles == 2 * 4 * 4
+
+    def test_active_fn_controls_drawing(self):
+        node = QuadNode("blink", (0, 0, 1, 1), z=0.5,
+                        active_fn=lambda f: f % 2 == 0)
+        scene = Scene([node])
+        assert scene.command_stream(0).num_drawcalls == 1
+        assert scene.command_stream(1).num_drawcalls == 0
+
+
+class TestSceneDeterminism:
+    def make_scene(self):
+        tex = flat_texture((0.5, 0.5, 0.5, 1), texture_id=1)
+        return Scene([
+            QuadNode("bg", (0, 0, 1, 1), z=0.9, shader="textured",
+                     texture=tex, camera_affected=False),
+            QuadNode("mover", (0.4, 0.4, 0.6, 0.6), z=0.5,
+                     position_fn=lambda f: (0.01 * (f % 5), 0.0),
+                     camera_affected=False),
+        ])
+
+    def test_static_node_constants_identical_across_frames(self):
+        scene = self.make_scene()
+        a = constants_of(scene.command_stream(3))
+        b = constants_of(scene.command_stream(4))
+        assert a[0] == b[0]          # background identical
+        assert a[1] != b[1]          # mover changed
+
+    def test_periodic_motion_repeats_exactly(self):
+        scene = self.make_scene()
+        a = constants_of(scene.command_stream(1))
+        b = constants_of(scene.command_stream(6))  # period 5
+        assert a == b
+
+    def test_same_frame_twice_is_bit_identical(self):
+        scene = self.make_scene()
+        a = constants_of(scene.command_stream(7))
+        b = constants_of(scene.command_stream(7))
+        assert a == b
+
+    def test_buffer_ids_assigned_uniquely(self):
+        scene = self.make_scene()
+        ids = [node.buffer_id for node in scene.nodes]
+        assert len(set(ids)) == len(ids)
+        assert all(i > 0 for i in ids)
+
+
+class TestCameras:
+    def test_static_never_moves(self):
+        camera = StaticCamera()
+        assert camera.moving_fraction(50) == 0.0
+
+    def test_continuous_always_moves(self):
+        camera = ContinuousCamera()
+        assert camera.moving_fraction(50) == 1.0
+        assert camera.state(3).advance != camera.state(4).advance
+
+    def test_episodic_moves_only_in_episodes(self):
+        camera = EpisodicCamera([(10, 20, 0.01, 0.0)])
+        assert camera.state(5).moving is False
+        assert camera.state(15).moving is True
+        assert camera.state(25).moving is False
+        # Position persists after the episode.
+        assert camera.state(25).dx == pytest.approx(0.1)
+
+    def test_episodic_position_is_pure_function(self):
+        camera = EpisodicCamera([(4, 8, 0.02, 0.0), (12, 16, -0.01, 0.01)])
+        assert camera.state(20).dx == pytest.approx(0.02 * 4 - 0.01 * 4)
+        assert camera.state(20).dy == pytest.approx(0.01 * 4)
+
+    def test_shake_returns_to_rest(self):
+        camera = ShakeCamera(period=10, burst=2)
+        assert camera.state(0).moving is True
+        assert camera.state(5).moving is False
+        assert camera.state(5).dx == 0.0
+
+    def test_camera_pan_changes_affected_nodes_only(self):
+        tex = flat_texture((1, 1, 1, 1), texture_id=2)
+        scene = Scene(
+            [
+                QuadNode("world", (-1, -1, 2, 2), z=0.9, shader="textured",
+                         texture=tex, camera_affected=True),
+                QuadNode("hud", (0, 0, 1, 0.1), z=0.2, camera_affected=False),
+            ],
+            camera=EpisodicCamera([(0, 10, 0.01, 0.0)]),
+        )
+        a = constants_of(scene.command_stream(1))
+        b = constants_of(scene.command_stream(2))
+        assert a[0] != b[0]   # world moves with camera
+        assert a[1] == b[1]   # HUD pinned

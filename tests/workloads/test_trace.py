@@ -1,0 +1,142 @@
+"""Trace record / replay round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.errors import TraceError
+from repro.pipeline import Gpu
+from repro.workloads import build_scene
+from repro.workloads.trace import TraceReader, record_trace
+
+
+class TestRoundTrip:
+    def test_record_and_replay_counts(self, tmp_path):
+        scene = build_scene("ccs")
+        path = tmp_path / "ccs.trace"
+        count = record_trace(path, scene.frames(3))
+        assert count == 3
+        reader = TraceReader(path)
+        assert len(reader) == 3
+
+    def test_replay_renders_identically(self, tmp_path):
+        scene = build_scene("cde")
+        path = tmp_path / "cde.trace"
+        record_trace(path, scene.frames(3))
+        reader = TraceReader(path)
+
+        config = GpuConfig.small()
+        direct_gpu = Gpu(config)
+        replay_gpu = Gpu(config)
+        for frame, (live, replayed) in enumerate(
+            zip(scene.frames(3), reader.replay())
+        ):
+            a = direct_gpu.render_frame(live, clear_color=scene.clear_color)
+            b = replay_gpu.render_frame(replayed, clear_color=scene.clear_color)
+            assert np.array_equal(a.frame_colors, b.frame_colors), frame
+
+    def test_resources_deduplicated(self, tmp_path):
+        scene = build_scene("ccs")
+        path = tmp_path / "dedup.trace"
+        record_trace(path, scene.frames(10))
+        with open(path) as handle:
+            lines = handle.readlines()
+        texture_lines = [l for l in lines if '"type": "texture"' in l]
+        # One entry per distinct texture regardless of frame count.
+        distinct = {n.texture.texture_id for n in scene.nodes if n.texture}
+        assert len(texture_lines) == len(distinct)
+
+    def test_frame_out_of_range(self, tmp_path):
+        scene = build_scene("ccs")
+        path = tmp_path / "x.trace"
+        record_trace(path, scene.frames(1))
+        reader = TraceReader(path)
+        with pytest.raises(TraceError):
+            reader.command_stream(5)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            TraceReader(tmp_path / "missing.trace")
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"type": "frame", "commands": []}\n')
+        with pytest.raises(TraceError):
+            TraceReader(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad2.trace"
+        path.write_text('{"type": "header", "version": 999}\n')
+        with pytest.raises(TraceError):
+            TraceReader(path)
+
+    def test_garbage_json(self, tmp_path):
+        path = tmp_path / "bad3.trace"
+        path.write_text("not json at all\n")
+        with pytest.raises(TraceError):
+            TraceReader(path)
+
+
+class TestPropertyRoundTrip:
+    """Arbitrary command streams survive serialization bit-exactly."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    stream_shape = st.lists(
+        st.tuples(
+            st.sampled_from(["flat_color", "textured"]),
+            st.floats(0.0, 0.8, allow_nan=False),    # x0
+            st.floats(0.0, 0.8, allow_nan=False),    # y0
+            st.floats(0.05, 0.2, allow_nan=False),   # size
+            st.floats(0.0, 1.0, allow_nan=False),    # tint r
+            st.booleans(),                           # depth_test
+        ),
+        min_size=1, max_size=6,
+    )
+
+    @settings(max_examples=15, deadline=None)
+    @given(stream_shape)
+    def test_round_trip_preserves_commands(self, drawspec):
+        import os
+        import tempfile
+
+        import numpy as np
+        from repro.geometry import mat4, quad_buffer
+        from repro.pipeline import CommandStream
+        from repro.pipeline.commands import Draw, SetConstants
+        from repro.shaders import PROGRAMS, pack_constants
+        from repro.textures import flat_texture
+
+        texture = flat_texture((0.5, 0.5, 0.5, 1.0), texture_id=31)
+        stream = CommandStream()
+        for shader, x0, y0, size, red, depth_test in drawspec:
+            stream.set_shader(PROGRAMS[shader])
+            if shader == "textured":
+                stream.set_texture(0, texture)
+            stream.set_constants(
+                pack_constants(mat4.ortho2d(), tint=(red, 0.5, 0.5, 1.0))
+            )
+            stream.draw(
+                quad_buffer(x0, y0, x0 + size, y0 + size, z=0.5),
+                depth_test=depth_test,
+            )
+
+        with tempfile.TemporaryDirectory() as tmpdir:
+            path = os.path.join(tmpdir, "stream.trace")
+            record_trace(path, [stream])
+            replayed = TraceReader(path).command_stream(0)
+
+        original = list(stream)
+        loaded = list(replayed)
+        assert len(original) == len(loaded)
+        for a, b in zip(original, loaded):
+            assert type(a).__name__ == type(b).__name__
+            if isinstance(a, SetConstants):
+                assert np.array_equal(a.values, b.values)
+            if isinstance(a, Draw):
+                assert a.depth_test == b.depth_test
+                assert np.array_equal(a.buffer.positions, b.buffer.positions)
+                assert np.array_equal(a.buffer.indices, b.buffer.indices)
