@@ -5,6 +5,11 @@ absorbs most primitives' tile lists; only rare large primitives (many
 overlapped tiles) overflow it.  Sweeping the depth shows stalls falling
 monotonically toward zero as the queue grows past the workloads'
 typical overlap counts.
+
+Stall cycles use round-half-up on the fractional drain time (see
+``SignatureUnit.on_primitive``); the expectations below are written
+against that rounding — a deep queue still reaches exactly zero because
+zero overflow contributes zero drain time before rounding.
 """
 
 import dataclasses

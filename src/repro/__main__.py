@@ -8,6 +8,11 @@ Subcommands:
 * ``run <game>``     — run one benchmark under one technique, printing
   per-frame skip/cycle/energy summaries.
 * ``list``           — list the available games and experiments.
+
+Global flags: ``--jobs N`` fans independent (workload, technique) cells
+across N worker processes (see :mod:`repro.harness.parallel`);
+``--profile`` records per-stage simulator wall-clock and event rates and
+writes them to ``BENCH_pipeline.json``.
 """
 
 from __future__ import annotations
@@ -46,6 +51,22 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+#: Techniques each experiment pulls from the run cache, so ``--jobs``
+#: can prefetch its cells in parallel before the (serial) tabulation.
+_EXPERIMENT_TECHNIQUES = {
+    "fig01": ("baseline",),
+    "fig02": ("re",),
+    "fig14a": ("baseline", "re"),
+    "fig14b": ("baseline", "re"),
+    "fig15a": ("re",),
+    "fig15b": ("baseline", "re"),
+    "fig16": ("baseline", "re", "memo"),
+    "fig17a": ("baseline", "te", "re"),
+    "fig17b": ("baseline", "te", "re"),
+    "re_overheads": ("baseline", "re"),
+}
+
+
 def _cmd_experiment(args) -> int:
     if args.id == "table1":
         print(table1_parameters().table())
@@ -62,6 +83,11 @@ def _cmd_experiment(args) -> int:
               file=sys.stderr)
         return 2
     cache = RunCache(_config_from(args), num_frames=args.frames)
+    if args.jobs > 1:
+        cache.prefetch(
+            _EXPERIMENT_TECHNIQUES.get(args.id, ("baseline", "re")),
+            processes=args.jobs,
+        )
     result = EXPERIMENTS[args.id](cache)
     print(result.title + "\n" + result.table())
     if result.notes:
@@ -70,8 +96,14 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    perf = None
+    if args.profile:
+        from .perf import PerfRecorder
+
+        perf = PerfRecorder()
     run = run_workload(
-        args.game, args.technique, _config_from(args), num_frames=args.frames
+        args.game, args.technique, _config_from(args), num_frames=args.frames,
+        perf=perf,
     )
     print(f"{args.game} under {args.technique}: {args.frames} frames at "
           f"{run.config.screen_width}x{run.config.screen_height}")
@@ -88,6 +120,24 @@ def _cmd_run(args) -> int:
           f"(colors {run.traffic_bytes('colors') / 1024:.0f} / "
           f"texels {run.traffic_bytes('texels') / 1024:.0f} / "
           f"primitives {run.traffic_bytes('primitives') / 1024:.0f})")
+    if perf is not None:
+        from .perf import write_bench
+
+        snapshot = perf.snapshot()
+        print("  simulator profile (wall-clock, not simulated time):")
+        for name, seconds in snapshot["stage_seconds"].items():
+            print(f"    {name:10s} {seconds:8.3f} s "
+                  f"({snapshot['stage_calls'][name]} calls)")
+        payload = {
+            "command": "run",
+            "game": args.game,
+            "technique": args.technique,
+            "scale": args.scale,
+            "frames": args.frames,
+            "profile": snapshot,
+        }
+        write_bench(args.bench_out, payload)
+        print(f"  wrote profile to {args.bench_out}")
     return 0
 
 
@@ -107,6 +157,14 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", choices=("small", "benchmark", "mali450"),
                         default="small")
     parser.add_argument("--frames", type=int, default=12)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="fan independent cells across N worker "
+                             "processes (0/1 = serial)")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-stage simulator wall-clock and "
+                             "event rates")
+    parser.add_argument("--bench-out", default="BENCH_pipeline.json",
+                        help="where --profile writes its JSON payload")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list games, experiments and techniques")

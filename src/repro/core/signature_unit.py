@@ -26,6 +26,7 @@ counts (property-tested):
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 
 import numpy as np
@@ -85,7 +86,10 @@ class SignatureUnit:
         self._constants_crc = 0
         self._constants_shift = 0
         self._last_constants_version = None
-        self._block_cache: dict = {}
+        # Block-CRC memo with bounded LRU eviction: evicting one LRU
+        # entry at the limit keeps the working set warm, where clearing
+        # the whole dict would re-sign every live block on large scenes.
+        self._block_cache: collections.OrderedDict = collections.OrderedDict()
 
     # ------------------------------------------------------------------
     def begin_frame(self, buffer: SignatureBuffer) -> None:
@@ -110,9 +114,11 @@ class SignatureUnit:
             crc = crc32_table(padded)
             shift = len(padded) // self.block_bytes
             if len(self._block_cache) >= _BLOCK_CACHE_LIMIT:
-                self._block_cache.clear()
+                self._block_cache.popitem(last=False)
             self._block_cache[block] = (crc, shift)
             cached = (crc, shift)
+        else:
+            self._block_cache.move_to_end(block)
         crc, shift = cached
         # Analytic counters mirroring the exact-mode hardware units.
         self.stats.compute_cycles += shift
@@ -136,6 +142,11 @@ class SignatureUnit:
         into every overlapped tile's signature."""
         if self._buffer is None:
             raise RuntimeError("SignatureUnit.begin_frame was not called")
+        if len(tile_ids) == 0:
+            # A clipped/culled primitive overlapping no tiles never
+            # reaches the Signature Unit in the paper's model: no
+            # signing, no bitmap read, no counter activity.
+            return
         prim_crc, prim_shift = self._sign_block(prim.attribute_bytes())
         self.stats.primitives_signed += 1
         self.stats.bitmap_reads += len(tile_ids)
@@ -154,7 +165,9 @@ class SignatureUnit:
         if overflow > 0:
             self.stats.ot_queue_overflows += 1
             avg_cycles = per_tile_cycles / len(tile_ids)
-            self.stats.stall_cycles += int(overflow * avg_cycles)
+            # Round half-up: truncation toward zero would systematically
+            # under-count stalls when the per-tile cost is small.
+            self.stats.stall_cycles += int(overflow * avg_cycles + 0.5)
 
     # Tile updates ---------------------------------------------------------
     def _update_tiles(self, tile_ids: np.ndarray, fresh: np.ndarray,

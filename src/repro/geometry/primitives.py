@@ -92,8 +92,19 @@ class DrawState:
     depth_write: bool = True
     cull_backfaces: bool = False
 
+    _constants_bytes: typing.Optional[bytes] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
     def constants_bytes(self) -> bytes:
-        return np.ascontiguousarray(self.constants, dtype=np.float32).tobytes()
+        """Serialized uniform block, cached per ``constants_version``:
+        uploads replace the DrawState (or bump the version via a new
+        instance), so the bytes are immutable for this object's life."""
+        if self._constants_bytes is None:
+            self._constants_bytes = np.ascontiguousarray(
+                self.constants, dtype=np.float32
+            ).tobytes()
+        return self._constants_bytes
 
 
 @dataclasses.dataclass
@@ -107,6 +118,12 @@ class Primitive:
     state: DrawState
     prim_id: int = 0
     pb_offset: int = -1                # byte offset in the Parameter Buffer
+    _attr_bytes: typing.Optional[bytes] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    _bounds: typing.Optional[tuple] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     def signed_area2(self) -> float:
         """Twice the signed area of the screen-space triangle."""
@@ -122,7 +139,14 @@ class Primitive:
     def attribute_bytes(self) -> bytes:
         """Serialize the data Rendering Elimination signs for this
         primitive: clip-space positions then each varying, vec4-padded,
-        in sorted name order so the byte stream is deterministic."""
+        in sorted name order so the byte stream is deterministic.
+
+        The serialization is cached: a primitive's post-transform data is
+        immutable once assembled, and the Signature Unit and Parameter
+        Buffer accounting both ask for these bytes on every tile overlap.
+        """
+        if self._attr_bytes is not None:
+            return self._attr_bytes
         parts = [np.ascontiguousarray(self.clip, dtype=np.float32).tobytes()]
         for name in sorted(self.varyings):
             values = self.varyings[name]
@@ -131,22 +155,29 @@ class Primitive:
                 padded[:, :values.shape[1]] = values
                 values = padded
             parts.append(np.ascontiguousarray(values, dtype=np.float32).tobytes())
-        return b"".join(parts)
+        self._attr_bytes = b"".join(parts)
+        return self._attr_bytes
 
     def parameter_buffer_bytes(self) -> int:
         """Bytes this primitive occupies in the Parameter Buffer."""
         return len(self.attribute_bytes()) + 16  # attributes + header
 
     def bounds(self) -> tuple:
-        """Integer pixel bounding box (x0, y0, x1, y1), inclusive-exclusive."""
-        xs = self.screen[:, 0]
-        ys = self.screen[:, 1]
-        return (
-            int(np.floor(xs.min())),
-            int(np.floor(ys.min())),
-            int(np.ceil(xs.max())) + 1,
-            int(np.ceil(ys.max())) + 1,
-        )
+        """Integer pixel bounding box (x0, y0, x1, y1), inclusive-exclusive.
+
+        Primitive Assembly precomputes this for whole drawcalls at once;
+        the lazy path below serves primitives built directly in tests.
+        """
+        if self._bounds is None:
+            xs = self.screen[:, 0]
+            ys = self.screen[:, 1]
+            self._bounds = (
+                int(np.floor(xs.min())),
+                int(np.floor(ys.min())),
+                int(np.ceil(xs.max())) + 1,
+                int(np.ceil(ys.max())) + 1,
+            )
+        return self._bounds
 
 
 def quad_buffer(x0: float, y0: float, x1: float, y1: float, z: float = 0.5,

@@ -75,6 +75,31 @@ class RunCache:
     def runs(self, technique: str, aliases: typing.Sequence = FIGURE_ORDER):
         return [self.run(alias, technique) for alias in aliases]
 
+    def prefetch(self, techniques: typing.Sequence,
+                 aliases: typing.Sequence = FIGURE_ORDER,
+                 processes: int = None) -> int:
+        """Populate the cache for an ``aliases x techniques`` grid,
+        optionally fanning the missing cells across a process pool (see
+        :mod:`repro.harness.parallel`).  Returns the number of cells
+        actually simulated."""
+        from .parallel import Cell, run_cells
+
+        missing = [
+            (alias, technique)
+            for alias in aliases for technique in techniques
+            if self._key(alias, technique) not in self._runs
+        ]
+        if not missing:
+            return 0
+        cells = [
+            Cell(alias, technique, self.num_frames)
+            for alias, technique in missing
+        ]
+        results = run_cells(cells, config=self.config, processes=processes)
+        for cell, run in results.items():
+            self._runs[self._key(cell.alias, cell.technique)] = run
+        return len(missing)
+
 
 # ----------------------------------------------------------------------
 # Motivation and setup

@@ -1,0 +1,126 @@
+"""Process-pool harness runner: fan independent cells across workers.
+
+A *cell* is one independent (workload, technique) simulation —
+:func:`repro.harness.runner.run_workload` with fixed arguments.  Cells
+share no simulator state (each builds its own scene and GPU), so a run
+matrix parallelizes trivially across ``multiprocessing`` workers; the
+suite and the experiment cache both fan out through :func:`run_cells`.
+
+Determinism: every cell derives a seed from its own identity
+(:func:`cell_seed`) and reseeds NumPy's legacy global generator before
+running, so a cell's result is a pure function of the cell — identical
+whether it runs serially, in any worker, or in any order.  (Workload
+content already uses explicit per-scene generators; the reseeding
+guards any library code that reaches for global randomness.)
+
+``processes`` in ``(None, 0, 1)`` selects the serial fallback, which
+runs cells in-process (and therefore shares the in-process raster/shade
+memos — fastest on single-core machines).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing
+
+import numpy as np
+
+from ..config import GpuConfig
+from .runner import RunResult, run_workload
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One independent unit of harness work."""
+
+    alias: str
+    technique: str = "baseline"
+    num_frames: int = 50
+    exact_signatures: bool = False
+
+
+def cell_seed(cell: Cell) -> int:
+    """Deterministic 32-bit seed derived from the cell's identity."""
+    digest = hashlib.sha256(
+        f"{cell.alias}|{cell.technique}|{cell.num_frames}"
+        f"|{cell.exact_signatures}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _run_cell(payload: tuple) -> tuple:
+    """Worker body: run one cell; returns ``(cell, RunResult)``."""
+    cell, config = payload
+    np.random.seed(cell_seed(cell))
+    result = run_workload(
+        cell.alias, cell.technique, config=config,
+        num_frames=cell.num_frames,
+        exact_signatures=cell.exact_signatures,
+    )
+    return cell, result
+
+
+def run_cells(cells: typing.Sequence, config: GpuConfig = None,
+              processes: int = None) -> dict:
+    """Run every cell, returning ``{cell: RunResult}``.
+
+    ``processes`` > 1 fans cells across a process pool (capped at the
+    machine's CPU count); ``None``/``0``/``1`` runs serially in-process.
+    Results are keyed by cell regardless of completion order, so callers
+    see the same mapping either way.
+    """
+    cells = [c if isinstance(c, Cell) else Cell(*c) for c in cells]
+    config = config or GpuConfig.benchmark()
+    payloads = [(cell, config) for cell in cells]
+
+    if processes in (None, 0, 1) or len(cells) <= 1:
+        return dict(_run_cell(payload) for payload in payloads)
+
+    import multiprocessing
+
+    # Capped by the cell count only: requesting more workers than cores
+    # merely timeslices, and single-core machines can still exercise the
+    # pool path.
+    workers = min(int(processes), len(cells))
+    with multiprocessing.Pool(workers) as pool:
+        return dict(pool.map(_run_cell, payloads))
+
+
+def run_matrix(aliases: typing.Sequence, techniques: typing.Sequence,
+               config: GpuConfig = None, num_frames: int = 50,
+               processes: int = None) -> dict:
+    """Run the full ``aliases x techniques`` grid; returns a mapping
+    ``(alias, technique) -> RunResult``."""
+    cells = [
+        Cell(alias, technique, num_frames)
+        for alias in aliases for technique in techniques
+    ]
+    results = run_cells(cells, config=config, processes=processes)
+    return {
+        (cell.alias, cell.technique): run for cell, run in results.items()
+    }
+
+
+def merged_totals(results: dict) -> dict:
+    """Aggregate stats across a :func:`run_matrix` result, per technique.
+
+    Returns ``{technique: {cells, frames, total_cycles, total_energy_nj,
+    fragments_shaded, tiles_skipped, traffic_bytes}}`` — the merged view
+    a fleet of workers reports back to the suite.
+    """
+    merged: dict = {}
+    for (_, technique), run in results.items():
+        bucket = merged.setdefault(technique, {
+            "cells": 0, "frames": 0, "total_cycles": 0,
+            "total_energy_nj": 0.0, "fragments_shaded": 0,
+            "tiles_skipped": 0, "traffic_bytes": 0,
+        })
+        bucket["cells"] += 1
+        bucket["frames"] += run.num_frames
+        bucket["total_cycles"] += run.total_cycles
+        bucket["total_energy_nj"] += run.total_energy_nj
+        bucket["fragments_shaded"] += run.fragments_shaded
+        bucket["tiles_skipped"] += run.tiles_skipped
+        bucket["traffic_bytes"] += run.total_traffic_bytes
+    return merged

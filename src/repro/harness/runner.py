@@ -146,14 +146,19 @@ def tile_color_crcs(config: GpuConfig, frame_colors: np.ndarray,
 
 def run_workload(alias: str, technique: str = "baseline",
                  config: GpuConfig = None, num_frames: int = 50,
-                 exact_signatures: bool = False) -> RunResult:
-    """Render ``num_frames`` of a benchmark under a technique."""
+                 exact_signatures: bool = False, perf=None) -> RunResult:
+    """Render ``num_frames`` of a benchmark under a technique.
+
+    ``perf`` may be a :class:`repro.perf.PerfRecorder`; it then receives
+    per-stage wall-clock and event counts for every frame rendered.
+    """
     config = config or GpuConfig.benchmark()
     scene = build_scene(alias)
     tech = make_technique(technique, config)
     if technique == "re" and exact_signatures:
         tech = RenderingElimination(config, exact=True)
     gpu = Gpu(config, tech)
+    gpu.perf = perf
     timing = TimingModel(config)
     energy_model = EnergyModel(config)
 

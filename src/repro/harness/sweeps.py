@@ -44,9 +44,18 @@ class SweepPoint:
         return metrics[name]
 
 
+def _sweep_point(payload: tuple) -> RunResult:
+    """Worker body for parallel sweeps (module-level for pickling)."""
+    alias, technique, config, num_frames, technique_params = payload
+    return run_workload(
+        alias, technique, config=config, num_frames=num_frames,
+        **(technique_params or {}),
+    )
+
+
 def sweep(alias: str, technique: str, parameters: dict,
           base_config: GpuConfig = None, num_frames: int = 8,
-          technique_params: dict = None) -> list:
+          technique_params: dict = None, processes: int = None) -> list:
     """Run ``alias`` under ``technique`` for every combination of
     ``parameters`` (a mapping of GpuConfig field name -> list of values).
 
@@ -55,6 +64,10 @@ def sweep(alias: str, technique: str, parameters: dict,
         points = sweep("cde", "re",
                        {"tile_size": [8, 16, 32],
                         "ot_queue_entries": [16, 64]})
+
+    ``processes`` > 1 fans the grid across a process pool (each point is
+    an independent simulation); the default runs serially and returns
+    identical results.
     """
     base_config = base_config or GpuConfig.small()
     names = list(parameters)
@@ -62,16 +75,29 @@ def sweep(alias: str, technique: str, parameters: dict,
         if not hasattr(base_config, name):
             raise ReproError(f"GpuConfig has no parameter {name!r}")
 
-    points = []
+    assignments = []
+    payloads = []
     for values in itertools.product(*(parameters[n] for n in names)):
         assignment = dict(zip(names, values))
-        config = dataclasses.replace(base_config, **assignment)
-        run = run_workload(
-            alias, technique, config=config, num_frames=num_frames,
-            **(technique_params or {}),
-        )
-        points.append(SweepPoint(parameters=assignment, run=run))
-    return points
+        assignments.append(assignment)
+        payloads.append((
+            alias, technique, dataclasses.replace(base_config, **assignment),
+            num_frames, technique_params,
+        ))
+
+    if processes in (None, 0, 1) or len(payloads) <= 1:
+        runs = [_sweep_point(payload) for payload in payloads]
+    else:
+        import multiprocessing
+
+        workers = min(int(processes), len(payloads))
+        with multiprocessing.Pool(workers) as pool:
+            runs = pool.map(_sweep_point, payloads)
+
+    return [
+        SweepPoint(parameters=assignment, run=run)
+        for assignment, run in zip(assignments, runs)
+    ]
 
 
 def tabulate(points: typing.Sequence, metric: str) -> list:

@@ -77,6 +77,24 @@ def _shift_columns(nbits: int) -> "np.ndarray":
     return np.asarray(columns, dtype=np.uint32)
 
 
+@functools.lru_cache(maxsize=512)
+def _shift_tables(nbits: int) -> "np.ndarray":
+    """Byte-sliced lookup tables for 'multiply by x^nbits mod G': a
+    (4, 256) uint32 array where ``tables[j][v]`` is the shift of the
+    32-bit value ``v << (8*j)``.  Shifting a CRC is then four table
+    lookups XORed together — the GF(2)-linear map is additive over any
+    partition of the input bits, so this is bit-exact with the
+    column-per-bit formulation of :func:`_shift_columns`."""
+    columns = _shift_columns(nbits)
+    tables = np.zeros((4, 256), dtype=np.uint32)
+    values = np.arange(256, dtype=np.uint32)
+    for byte_index in range(4):
+        for bit in range(8):
+            mask = (values >> np.uint32(bit)) & np.uint32(1) == 1
+            tables[byte_index][mask] ^= columns[byte_index * 8 + bit]
+    return tables
+
+
 def combine_many(crcs: "np.ndarray", crc_b: int, len_b_bits: int) -> "np.ndarray":
     """Vectorized :func:`combine`: fold submessage B (CRC ``crc_b``,
     ``len_b_bits`` bits) onto every CRC in ``crcs`` at once.
@@ -85,11 +103,14 @@ def combine_many(crcs: "np.ndarray", crc_b: int, len_b_bits: int) -> "np.ndarray
     Unit's software fast path when one primitive updates many tiles.
     """
     crcs = np.asarray(crcs, dtype=np.uint32)
-    columns = _shift_columns(len_b_bits)
-    result = np.zeros_like(crcs)
-    for k in range(32):
-        bit_set = (crcs >> np.uint32(k)) & np.uint32(1)
-        result ^= columns[k] * bit_set
+    t0, t1, t2, t3 = _shift_tables(len_b_bits)
+    byte = np.uint32(0xFF)
+    result = (
+        t0[crcs & byte]
+        ^ t1[(crcs >> np.uint32(8)) & byte]
+        ^ t2[(crcs >> np.uint32(16)) & byte]
+        ^ t3[crcs >> np.uint32(24)]
+    )
     return result ^ np.uint32(crc_b)
 
 

@@ -69,8 +69,9 @@ class Cache:
         stats.accesses += 1
         if tag in ways:
             stats.hits += 1
-            dirty = ways.pop(tag)
-            ways[tag] = dirty or write
+            ways.move_to_end(tag)
+            if write and not ways[tag]:
+                ways[tag] = True
             return True
         stats.misses += 1
         if len(ways) >= self._ways_limit:
@@ -87,6 +88,44 @@ class Cache:
             if not self.access(int(addr), write):
                 misses += 1
         return misses
+
+    def access_run(self, line_addrs, write: bool = False) -> list:
+        """Access a sequence of line addresses in order; returns the list
+        of addresses that missed, in access order.
+
+        Behaviourally identical to calling :meth:`access` per address
+        (same LRU state transitions, same stats), but with the per-call
+        overhead amortized — this is the form the batched raster path
+        drives cache line streams through.
+        """
+        sets = self._sets
+        num_sets = self.num_sets
+        ways_limit = self._ways_limit
+        accesses = hits = writebacks = 0
+        missing = []
+        for addr in line_addrs:
+            addr = int(addr)
+            ways = sets[addr % num_sets]
+            tag = addr // num_sets
+            accesses += 1
+            if tag in ways:
+                hits += 1
+                ways.move_to_end(tag)
+                if write and not ways[tag]:
+                    ways[tag] = True
+                continue
+            missing.append(addr)
+            if len(ways) >= ways_limit:
+                _, evicted_dirty = ways.popitem(last=False)
+                if evicted_dirty:
+                    writebacks += 1
+            ways[tag] = write
+        stats = self.stats
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.misses += accesses - hits
+        stats.writebacks += writebacks
+        return missing
 
     def flush(self) -> int:
         """Drop all contents, counting dirty lines as writebacks."""
@@ -113,10 +152,16 @@ def line_addresses(byte_addresses: np.ndarray, line_bytes: int) -> np.ndarray:
     lines = np.asarray(byte_addresses, dtype=np.int64) // line_bytes
     if lines.size == 0:
         return lines
-    # Collapse runs of equal consecutive lines first (cheap), then drop
-    # later duplicates while preserving order.
-    keep = np.ones(len(lines), dtype=bool)
-    keep[1:] = lines[1:] != lines[:-1]
-    lines = lines[keep]
-    _, first_index = np.unique(lines, return_index=True)
-    return lines[np.sort(first_index)]
+    # dict.fromkeys deduplicates at C speed while preserving
+    # first-occurrence order, which is exactly the temporal order the
+    # cache model needs.
+    unique = dict.fromkeys(lines.tolist())
+    return np.fromiter(unique, dtype=np.int64, count=len(unique))
+
+
+def line_address_list(byte_addresses: np.ndarray, line_bytes: int) -> list:
+    """:func:`line_addresses` returning a plain list — same ordered
+    dedup, no ndarray round-trip, for callers that feed
+    :meth:`Cache.access_run` directly."""
+    lines = np.asarray(byte_addresses, dtype=np.int64) // line_bytes
+    return list(dict.fromkeys(lines.tolist()))

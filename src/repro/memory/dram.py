@@ -87,6 +87,51 @@ class Dram:
         self.traffic.add(stream, nbytes)
         return stall
 
+    def _transact_run(self, count: int, nbytes: int, stream: str,
+                      is_write: bool) -> int:
+        """``count`` back-to-back transactions of ``nbytes`` each.
+
+        Bit-identical to ``count`` sequential :meth:`_transact` calls —
+        the pressure recurrence is iterated, not closed-form, so the
+        float sequence (and every derived latency) matches exactly.
+        """
+        if nbytes < 0:
+            raise ValueError("transaction size must be non-negative")
+        if count <= 0 or nbytes == 0:
+            return 0
+        low = self.config.dram_latency_min_cycles
+        high = self.config.dram_latency_max_cycles
+        span = high - low
+        hidden = 1.0 - self.latency_overlap
+        transfer = -(-nbytes // self.config.dram_bytes_per_cycle)  # ceil
+        pressure = self._pressure
+        total_stall = 0
+        for _ in range(count):
+            load = pressure / 32.0
+            if load > 1.0:
+                load = 1.0
+            total_stall += int((low + span * load) * hidden) + transfer
+            pressure = pressure * 0.95 + 1.0
+        self._pressure = pressure
+        stats = self.stats
+        stats.transactions += count
+        stats.transfer_cycles += transfer * count
+        stats.stall_cycles += total_stall
+        if is_write:
+            stats.write_bytes += nbytes * count
+        else:
+            stats.read_bytes += nbytes * count
+        self.traffic.add(stream, nbytes * count)
+        return total_stall
+
+    def read_run(self, count: int, nbytes: int, stream: str) -> int:
+        """``count`` reads of ``nbytes`` each; returns total stall cycles."""
+        return self._transact_run(count, nbytes, stream, is_write=False)
+
+    def write_run(self, count: int, nbytes: int, stream: str) -> int:
+        """``count`` writes of ``nbytes`` each; returns total stall cycles."""
+        return self._transact_run(count, nbytes, stream, is_write=True)
+
     def read(self, nbytes: int, stream: str) -> int:
         """Read ``nbytes``; returns the pipeline stall cycles charged."""
         return self._transact(nbytes, stream, is_write=False)

@@ -1,0 +1,16 @@
+"""Lightweight wall-clock instrumentation for the simulator itself.
+
+This package times the *simulator*, not the simulated GPU: per-stage
+wall-clock (geometry vs raster), event counters, and derived event rates
+(fragments/second of host time).  A :class:`PerfRecorder` attaches to
+:class:`repro.pipeline.gpu.Gpu` via its ``perf`` attribute; when absent
+(the default) the pipeline pays only a ``None`` check per frame.
+
+``--profile`` in ``python -m repro`` and ``examples/benchmark_suite.py``
+wires a recorder up and emits ``BENCH_pipeline.json`` so successive PRs
+can track simulator throughput.
+"""
+
+from .timers import PerfRecorder, StageTimer, load_bench, write_bench
+
+__all__ = ["PerfRecorder", "StageTimer", "load_bench", "write_bench"]

@@ -1,0 +1,99 @@
+"""Per-stage wall-clock timers and event-rate counters."""
+
+from __future__ import annotations
+
+import json
+import time
+
+
+class StageTimer:
+    """Context manager accumulating elapsed seconds into a recorder."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "PerfRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        recorder = self._recorder
+        recorder.stage_seconds[self._name] = (
+            recorder.stage_seconds.get(self._name, 0.0) + elapsed
+        )
+        recorder.stage_calls[self._name] = (
+            recorder.stage_calls.get(self._name, 0) + 1
+        )
+
+
+class PerfRecorder:
+    """Accumulates per-stage wall-clock and event counts.
+
+    >>> perf = PerfRecorder()
+    >>> with perf.stage("raster"):
+    ...     pass
+    >>> perf.count("fragments_rasterized", 100)
+    """
+
+    def __init__(self) -> None:
+        self.stage_seconds: dict = {}
+        self.stage_calls: dict = {}
+        self.counters: dict = {}
+        self._wall_start = time.perf_counter()
+
+    def stage(self, name: str) -> StageTimer:
+        """A context manager timing one occurrence of stage ``name``."""
+        return StageTimer(self, name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to event counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @property
+    def wall_seconds(self) -> float:
+        """Seconds since this recorder was created."""
+        return time.perf_counter() - self._wall_start
+
+    def rates(self) -> dict:
+        """Events per second of total stage time, where meaningful."""
+        total = sum(self.stage_seconds.values())
+        if total <= 0.0:
+            return {}
+        return {
+            f"{name}_per_sec": value / total
+            for name, value in self.counters.items()
+        }
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable view of everything recorded so far."""
+        return {
+            "wall_seconds": round(self.wall_seconds, 4),
+            "stage_seconds": {
+                name: round(value, 4)
+                for name, value in sorted(self.stage_seconds.items())
+            },
+            "stage_calls": dict(sorted(self.stage_calls.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "rates": {
+                name: round(value, 1)
+                for name, value in sorted(self.rates().items())
+            },
+        }
+
+
+def write_bench(path, payload: dict) -> None:
+    """Write a benchmark payload as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path) -> dict:
+    """Read a benchmark payload written by :func:`write_bench`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -22,7 +22,7 @@ import dataclasses
 import numpy as np
 
 from ..errors import PipelineError
-from ..memory.cache import Cache, line_addresses
+from ..memory.cache import Cache, line_address_list
 from ..memory.dram import Dram
 from ..textures.sampler import sample_nearest
 
@@ -37,6 +37,59 @@ class FragmentStats:
     stall_cycles: int = 0
 
 
+class ShadeMemo:
+    """Cross-frame memo of exact shade results, keyed by content.
+
+    Shading one (primitive, tile) batch is a pure function of the
+    shader, the bound constants and textures, the primitive's
+    post-transform attributes and the masked fragment set; frame-coherent
+    workloads resubmit identical batches every frame.  The memo stores
+    the computed colors plus the texel address stream, so on a hit the
+    texture-cache simulation still runs on the identical addresses —
+    every activity counter and cache state stays bit-identical to a
+    recomputation.  Purely an execution-speed cache, bounded by retained
+    fragments with LRU eviction.
+    """
+
+    def __init__(self, fragment_budget: int = 2_000_000) -> None:
+        self.fragment_budget = fragment_budget
+        self._entries: dict = {}
+        self._retained_fragments = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            # Re-insert to mark as most recently used.
+            del self._entries[key]
+            self._entries[key] = entry
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key: tuple, entry: tuple, count: int) -> None:
+        entries = self._entries
+        entries[key] = entry
+        self._retained_fragments += count
+        while (self._retained_fragments > self.fragment_budget
+               and len(entries) > 1):
+            evicted_colors = entries.pop(next(iter(entries)))[0]
+            self._retained_fragments -= len(evicted_colors)
+
+
+#: Process-wide shade memo: keys are content-stable, so hits are exact
+#: even across independent Gpu instances (the suite renders the same
+#: frames once per technique).
+_SHARED_SHADE_MEMO = ShadeMemo()
+
+
+def shared_shade_memo() -> ShadeMemo:
+    """The process-wide :class:`ShadeMemo` used by batched-mode GPUs."""
+    return _SHARED_SHADE_MEMO
+
+
 class FragmentStage:
     """Shades fragment batches with texture-cache simulation."""
 
@@ -47,6 +100,11 @@ class FragmentStage:
         self.dram = dram
         self.stats = FragmentStats()
         self.memo_filter = None  # optional technique hook
+        self.shade_memo = None   # optional cross-frame ShadeMemo
+        # When a list, every texture line stream driven through the
+        # hierarchy is also appended as ``(raw_access_count, lines)`` so
+        # the tile scheduler's TileMemo can replay it verbatim later.
+        self.traffic_log = None
 
     def shade(self, batch, pass_mask: np.ndarray) -> tuple:
         """Shade the fragments of ``batch`` selected by ``pass_mask``.
@@ -56,18 +114,52 @@ class FragmentStage:
         """
         prim = batch.prim
         state = prim.state
-        count = int(pass_mask.sum())
+        count = int(np.count_nonzero(pass_mask))
         if count == 0:
             return np.empty((0, 4), dtype=np.float32)
 
         bary = batch.bary[pass_mask]
+        xs = batch.xs[pass_mask]
+        ys = batch.ys[pass_mask]
+
+        # Cross-frame shade memo (exact): disabled whenever a technique's
+        # memo filter is installed, since the filter is stateful and must
+        # observe every batch.
+        memo = self.shade_memo if self.memo_filter is None else None
+        key = None
+        if memo is not None:
+            key = (
+                id(state.shader),
+                tuple(
+                    t.content_token if t is not None else None
+                    for t in state.textures
+                ),
+                state.constants_bytes(),
+                prim.attribute_bytes(),
+                bary.tobytes(),
+                xs.tobytes(),
+                ys.tobytes(),
+            )
+            entry = memo.get(key)
+            if entry is not None:
+                colors, addresses, fetch_count = entry[:3]
+                self.stats.texture_fetches += fetch_count
+                self.stats.fragments_shaded += count
+                self.stats.shader_instructions += (
+                    count * state.shader.fragment_instructions
+                )
+                if addresses is not None:
+                    self._simulate_texture_traffic(addresses)
+                return colors
+
+        fetches_before = self.stats.texture_fetches
         varyings = {
             name: (bary @ values.astype(np.float32)).astype(np.float32)
             for name, values in prim.varyings.items()
         }
-        screen = np.stack(
-            [batch.xs[pass_mask], batch.ys[pass_mask]], axis=1
-        ).astype(np.float32)
+        screen = np.empty((count, 2), dtype=np.float32)
+        screen[:, 0] = xs
+        screen[:, 1] = ys
         varyings["_screen"] = screen
 
         fetch_addresses = []
@@ -103,18 +195,43 @@ class FragmentStage:
 
         # Texture traffic: memoized fragments skip their fetches too; we
         # scale the simulated address stream by the shaded fraction.
+        addresses = None
         if fetch_addresses:
             addresses = np.concatenate(fetch_addresses)
             if memoized and count:
                 keep = max(0, int(round(len(addresses) * shaded / count)))
                 addresses = addresses[:keep]
-            self.stats.texture_cache_accesses += len(addresses)
-            for line in line_addresses(addresses, self.texture_cache.line_bytes):
-                if self.texture_cache.access(int(line)):
-                    continue
-                if self.l2.access(int(line)):
-                    continue
-                self.stats.stall_cycles += self.dram.read(
-                    self.l2.line_bytes, "texels"
-                )
+            self._simulate_texture_traffic(addresses)
+        if memo is not None:
+            # The entry pins the shader object so its id (part of the
+            # key) cannot be recycled for a different shader.
+            memo.put(
+                key,
+                (colors, addresses,
+                 self.stats.texture_fetches - fetches_before, state.shader),
+                count,
+            )
         return colors
+
+    def _simulate_texture_traffic(self, addresses: np.ndarray) -> None:
+        """Drive a texel byte-address stream through texture cache, L2
+        and DRAM.  Batched run per cache level: each cache sees the same
+        access sequence as a per-line loop, so state and stats are
+        identical."""
+        lines = line_address_list(addresses, self.texture_cache.line_bytes)
+        if self.traffic_log is not None:
+            self.traffic_log.append((len(addresses), lines))
+        self.replay_texture_lines(len(addresses), lines)
+
+    def replay_texture_lines(self, raw_count: int, lines: list) -> None:
+        """Run one recorded (or fresh) line stream through texture cache,
+        L2 and DRAM — the state- and stats-mutating tail of
+        :meth:`_simulate_texture_traffic`."""
+        self.stats.texture_cache_accesses += raw_count
+        tex_misses = self.texture_cache.access_run(lines)
+        if tex_misses:
+            l2_misses = self.l2.access_run(tex_misses)
+            if l2_misses:
+                self.stats.stall_cycles += self.dram.read_run(
+                    len(l2_misses), self.l2.line_bytes, "texels"
+                )

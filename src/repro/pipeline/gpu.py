@@ -26,10 +26,11 @@ from .blending import BlendStats
 from .command_processor import CommandProcessor
 from .commands import CommandStream
 from .depth import DepthStats
-from .fragment_stage import FragmentStage, FragmentStats
+from .fragment_stage import FragmentStage, FragmentStats, shared_shade_memo
 from .framebuffer import DEFAULT_CLEAR_COLOR, FrameBuffer
 from .primitive_assembly import AssemblyStats, PrimitiveAssembly
-from .tile_scheduler import RasterPipeline, RasterStats
+from .rasterizer import shared_raster_memo
+from .tile_scheduler import RasterPipeline, RasterStats, shared_tile_memo
 from .tiling import PolygonListBuilder, TilingStats
 from .vertex_stage import VertexStage, VertexStageStats
 
@@ -76,7 +77,8 @@ class FrameStats:
 class Gpu:
     """A simulated Mali-450-class TBR GPU."""
 
-    def __init__(self, config: GpuConfig, technique: Technique = None) -> None:
+    def __init__(self, config: GpuConfig, technique: Technique = None,
+                 batched: bool = True) -> None:
         self.config = config
         self.technique = technique if technique is not None else Technique()
         self.traffic = TrafficCounters()
@@ -87,6 +89,20 @@ class Gpu:
         self.l2_cache = Cache(config.l2_cache)
         self.framebuffer = FrameBuffer(config)
         self.frame_index = 0
+        # Batched raster path: full-screen rasterization sliced per tile,
+        # with a cross-frame content memo (bit-identical to the scalar
+        # per-tile path; see rasterizer.TiledRaster / RasterMemo).
+        self.batched = batched
+        screen_rect = (0, 0, config.screen_width, config.screen_height)
+        self._raster_memo = (
+            shared_raster_memo(config.tile_size, config.tiles_x, screen_rect)
+            if batched else None
+        )
+        self._shade_memo = shared_shade_memo() if batched else None
+        self._tile_memo = shared_tile_memo() if batched else None
+        # Optional repro.perf.PerfRecorder; None keeps the hot path free
+        # of timing overhead.
+        self.perf = None
         self.technique.attach(self)
 
     # ------------------------------------------------------------------
@@ -134,13 +150,19 @@ class Gpu:
         memo_filter = getattr(self.technique, "memo_filter", None)
         if callable(memo_filter):
             fragment_stage.memo_filter = memo_filter
+        fragment_stage.shade_memo = self._shade_memo
         raster = RasterPipeline(
             self.config, self.tile_cache, self.l2_cache, self.dram,
-            self.framebuffer, fragment_stage,
+            self.framebuffer, fragment_stage, batched=self.batched,
+            raster_memo=self._raster_memo, tile_memo=self._tile_memo,
         )
 
+        perf = self.perf
         self.technique.begin_frame(self.frame_index, commands.has_uploads)
 
+        geometry_timer = perf.stage("geometry") if perf else None
+        if geometry_timer:
+            geometry_timer.__enter__()
         plb.begin_frame()
         for invocation in command_processor.process(commands):
             shaded = vertex_stage.run(invocation)
@@ -148,8 +170,13 @@ class Gpu:
             plb.bin_drawcall(invocation.state, primitives)
 
         self.technique.on_geometry_complete()
+        if geometry_timer:
+            geometry_timer.__exit__(None, None, None)
 
         # --- Raster Pipeline ------------------------------------------
+        raster_timer = perf.stage("raster") if perf else None
+        if raster_timer:
+            raster_timer.__enter__()
         skipped = []
         for tile_id in range(self.config.num_tiles):
             raster.stats.tiles_scheduled += 1
@@ -171,6 +198,16 @@ class Gpu:
                 self.framebuffer.write_tile(tile_id, tile_colors)
 
         self.technique.end_frame()
+        if raster_timer:
+            raster_timer.__exit__(None, None, None)
+        if perf:
+            perf.count("frames")
+            perf.count("fragments_rasterized",
+                       raster.stats.fragments_rasterized)
+            perf.count("fragments_shaded",
+                       fragment_stage.stats.fragments_shaded)
+            perf.count("tiles_rendered", raster.stats.tiles_rendered)
+            perf.count("tiles_skipped", raster.stats.tiles_skipped)
 
         # --- Collect ----------------------------------------------------
         stats.drawcalls = command_processor.stats.drawcalls

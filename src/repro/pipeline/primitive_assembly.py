@@ -51,33 +51,76 @@ class PrimitiveAssembly:
         depth = (ndc[:, 2] + 1.0) * 0.5
         screen_all = np.stack([screen_x, screen_y], axis=1).astype(np.float32)
 
-        for tri in indices:
-            clip = clip_all[tri]
-            if not clipping.near_plane_ok(clip):
-                self.stats.culled_near += 1
-                continue
-            screen = screen_all[tri]
-            if not clipping.viewport_overlaps(screen, self.width, self.height):
-                self.stats.culled_viewport += 1
-                continue
-            varyings = {
-                name: values[tri] for name, values in shaded.varyings.items()
-            }
+        if not len(indices):
+            return primitives
+
+        # Vectorized culling over all triangles at once; every test is
+        # the same elementwise arithmetic the per-triangle versions in
+        # repro.geometry.clipping perform, so the surviving set (and
+        # each cull counter) is identical to the scalar loop.
+        tri_w = clip_all[:, 3][indices]                      # (m, 3)
+        near_ok = np.all(tri_w > clipping.W_EPSILON, axis=1)
+        tri_screen = screen_all[indices]                     # (m, 3, 2)
+        tri_sx = tri_screen[:, :, 0]
+        tri_sy = tri_screen[:, :, 1]
+        sx_min = tri_sx.min(axis=1)
+        sx_max = tri_sx.max(axis=1)
+        sy_min = tri_sy.min(axis=1)
+        sy_max = tri_sy.max(axis=1)
+        vp_ok = ~(
+            (sx_max < 0) | (sx_min >= self.width)
+            | (sy_max < 0) | (sy_min >= self.height)
+        )
+        # Signed area in float32 (matching Primitive.signed_area2's
+        # scalar float32 arithmetic), compared in float64 as the scalar
+        # clipping helpers do.
+        x0, y0 = tri_screen[:, 0, 0], tri_screen[:, 0, 1]
+        x1, y1 = tri_screen[:, 1, 0], tri_screen[:, 1, 1]
+        x2, y2 = tri_screen[:, 2, 0], tri_screen[:, 2, 1]
+        area2 = (
+            (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0)
+        ).astype(np.float64)
+        degenerate = np.abs(area2) < 1e-9
+        backfacing = area2 <= 0.0
+
+        reached_vp = near_ok
+        reached_area = reached_vp & vp_ok
+        keep = reached_area & ~degenerate
+        self.stats.culled_near += int(np.count_nonzero(~near_ok))
+        self.stats.culled_viewport += int(np.count_nonzero(reached_vp & ~vp_ok))
+        self.stats.culled_degenerate += int(
+            np.count_nonzero(reached_area & degenerate)
+        )
+        if invocation.cull_backfaces:
+            self.stats.culled_backface += int(
+                np.count_nonzero(keep & backfacing)
+            )
+            keep &= ~backfacing
+
+        # Integer pixel bounds, precomputed for the binner.
+        bx0 = np.floor(sx_min).astype(np.int64)
+        by0 = np.floor(sy_min).astype(np.int64)
+        bx1 = np.ceil(sx_max).astype(np.int64) + 1
+        by1 = np.ceil(sy_max).astype(np.int64) + 1
+
+        clip_f32 = clip_all.astype(np.float32)
+        depth_f32 = depth.astype(np.float32)
+        varying_items = list(shaded.varyings.items())
+        state = invocation.state
+        for i in np.nonzero(keep)[0]:
+            tri = indices[i]
+            varyings = {name: values[tri] for name, values in varying_items}
             prim = Primitive(
-                screen=screen,
-                depth=depth[tri].astype(np.float32),
-                clip=clip.astype(np.float32),
+                screen=tri_screen[i],
+                depth=depth_f32[tri],
+                clip=clip_f32[tri],
                 varyings=varyings,
-                state=invocation.state,
+                state=state,
                 prim_id=self._next_prim_id,
             )
-            area2 = prim.signed_area2()
-            if clipping.is_degenerate(area2):
-                self.stats.culled_degenerate += 1
-                continue
-            if invocation.cull_backfaces and clipping.is_backfacing(area2):
-                self.stats.culled_backface += 1
-                continue
+            prim._bounds = (
+                int(bx0[i]), int(by0[i]), int(bx1[i]), int(by1[i])
+            )
             self._next_prim_id += 1
             self.stats.triangles_out += 1
             primitives.append(prim)

@@ -108,17 +108,22 @@ def rasterize(prim: Primitive, rect: tuple) -> FragmentBatch:
     lam0 = (w0[inside] / area2).astype(np.float32)
     lam1 = (w1[inside] / area2).astype(np.float32)
     lam2 = (w2[inside] / area2).astype(np.float32)
-    bary_oriented = np.stack([lam0, lam1, lam2], axis=1)
 
-    # Undo the orientation swap so barycentrics index the original verts.
-    bary = np.empty_like(bary_oriented)
-    for oriented_index, original_index in enumerate(order):
-        bary[:, original_index] = bary_oriented[:, oriented_index]
+    # Write barycentrics straight into original-vertex order, undoing
+    # the orientation swap via ``order``.
+    bary = np.empty((len(lam0), 3), dtype=np.float32)
+    bary[:, order[0]] = lam0
+    bary[:, order[1]] = lam1
+    bary[:, order[2]] = lam2
 
     ys_grid, xs_grid = np.nonzero(inside)
     xs = (xs_grid + x0).astype(np.int32)
     ys = (ys_grid + y0).astype(np.int32)
-    depth = (bary @ prim.depth.astype(np.float32)).astype(np.float32)
+    # Elementwise interpolation (not a matmul): per-pixel float32 values
+    # are then independent of the batch shape, so rasterizing the full
+    # screen and slicing per tile is bit-identical to per-tile calls.
+    d = prim.depth.astype(np.float32)
+    depth = bary[:, 0] * d[0] + bary[:, 1] * d[1] + bary[:, 2] * d[2]
     return FragmentBatch(prim=prim, xs=xs, ys=ys, depth=depth, bary=bary)
 
 
@@ -130,3 +135,130 @@ def _empty_batch(prim: Primitive) -> FragmentBatch:
         depth=np.empty(0, np.float32),
         bary=np.empty((0, 3), np.float32),
     )
+
+
+class TiledRaster:
+    """One primitive's full-screen raster output, sliceable per tile.
+
+    The batched raster path rasterizes each primitive *once* against the
+    whole screen and hands tiles their slice of the fragment arrays.
+    Because every per-pixel quantity in :func:`rasterize` is computed
+    elementwise from absolute pixel coordinates, each slice is bit-exact
+    with what a per-tile :func:`rasterize` call would have produced, and
+    the stable sort keeps fragments in row-major order within each tile.
+
+    Holds no reference to the primitive: fragment geometry depends only
+    on the screen positions and depths, so the same ``TiledRaster`` can
+    serve look-alike primitives from later frames (see
+    :class:`RasterMemo`).
+    """
+
+    __slots__ = ("xs", "ys", "depth", "bary", "fragment_count", "_slices",
+                 "_order")
+
+    def __init__(self, batch: FragmentBatch, tile_size: int,
+                 tiles_x: int) -> None:
+        self.xs = batch.xs
+        self.ys = batch.ys
+        self.depth = batch.depth
+        self.bary = batch.bary
+        self.fragment_count = len(batch.xs)
+        if self.fragment_count == 0:
+            self._order = None
+            self._slices = {}
+            return
+        tile_ids = (
+            (batch.ys // tile_size).astype(np.int64) * tiles_x
+            + batch.xs // tile_size
+        )
+        # Stable sort: fragments of one tile keep their original
+        # row-major order.
+        order = np.argsort(tile_ids, kind="stable")
+        sorted_ids = tile_ids[order]
+        unique, starts = np.unique(sorted_ids, return_index=True)
+        ends = np.append(starts[1:], len(sorted_ids))
+        self._order = order
+        self._slices = {
+            int(tid): (int(lo), int(hi))
+            for tid, lo, hi in zip(unique, starts, ends)
+        }
+
+    def tile(self, prim: Primitive, tile_id: int) -> FragmentBatch:
+        """The fragments of ``prim`` that fall inside ``tile_id``."""
+        bounds = self._slices.get(tile_id)
+        if bounds is None:
+            return _empty_batch(prim)
+        idx = self._order[bounds[0]:bounds[1]]
+        return FragmentBatch(
+            prim=prim,
+            xs=self.xs[idx],
+            ys=self.ys[idx],
+            depth=self.depth[idx],
+            bary=self.bary[idx],
+        )
+
+
+class RasterMemo:
+    """Cross-frame raster memo, keyed by primitive *content*.
+
+    Frame-coherent workloads resubmit geometrically identical primitives
+    every frame; their coverage and barycentrics are pure functions of
+    the screen-space positions and depths, so the rasterization can be
+    reused.  Bounded by total retained fragments with LRU eviction.
+    Purely an execution-speed cache: it changes no simulated state, and
+    the scalar reference path never consults it.
+    """
+
+    def __init__(self, tile_size: int, tiles_x: int,
+                 fragment_budget: int = 4_000_000) -> None:
+        self.tile_size = tile_size
+        self.tiles_x = tiles_x
+        self.fragment_budget = fragment_budget
+        self._entries: "dict[bytes, TiledRaster]" = {}
+        self._retained_fragments = 0
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(prim: Primitive) -> bytes:
+        return prim.screen.tobytes() + prim.depth.tobytes()
+
+    def get(self, prim: Primitive, screen_rect: tuple) -> TiledRaster:
+        """The primitive's :class:`TiledRaster`, computed or reused."""
+        key = self._key(prim)
+        entries = self._entries
+        tiled = entries.get(key)
+        if tiled is not None:
+            self.hits += 1
+            # Re-insert to mark as most recently used.
+            del entries[key]
+            entries[key] = tiled
+            return tiled
+        self.misses += 1
+        tiled = TiledRaster(
+            rasterize(prim, screen_rect), self.tile_size, self.tiles_x
+        )
+        self._retained_fragments += tiled.fragment_count
+        entries[key] = tiled
+        while (self._retained_fragments > self.fragment_budget
+               and len(entries) > 1):
+            evicted = entries.pop(next(iter(entries)))
+            self._retained_fragments -= evicted.fragment_count
+        return tiled
+
+
+#: Process-wide raster memos, one per (tile grid, screen rect): content
+#: keys make hits exact across independent Gpu instances of equal
+#: configuration.
+_SHARED_RASTER_MEMOS: dict = {}
+
+
+def shared_raster_memo(tile_size: int, tiles_x: int,
+                       screen_rect: tuple) -> RasterMemo:
+    """The process-wide :class:`RasterMemo` for one screen geometry."""
+    key = (tile_size, tiles_x, screen_rect)
+    memo = _SHARED_RASTER_MEMOS.get(key)
+    if memo is None:
+        memo = RasterMemo(tile_size, tiles_x)
+        _SHARED_RASTER_MEMOS[key] = memo
+    return memo

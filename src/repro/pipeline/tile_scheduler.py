@@ -30,8 +30,65 @@ from .blending import BlendStage
 from .depth import DepthStage
 from .fragment_stage import FragmentStage
 from .framebuffer import FrameBuffer, TileBuffers
-from .rasterizer import rasterize
+from .rasterizer import RasterMemo, TiledRaster, rasterize
 from .tiling import TILE_POINTER_BYTES, ParameterBuffer
+
+#: Parameter-Buffer lines live in their own L2 address region.
+_PB_L2_OFFSET = 1 << 40
+
+
+class TileMemo:
+    """Cross-frame memo of whole-tile render results, keyed by content.
+
+    A tile's colors and every activity counter it produces are a pure
+    function of its primitive list (screen positions, depths, attributes,
+    bound state), the tile rect and the clear color.  Frame-coherent
+    workloads re-render identical tiles every frame; on a hit the memo
+    re-applies the recorded stat deltas and replays the recorded texture
+    line streams through the live cache hierarchy, so cache state, DRAM
+    pressure and all counters evolve exactly as a recomputation.  Purely
+    an execution-speed cache — the scalar reference path never uses it —
+    bounded by retained colors + replay lines with LRU eviction.
+
+    Entries pin their shader objects: shader ``id`` participates in the
+    key, so the ids must stay unrecycled while an entry lives.
+    """
+
+    def __init__(self, element_budget: int = 24_000_000) -> None:
+        self.element_budget = element_budget
+        self._entries: dict = {}
+        self._retained = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            # Re-insert to mark as most recently used.
+            del self._entries[key]
+            self._entries[key] = entry
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key: tuple, entry: tuple, cost: int) -> None:
+        entries = self._entries
+        entries[key] = entry + (cost,)
+        self._retained += cost
+        while self._retained > self.element_budget and len(entries) > 1:
+            evicted = entries.pop(next(iter(entries)))
+            self._retained -= evicted[-1]
+
+
+#: Process-wide tile memo: keys are content-stable (tile rect included),
+#: so hits are exact across independent Gpu instances.
+_SHARED_TILE_MEMO = TileMemo()
+
+
+def shared_tile_memo() -> TileMemo:
+    """The process-wide :class:`TileMemo` used by batched-mode GPUs."""
+    return _SHARED_TILE_MEMO
 
 
 @dataclasses.dataclass
@@ -53,7 +110,9 @@ class RasterPipeline:
 
     def __init__(self, config: GpuConfig, tile_cache: Cache, l2_cache: Cache,
                  dram: Dram, framebuffer: FrameBuffer,
-                 fragment_stage: FragmentStage) -> None:
+                 fragment_stage: FragmentStage, batched: bool = True,
+                 raster_memo: RasterMemo = None,
+                 tile_memo: TileMemo = None) -> None:
         self.config = config
         self.tile_cache = tile_cache
         self.l2 = l2_cache
@@ -64,39 +123,156 @@ class RasterPipeline:
         self.blend_stage = BlendStage()
         self.buffers = TileBuffers(config.tile_size)
         self.stats = RasterStats()
+        # Batched mode rasterizes each primitive once for the whole
+        # screen and slices per tile (bit-identical to per-tile calls;
+        # see rasterizer.TiledRaster).  The scalar path remains the
+        # reference semantics and never touches the memo.
+        self.batched = batched
+        self._memo = raster_memo
+        self._tile_memo = tile_memo
+        self._screen_rect = (0, 0, config.screen_width, config.screen_height)
+        self._tiles_x = config.tiles_x
+        self._frame_rasters: dict = {}
+        self._state_keys: dict = {}
+
+    def _tile_fragments(self, prim, tile_id: int):
+        """Batched-path fragments of ``prim`` inside ``tile_id``."""
+        tiled = self._frame_rasters.get(id(prim))
+        if tiled is None:
+            if self._memo is not None:
+                tiled = self._memo.get(prim, self._screen_rect)
+            else:
+                tiled = TiledRaster(
+                    rasterize(prim, self._screen_rect),
+                    self.config.tile_size, self._tiles_x,
+                )
+            self._frame_rasters[id(prim)] = tiled
+        return tiled.tile(prim, tile_id)
 
     def _fetch_tile_primitives(self, tile_id: int,
                                parameter_buffer: ParameterBuffer) -> list:
         """Simulate Parameter-Buffer reads for one tile's polygon list."""
         prims = parameter_buffer.tile_primitives(tile_id)
+        line_bytes = self.tile_cache.line_bytes
+        lines = []
+        nbytes = 0
         for prim in prims:
-            nbytes = prim.parameter_buffer_bytes() + TILE_POINTER_BYTES
-            start_line = prim.pb_offset // self.tile_cache.line_bytes
-            end_line = (
-                prim.pb_offset + prim.parameter_buffer_bytes() - 1
-            ) // self.tile_cache.line_bytes
-            for line in range(start_line, end_line + 1):
-                if self.tile_cache.access(line):
-                    continue
-                if self.l2.access(line + (1 << 40)):  # PB region in L2 space
-                    continue
-                self.stats.stall_cycles += self.dram.read(
-                    self.tile_cache.line_bytes, "primitives"
+            pb_bytes = prim.parameter_buffer_bytes()
+            nbytes += pb_bytes + TILE_POINTER_BYTES
+            start_line = prim.pb_offset // line_bytes
+            end_line = (prim.pb_offset + pb_bytes - 1) // line_bytes
+            lines.extend(range(start_line, end_line + 1))
+        # Drive the whole tile's line stream through the hierarchy in
+        # one run per cache: each cache still sees the identical access
+        # sequence, so hit/miss state and counts match the per-line loop.
+        tile_misses = self.tile_cache.access_run(lines)
+        if tile_misses:
+            l2_misses = self.l2.access_run(
+                [line + _PB_L2_OFFSET for line in tile_misses]
+            )
+            if l2_misses:
+                self.stats.stall_cycles += self.dram.read_run(
+                    len(l2_misses), line_bytes, "primitives"
                 )
-            self.stats.pb_bytes_fetched += nbytes
+        self.stats.pb_bytes_fetched += nbytes
         return prims
+
+    def _state_key(self, state) -> tuple:
+        """Content key of a DrawState's shading-relevant bindings, cached
+        per state instance for the pipeline's lifetime (one frame)."""
+        key = self._state_keys.get(id(state))
+        if key is None:
+            key = (
+                id(state.shader),
+                tuple(
+                    t.content_token if t is not None else None
+                    for t in state.textures
+                ),
+                state.constants_bytes(),
+                state.depth_test,
+                state.depth_write,
+            )
+            self._state_keys[id(state)] = key
+        return key
+
+    def _tile_key(self, prims: list, rect: tuple, clear_color) -> tuple:
+        parts = [rect, np.asarray(clear_color, dtype=np.float32).tobytes()]
+        for prim in prims:
+            parts.append(prim.screen.tobytes() + prim.depth.tobytes())
+            parts.append(prim.attribute_bytes())
+            parts.append(self._state_key(prim.state))
+        return tuple(parts)
+
+    #: Counter fields snapshotted around a tile render; the delta is what
+    #: a TileMemo hit re-applies.  Texture cache accesses and texture
+    #: stall cycles are excluded — those come from replaying the recorded
+    #: line streams through the live caches.
+    def _stats_snapshot(self) -> tuple:
+        rs, ds = self.stats, self.depth_stage.stats
+        fs, bs = self.fragment_stage.stats, self.blend_stage.stats
+        return (
+            rs.prim_tile_pairs, rs.fragments_rasterized,
+            rs.interp_attr_fragments,
+            ds.fragments_tested, ds.fragments_passed, ds.fragments_culled,
+            fs.fragments_shaded, fs.fragments_memoized,
+            fs.shader_instructions, fs.texture_fetches,
+            bs.fragments_blended, bs.alpha_blends,
+        )
+
+    def _apply_stats_delta(self, delta: tuple) -> None:
+        rs, ds = self.stats, self.depth_stage.stats
+        fs, bs = self.fragment_stage.stats, self.blend_stage.stats
+        rs.prim_tile_pairs += delta[0]
+        rs.fragments_rasterized += delta[1]
+        rs.interp_attr_fragments += delta[2]
+        ds.fragments_tested += delta[3]
+        ds.fragments_passed += delta[4]
+        ds.fragments_culled += delta[5]
+        fs.fragments_shaded += delta[6]
+        fs.fragments_memoized += delta[7]
+        fs.shader_instructions += delta[8]
+        fs.texture_fetches += delta[9]
+        bs.fragments_blended += delta[10]
+        bs.alpha_blends += delta[11]
 
     def render_tile(self, tile_id: int, parameter_buffer: ParameterBuffer,
                     clear_color) -> np.ndarray:
         """Render one tile; returns its final on-chip colors (h, w, 4)."""
         rect = self.framebuffer.tile_rect(tile_id)
-        self.buffers.clear(color=clear_color)
         prims = self._fetch_tile_primitives(tile_id, parameter_buffer)
         x0, y0, x1, y1 = rect
 
+        # Whole-tile memo (batched mode only; disabled whenever a
+        # stateful memo filter must observe every batch).
+        memo = (
+            self._tile_memo
+            if self.batched and self.fragment_stage.memo_filter is None
+            else None
+        )
+        key = None
+        if memo is not None:
+            key = self._tile_key(prims, rect, clear_color)
+            entry = memo.get(key)
+            if entry is not None:
+                colors, delta, traffic, _pins, _cost = entry
+                self._apply_stats_delta(delta)
+                replay = self.fragment_stage.replay_texture_lines
+                for raw_count, lines in traffic:
+                    replay(raw_count, lines)
+                self.stats.tiles_rendered += 1
+                return colors
+            self.fragment_stage.traffic_log = []
+
+        self.buffers.clear(color=clear_color)
+        snapshot = self._stats_snapshot() if memo is not None else None
+
+        batched = self.batched
         for prim in prims:
             self.stats.prim_tile_pairs += 1
-            batch = rasterize(prim, rect)
+            if batched:
+                batch = self._tile_fragments(prim, tile_id)
+            else:
+                batch = rasterize(prim, rect)
             if batch.count == 0:
                 continue
             self.stats.fragments_rasterized += batch.count
@@ -119,7 +295,18 @@ class RasterPipeline:
                 alpha=prim.state.shader.uses_alpha_blend,
             )
         self.stats.tiles_rendered += 1
-        return self.buffers.color[: y1 - y0, : x1 - x0]
+        colors = self.buffers.color[: y1 - y0, : x1 - x0]
+        if memo is not None:
+            after = self._stats_snapshot()
+            delta = tuple(b - a for a, b in zip(snapshot, after))
+            traffic = tuple(self.fragment_stage.traffic_log)
+            self.fragment_stage.traffic_log = None
+            colors = colors.copy()
+            pins = tuple({id(p.state.shader): p.state.shader
+                          for p in prims}.values())
+            cost = colors.size + sum(len(lines) for _, lines in traffic)
+            memo.put(key, (colors, delta, traffic, pins), cost)
+        return colors
 
     def flush_tile(self, tile_id: int, tile_colors: np.ndarray) -> None:
         nbytes = self.framebuffer.write_tile(tile_id, tile_colors)

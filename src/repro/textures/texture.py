@@ -34,6 +34,7 @@ class Texture:
             raise PipelineError("texture_id must be non-negative")
         self.data = data
         self.texture_id = texture_id
+        self._content_token = None
 
     @property
     def height(self) -> int:
@@ -55,6 +56,22 @@ class Texture:
     @property
     def nbytes(self) -> int:
         return self.width * self.height * TEXEL_BYTES
+
+    @property
+    def content_token(self) -> tuple:
+        """Content-stable identity: equal tokens mean equal sampling
+        behaviour (same texel addresses and colors).  Computed once —
+        texture data is immutable after construction."""
+        if self._content_token is None:
+            import hashlib
+
+            digest = hashlib.sha1(
+                np.ascontiguousarray(self.data).tobytes()
+            ).digest()
+            self._content_token = (
+                self.texture_id, self.width, self.height, digest
+            )
+        return self._content_token
 
 
 def flat_texture(color, texture_id: int, size: int = 8) -> Texture:

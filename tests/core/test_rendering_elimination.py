@@ -176,6 +176,7 @@ class TestOverheadsAndMetadata:
             gpu.config.num_tiles,
         )
 
+    @pytest.mark.slow
     def test_exact_and_fast_gpu_runs_agree(self):
         config = GpuConfig.small()
         fast = Gpu(config, RenderingElimination(config, exact=False))

@@ -130,6 +130,7 @@ class TestSignatureValue:
         assert sig_a != buffer2.read(0)
 
 
+@pytest.mark.slow
 class TestExactFastEquivalence:
     @settings(max_examples=20, deadline=None)
     @given(st.lists(

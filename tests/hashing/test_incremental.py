@@ -113,3 +113,67 @@ class TestCombineMany:
 
         result = combine_many(np.empty(0, np.uint32), 0x1234, 64)
         assert result.size == 0
+
+
+class TestCombineManyEdgeShifts:
+    """Edge shifts and awkward input layouts for the table-driven
+    vectorized combine (it must stay a drop-in for scalar ``combine``)."""
+
+    CRCS = [0, 1, 0xFFFFFFFF, 0xDEADBEEF, 0x12345678]
+
+    def _assert_matches_scalar(self, crcs, crc_b, len_b_bits):
+        import numpy as np
+        from repro.hashing import combine_many
+
+        result = combine_many(np.array(crcs, dtype=np.uint32),
+                              crc_b, len_b_bits)
+        expected = [combine(c, crc_b, len_b_bits) for c in crcs]
+        assert result.tolist() == expected
+
+    def test_zero_bit_submessage(self):
+        # Appending nothing: result is crc_a ^ crc_b per the algebra.
+        self._assert_matches_scalar(self.CRCS, 0xCAFEBABE, 0)
+
+    def test_single_subblock_shift(self):
+        # Exactly one 64-bit subblock — the smallest real Shift Amount.
+        self._assert_matches_scalar(self.CRCS, 0xCAFEBABE, 64)
+
+    @pytest.mark.parametrize("len_b_bits", [
+        8 * 4096,          # at the _shift_columns lru_cache boundary
+        8 * 4096 + 64,     # just past it
+        8 * 65536,         # far past any cached table
+    ])
+    def test_beyond_shift_cache_boundaries(self, len_b_bits):
+        self._assert_matches_scalar(self.CRCS, 0x0BADF00D, len_b_bits)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**14))
+    def test_random_shift_matches_scalar(self, crc_b, len_bytes):
+        self._assert_matches_scalar(self.CRCS, crc_b, len_bytes * 8)
+
+    def test_non_contiguous_input(self):
+        import numpy as np
+        from repro.hashing import combine_many
+
+        base = np.arange(20, dtype=np.uint32) * 0x01010101
+        strided = base[::2]
+        assert not strided.flags["C_CONTIGUOUS"] or strided.size <= 1
+        result = combine_many(strided, 0x1234, 512)
+        expected = [combine(int(c), 0x1234, 512) for c in strided]
+        assert result.tolist() == expected
+
+    def test_scalar_and_zero_d_inputs(self):
+        import numpy as np
+        from repro.hashing import combine_many
+
+        expected = combine(0xDEADBEEF, 0x1234, 128)
+        assert int(combine_many(np.uint32(0xDEADBEEF), 0x1234, 128)) == expected
+        assert int(
+            combine_many(np.array(0xDEADBEEF, dtype=np.uint32), 0x1234, 128)
+        ) == expected
+
+    def test_python_list_input(self):
+        from repro.hashing import combine_many
+
+        result = combine_many(self.CRCS, 0x1234, 192)
+        expected = [combine(c, 0x1234, 192) for c in self.CRCS]
+        assert result.tolist() == expected
