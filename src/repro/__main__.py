@@ -28,7 +28,7 @@ from .harness.experiments import (
     table1_parameters,
 )
 from .harness.runner import TECHNIQUES, run_workload
-from .workloads.games import BENCHMARKS, FIGURE_ORDER, PSEUDO_WORKLOADS
+from .workloads.games import BENCHMARKS, PSEUDO_WORKLOADS
 
 
 def _config_from(args) -> GpuConfig:
@@ -104,8 +104,16 @@ def _cmd_run(args) -> int:
     run = run_workload(
         args.game, args.technique, _config_from(args), num_frames=args.frames,
         perf=perf,
+        resume_from=args.resume,
+        checkpoint_at=args.checkpoint_at,
+        checkpoint_path=args.checkpoint_out,
+        manifest_path=args.manifest,
     )
-    print(f"{args.game} under {args.technique}: {args.frames} frames at "
+    if args.resume:
+        print(f"resumed from checkpoint {args.resume}")
+    # Report what actually ran: on --resume the technique and frame count
+    # come from the checkpoint, not the CLI defaults.
+    print(f"{run.alias} under {run.technique}: {run.num_frames} frames at "
           f"{run.config.screen_width}x{run.config.screen_height}")
     print(f"  cycles:          {run.total_cycles / 1e6:10.2f} M "
           f"(geometry {run.geometry_cycles / 1e6:.2f} M / "
@@ -173,6 +181,17 @@ def main(argv=None) -> int:
     run = sub.add_parser("run", help="run one game under one technique")
     run.add_argument("game")
     run.add_argument("--technique", choices=TECHNIQUES, default="re")
+    run.add_argument("--resume", default=None, metavar="CHECKPOINT",
+                     help="resume a run from a checkpoint file written "
+                          "by --checkpoint-at/--checkpoint-out")
+    run.add_argument("--checkpoint-at", type=int, default=None,
+                     metavar="FRAME",
+                     help="write a checkpoint after this many frames, "
+                          "then continue to completion")
+    run.add_argument("--checkpoint-out", default=None, metavar="PATH",
+                     help="where --checkpoint-at writes the checkpoint")
+    run.add_argument("--manifest", default=None, metavar="PATH",
+                     help="write a JSON run manifest here")
     report = sub.add_parser(
         "report", help="regenerate every figure into one markdown report"
     )

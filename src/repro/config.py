@@ -109,6 +109,10 @@ class GpuConfig:
     crc_block_bytes: int = 8      # Compute CRC subblock size (8 x 1-KB LUTs)
     ot_queue_entries: int = 64    # Overlapped Tiles queue depth
     re_refresh_period_frames: int = 0  # 0 = never force a refresh frame
+    # Signature-buffer compare distance: 2 under double buffering
+    # (Section IV-C), 1 for the single-buffer ablation.  Also the number
+    # of warm-up frames that cannot match (no reference bank yet).
+    signature_compare_distance: int = 2
 
     # Transaction Elimination / Fragment Memoization models
     memo_lut_entries: int = 2048
@@ -127,6 +131,29 @@ class GpuConfig:
             raise ConfigError("dram latency min exceeds max")
         if self.num_fragment_processors <= 0 or self.num_vertex_processors <= 0:
             raise ConfigError("processor counts must be positive")
+        if self.signature_compare_distance < 1:
+            raise ConfigError("signature_compare_distance must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoint manifests; no pickle anywhere)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (nested cache/queue configs become dicts)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GpuConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(data)
+        for field in dataclasses.fields(cls):
+            value = data.get(field.name)
+            if not isinstance(value, dict):
+                continue
+            if field.type in (QueueConfig, "QueueConfig"):
+                data[field.name] = QueueConfig(**value)
+            elif field.type in (CacheConfig, "CacheConfig"):
+                data[field.name] = CacheConfig(**value)
+        return cls(**data)
 
     # ------------------------------------------------------------------
     # Derived geometry

@@ -132,6 +132,44 @@ class RenderingElimination(Technique):
     def raster_overhead_cycles(self) -> int:
         return self._tiles_compared * COMPARE_CYCLES
 
+    # Checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Signature history plus the unit's cumulative counters (the
+        per-frame stall/overhead figures are diffs against those
+        counters, so they must survive a restore)."""
+        return {
+            "signature_buffer": self.signature_buffer.state_dict(),
+            "signature_unit": self.signature_unit.state_dict(),
+            "disabled_this_frame": self.disabled_this_frame,
+            "frame_records": [
+                {
+                    "frame_index": record.frame_index,
+                    "disabled": record.disabled,
+                    "tiles_skipped": record.tiles_skipped,
+                    "tiles_compared": record.tiles_compared,
+                    "signatures": record.signatures,
+                }
+                for record in self.frame_records
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.signature_buffer.load_state_dict(state["signature_buffer"])
+        self.signature_unit.load_state_dict(state["signature_unit"])
+        self.disabled_this_frame = bool(state["disabled_this_frame"])
+        self.frame_records = [
+            ReFrameRecord(
+                frame_index=int(record["frame_index"]),
+                disabled=bool(record["disabled"]),
+                tiles_skipped=int(record["tiles_skipped"]),
+                tiles_compared=int(record["tiles_compared"]),
+                signatures=np.asarray(
+                    record["signatures"], dtype=np.uint32
+                ),
+            )
+            for record in state["frame_records"]
+        ]
+
     # Introspection ----------------------------------------------------------
     def current_signatures(self) -> np.ndarray:
         """Copy of the per-tile signatures of the frame just signed."""

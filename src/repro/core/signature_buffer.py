@@ -108,6 +108,21 @@ class SignatureBuffer:
         signatures were not maintained)."""
         self._valid[:] = False
 
+    def state_dict(self) -> dict:
+        return {
+            "banks": self._banks.copy(),
+            "valid": self._valid.copy(),
+            "current": self._current,
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._banks[:] = state["banks"]
+        self._valid[:] = state["valid"]
+        self._current = int(state["current"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, int(value))
+
     @property
     def storage_bytes(self) -> int:
         """On-chip SRAM the paper's area model charges: two frames of

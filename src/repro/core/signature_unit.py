@@ -34,7 +34,7 @@ import numpy as np
 from ..config import GpuConfig
 from ..hashing.crc32 import crc32_table
 from ..hashing.incremental import combine_many
-from ..hashing.parallel import AccumulateCrcUnit, ComputeCrcUnit, UnitStats
+from ..hashing.parallel import AccumulateCrcUnit, ComputeCrcUnit
 from .signature_buffer import SignatureBuffer
 
 #: Cycles charged per tile update beyond the accumulate shifts: Signature
@@ -218,6 +218,17 @@ class SignatureUnit:
         self.stats.constants_folds += n_fresh
         self.stats.accumulate_cycles += busy
         return busy
+
+    def state_dict(self) -> dict:
+        """Cumulative activity counters only.  Everything else is either
+        rebuilt by :meth:`begin_frame` (bitmap, constants registers) or a
+        pure content-keyed memo (the block-CRC cache), so it cannot
+        influence post-restore results."""
+        return {"stats": dataclasses.asdict(self.stats)}
+
+    def load_state_dict(self, state: dict) -> None:
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, int(value))
 
     @property
     def lut_storage_bytes(self) -> int:

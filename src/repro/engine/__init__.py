@@ -1,0 +1,55 @@
+"""Stage-graph engine: the simulator's structural layer.
+
+* :mod:`repro.engine.stage` — the :class:`Stage` protocol every pipeline
+  block implements, plus the per-frame :class:`FrameContext`;
+* :mod:`repro.engine.stats` — :class:`StatsRegistry` / :class:`MetricSpec`,
+  the typed counter registry FrameStats is assembled from;
+* :mod:`repro.engine.checkpoint` — the versioned, pickle-free state-dict
+  codec;
+* :mod:`repro.engine.factory` — technique construction by registry name;
+* :mod:`repro.engine.session` — :class:`RenderSession`, the resumable
+  run wrapper.
+
+``session`` imports the pipeline (which imports ``engine.stage``), so
+its symbols are re-exported lazily to keep the package import acyclic.
+"""
+
+from __future__ import annotations
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .factory import TECHNIQUES, make_technique
+from .stage import FrameContext, Stage
+from .stats import MetricSpec, StatsRegistry
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "FrameContext",
+    "FrameMetrics",
+    "MetricSpec",
+    "RenderSession",
+    "Stage",
+    "StatsRegistry",
+    "TECHNIQUES",
+    "load_checkpoint",
+    "make_technique",
+    "save_checkpoint",
+    "tile_color_crcs",
+]
+
+#: Symbols resolved lazily from repro.engine.session (circular-import
+#: avoidance: session -> pipeline -> engine.stage).
+_SESSION_SYMBOLS = ("RenderSession", "FrameMetrics", "tile_color_crcs")
+
+
+def __getattr__(name: str):
+    if name in _SESSION_SYMBOLS:
+        from . import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,116 @@
+"""Versioned, pickle-free checkpoint serialization.
+
+A checkpoint is a nested state dict of plain Python values plus numpy
+arrays and raw byte strings.  This module encodes that tree into pure
+JSON (arrays and bytes become tagged base64 objects) and back, so a
+checkpoint file is portable, inspectable and cannot execute code on
+load — unlike pickle.
+
+Exactness: ints and strings round-trip losslessly by construction;
+floats round-trip exactly because ``json`` emits ``repr`` shortest
+round-trip forms; array and byte payloads are base64 of the raw bytes.
+A restored session therefore continues *bit-identically*.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+import numpy as np
+
+from ..errors import CheckpointError
+
+#: Bump when the checkpoint state-dict layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: Magic value identifying a repro checkpoint payload.
+CHECKPOINT_FORMAT = "repro.render-session"
+
+_NDARRAY_TAG = "__ndarray__"
+_BYTES_TAG = "__bytes__"
+
+
+def encode_state(obj):
+    """Recursively encode a state tree into JSON-serializable values."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return {_NDARRAY_TAG: {
+            "dtype": str(data.dtype),
+            "shape": list(data.shape),
+            "data": base64.b64encode(data.tobytes()).decode("ascii"),
+        }}
+    if isinstance(obj, (bytes, bytearray)):
+        return {_BYTES_TAG: base64.b64encode(bytes(obj)).decode("ascii")}
+    if isinstance(obj, dict):
+        encoded = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise CheckpointError(
+                    f"state dict keys must be strings, got {key!r}"
+                )
+            if key in (_NDARRAY_TAG, _BYTES_TAG):
+                raise CheckpointError(f"reserved state key {key!r}")
+            encoded[key] = encode_state(value)
+        return encoded
+    if isinstance(obj, (list, tuple)):
+        return [encode_state(item) for item in obj]
+    raise CheckpointError(
+        f"cannot serialize {type(obj).__name__} in a checkpoint"
+    )
+
+
+def decode_state(obj):
+    """Inverse of :func:`encode_state` (tuples come back as lists)."""
+    if isinstance(obj, dict):
+        if _NDARRAY_TAG in obj:
+            meta = obj[_NDARRAY_TAG]
+            raw = base64.b64decode(meta["data"])
+            return np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(
+                meta["shape"]
+            ).copy()
+        if _BYTES_TAG in obj:
+            return base64.b64decode(obj[_BYTES_TAG])
+        return {key: decode_state(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [decode_state(item) for item in obj]
+    return obj
+
+
+def save_checkpoint(state: dict, path) -> None:
+    """Write a state dict to ``path`` as tagged JSON, stamped with the
+    checkpoint format and version for validation on load."""
+    if "format" in state or "version" in state:
+        raise CheckpointError(
+            "state dict must not define 'format' or 'version' itself"
+        )
+    payload = {"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION}
+    payload.update(state)
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(encode_state(payload), handle)
+
+
+def load_checkpoint(path) -> dict:
+    """Read a state dict written by :func:`save_checkpoint`."""
+    with open(path, "r", encoding="ascii") as handle:
+        state = decode_state(json.load(handle))
+    if not isinstance(state, dict):
+        raise CheckpointError(f"{path}: not a checkpoint payload")
+    if state.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{path}: not a {CHECKPOINT_FORMAT} checkpoint")
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {state.get('version')!r} is not "
+            f"supported (expected {CHECKPOINT_VERSION})"
+        )
+    return state

@@ -1,0 +1,49 @@
+"""Technique registry: construct redundancy-elimination techniques by
+name, wired to the active :class:`~repro.config.GpuConfig`.
+
+This is the single construction path the harness, the CLI and the
+:class:`~repro.engine.session.RenderSession` all share — signature-buffer
+compare distance and exact-mode signing both flow from here, so an
+ablation config (``signature_compare_distance=1``) changes every
+signature buffer consistently.
+"""
+
+from __future__ import annotations
+
+from ..config import GpuConfig
+from ..core import RenderingElimination
+from ..errors import ReproError
+from ..techniques import (
+    CombinedElimination,
+    FragmentMemoization,
+    Technique,
+    TransactionElimination,
+)
+
+#: Technique registry keyed by the names used throughout the benchmarks.
+TECHNIQUES = ("baseline", "re", "te", "memo", "re+te")
+
+
+def make_technique(name: str, config: GpuConfig, exact: bool = False):
+    """Instantiate a technique by registry name.
+
+    ``exact=True`` routes Rendering Elimination's signature computation
+    through the bit-exact hardware unit models (slow; tests and small
+    runs only).  It is ignored by techniques without a Signature Unit.
+    """
+    distance = config.signature_compare_distance
+    if name == "baseline":
+        return Technique()
+    if name == "re":
+        return RenderingElimination(
+            config, exact=exact, compare_distance=distance
+        )
+    if name == "te":
+        return TransactionElimination(config, compare_distance=distance)
+    if name == "memo":
+        return FragmentMemoization(config)
+    if name == "re+te":
+        return CombinedElimination(
+            config, compare_distance=distance, exact=exact
+        )
+    raise ReproError(f"unknown technique {name!r}; choose from {TECHNIQUES}")

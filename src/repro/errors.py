@@ -28,3 +28,7 @@ class TraceError(ReproError):
 
 class HashingError(ReproError):
     """Invalid input to one of the CRC/hash units (e.g. bad block length)."""
+
+
+class CheckpointError(ReproError):
+    """A render-session checkpoint could not be serialized or restored."""

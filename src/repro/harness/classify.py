@@ -20,8 +20,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
-
 from ..errors import ReproError
 from .runner import RunResult
 

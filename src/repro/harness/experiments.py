@@ -23,7 +23,7 @@ import numpy as np
 from ..config import GpuConfig
 from ..harness import reporting
 from ..workloads.games import FIGURE_ORDER, PSEUDO_WORKLOADS, build_scene
-from .classify import TileClasses, classify_run, equal_tiles_fraction
+from .classify import classify_run, equal_tiles_fraction
 from .runner import RunResult, run_workload
 
 #: Display frame rate assumed when converting cycles to wall time for

@@ -27,7 +27,7 @@ import typing
 import numpy as np
 
 from ..config import GpuConfig
-from .runner import RunResult, run_workload
+from .runner import run_workload
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,66 +1,35 @@
 """Run workloads under techniques and collect per-frame metrics.
 
 This is the experiment driver the paper's evaluation flows through: it
-renders N frames of a benchmark on a fresh simulated GPU with a chosen
+renders N frames of a benchmark on a simulated GPU with a chosen
 technique, converts activity to cycles and energy, and records per-tile
 color checksums (and input signatures for RE runs) so the tile-level
 analyses of Figs. 2 and 15a are *measured* from rendered output.
+
+The heavy lifting lives in :class:`repro.engine.session.RenderSession`;
+this module drives it, adds checkpoint/resume plumbing and the JSON run
+manifest, and packages the outcome as a :class:`RunResult`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import zlib
+import json
 
 import numpy as np
 
 from ..config import GpuConfig
-from ..core import RenderingElimination
-from ..errors import ReproError
-from ..pipeline import Gpu
-from ..power import EnergyBreakdown, EnergyModel, technique_event_counts
-from ..techniques import (
-    CombinedElimination,
-    FragmentMemoization,
-    Technique,
-    TransactionElimination,
-)
-from ..timing import CycleBreakdown, TimingModel
-from ..workloads.games import build_scene
+from ..engine.factory import TECHNIQUES, make_technique
+from ..engine.session import FrameMetrics, RenderSession, tile_color_crcs
 
-#: Technique registry keyed by the names used throughout the benchmarks.
-TECHNIQUES = ("baseline", "re", "te", "memo", "re+te")
-
-
-def make_technique(name: str, config: GpuConfig):
-    """Instantiate a technique by registry name."""
-    if name == "baseline":
-        return Technique()
-    if name == "re":
-        return RenderingElimination(config)
-    if name == "te":
-        return TransactionElimination(config)
-    if name == "memo":
-        return FragmentMemoization(config)
-    if name == "re+te":
-        return CombinedElimination(config)
-    raise ReproError(f"unknown technique {name!r}; choose from {TECHNIQUES}")
-
-
-@dataclasses.dataclass
-class FrameMetrics:
-    """Per-frame digest of a rendered frame."""
-
-    cycles: CycleBreakdown
-    energy: EnergyBreakdown
-    tiles_skipped: int
-    flushes_suppressed: int
-    fragments_rasterized: int
-    fragments_shaded: int
-    fragments_memoized: int
-    traffic: dict
-    geometry_overhead_cycles: int
-    raster_overhead_cycles: int
+__all__ = [
+    "TECHNIQUES",
+    "FrameMetrics",
+    "RunResult",
+    "make_technique",
+    "run_workload",
+    "tile_color_crcs",
+]
 
 
 @dataclasses.dataclass
@@ -76,6 +45,11 @@ class RunResult:
     tile_input_sigs: np.ndarray = None     # (frames, tiles) uint32, RE only
     final_frame_crc: int = 0
     technique_stats: object = None
+    #: Frames that cannot match a reference signature: the Signature
+    #: Buffer needs ``compare_distance`` complete banks of history before
+    #: its first valid comparison, so that many leading frames always
+    #: render in full.
+    warmup_frames: int = 2
 
     # Aggregates ----------------------------------------------------------
     @property
@@ -121,9 +95,13 @@ class RunResult:
     def total_traffic_bytes(self) -> int:
         return sum(sum(f.traffic.values()) for f in self.frames)
 
-    def skipped_fraction(self, warmup: int = 2) -> float:
+    def skipped_fraction(self, warmup: int = None) -> float:
         """Fraction of tiles skipped, ignoring the warm-up frames that
-        cannot match (no reference bank yet)."""
+        cannot match (no reference bank yet).  ``warmup`` defaults to
+        :attr:`warmup_frames`, which the harness derives from the
+        configured signature compare distance."""
+        if warmup is None:
+            warmup = self.warmup_frames
         frames = self.frames[warmup:]
         if not frames:
             return 0.0
@@ -131,84 +109,85 @@ class RunResult:
         return sum(f.tiles_skipped for f in frames) / total
 
 
-def tile_color_crcs(config: GpuConfig, frame_colors: np.ndarray,
-                    tile_rect) -> np.ndarray:
-    """Per-tile CRC32 of a frame's RGBA8-quantized colors."""
-    quantized = (np.clip(frame_colors, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
-    crcs = np.empty(config.num_tiles, dtype=np.uint32)
-    for tile_id in range(config.num_tiles):
-        x0, y0, x1, y1 = tile_rect(tile_id)
-        crcs[tile_id] = zlib.crc32(
-            np.ascontiguousarray(quantized[y0:y1, x0:x1]).tobytes()
-        )
-    return crcs
+def _write_manifest(path, session: RenderSession, result: RunResult,
+                    resumed_at: int, checkpoint_path) -> None:
+    """JSON run manifest: what ran, from where, and the headline numbers."""
+    manifest = {
+        "alias": session.alias,
+        "technique": session.technique_name,
+        "num_frames": session.num_frames,
+        "frames_rendered_this_run": session.num_frames - resumed_at,
+        "resumed_from_frame": resumed_at if resumed_at else None,
+        "checkpoint_path": str(checkpoint_path) if checkpoint_path else None,
+        "exact_signatures": session.exact_signatures,
+        "warmup_frames": result.warmup_frames,
+        "final_frame_crc": result.final_frame_crc,
+        "total_cycles": result.total_cycles,
+        "total_energy_nj": result.total_energy_nj,
+        "total_traffic_bytes": result.total_traffic_bytes,
+        "tiles_skipped": result.tiles_skipped,
+        "skipped_fraction": result.skipped_fraction(),
+        "config": session.config.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def run_workload(alias: str, technique: str = "baseline",
                  config: GpuConfig = None, num_frames: int = 50,
-                 exact_signatures: bool = False, perf=None) -> RunResult:
+                 exact_signatures: bool = False, perf=None,
+                 resume_from=None, checkpoint_at: int = None,
+                 checkpoint_path=None, manifest_path=None) -> RunResult:
     """Render ``num_frames`` of a benchmark under a technique.
 
     ``perf`` may be a :class:`repro.perf.PerfRecorder`; it then receives
     per-stage wall-clock and event counts for every frame rendered.
+
+    Checkpoint/resume:
+
+    * ``resume_from`` — path to (or state dict of) a checkpoint written
+      by an earlier run; the session continues from the frame after the
+      checkpoint and the combined result is bit-identical to an
+      uninterrupted run.
+    * ``checkpoint_at`` — write a checkpoint to ``checkpoint_path``
+      after that many frames, then keep rendering to completion.
+    * ``manifest_path`` — write a JSON manifest describing the run.
     """
-    config = config or GpuConfig.benchmark()
-    scene = build_scene(alias)
-    tech = make_technique(technique, config)
-    if technique == "re" and exact_signatures:
-        tech = RenderingElimination(config, exact=True)
-    gpu = Gpu(config, tech)
-    gpu.perf = perf
-    timing = TimingModel(config)
-    energy_model = EnergyModel(config)
-
-    frames = []
-    color_crcs = np.empty((num_frames, config.num_tiles), dtype=np.uint32)
-    input_sigs = (
-        np.empty((num_frames, config.num_tiles), dtype=np.uint32)
-        if hasattr(tech, "current_signatures") else None
-    )
-    events_before = technique_event_counts(tech)
-    final_crc = 0
-
-    for index, stream in enumerate(scene.frames(num_frames)):
-        stats = gpu.render_frame(stream, clear_color=scene.clear_color)
-        cycles = timing.frame_cycles(stats)
-        events_after = technique_event_counts(tech)
-        frame_events = {
-            key: events_after.get(key, 0) - events_before.get(key, 0)
-            for key in events_after
-        }
-        events_before = events_after
-        energy = energy_model.frame_energy(stats, cycles, frame_events)
-
-        frames.append(FrameMetrics(
-            cycles=cycles,
-            energy=energy,
-            tiles_skipped=stats.raster.tiles_skipped,
-            flushes_suppressed=stats.raster.flushes_suppressed,
-            fragments_rasterized=stats.raster.fragments_rasterized,
-            fragments_shaded=stats.fragment.fragments_shaded,
-            fragments_memoized=stats.fragment.fragments_memoized,
-            traffic=dict(stats.traffic),
-            geometry_overhead_cycles=stats.technique_geometry_stall_cycles,
-            raster_overhead_cycles=stats.technique_raster_overhead_cycles,
-        ))
-        color_crcs[index] = tile_color_crcs(
-            config, stats.frame_colors, gpu.framebuffer.tile_rect
+    if resume_from is not None:
+        session = RenderSession.from_checkpoint(
+            resume_from, config=config, perf=perf
         )
-        if input_sigs is not None:
-            input_sigs[index] = tech.current_signatures()
-        final_crc = zlib.crc32(stats.frame_colors.tobytes())
+        resumed_at = session.frames_rendered
+    else:
+        session = RenderSession(
+            alias, technique=technique, config=config,
+            num_frames=num_frames, exact_signatures=exact_signatures,
+            perf=perf,
+        )
+        resumed_at = 0
 
-    return RunResult(
-        alias=alias,
-        technique=technique,
-        config=config,
-        num_frames=num_frames,
-        frames=frames,
-        tile_color_crcs=color_crcs,
-        tile_input_sigs=input_sigs,
-        final_frame_crc=final_crc,
-        technique_stats=getattr(tech, "stats", None),
+    if checkpoint_at is not None:
+        session.run(until=checkpoint_at)
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_at requires checkpoint_path")
+        session.save(checkpoint_path)
+    session.run()
+
+    result = RunResult(
+        alias=session.alias,
+        technique=session.technique_name,
+        config=session.config,
+        num_frames=session.num_frames,
+        frames=session.frames,
+        tile_color_crcs=session.color_crcs,
+        tile_input_sigs=session.input_sigs,
+        final_frame_crc=session.final_frame_crc,
+        technique_stats=getattr(session.technique, "stats", None),
+        warmup_frames=session.config.signature_compare_distance,
     )
+    if manifest_path is not None:
+        _write_manifest(
+            manifest_path, session, result, resumed_at, checkpoint_path
+        )
+    return result

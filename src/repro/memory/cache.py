@@ -139,6 +139,19 @@ class Cache:
     def contents_size(self) -> int:
         return sum(len(ways) for ways in self._sets.values())
 
+    def state_dict(self) -> dict:
+        """Cumulative stats only.  Contents are deliberately dropped:
+        every cache is flushed at the next frame boundary, so a restored
+        run re-derives identical per-frame hit/miss behaviour from an
+        empty cache (only the flush's writeback count would differ, and
+        writebacks start from the checkpointed total here)."""
+        return {"stats": dataclasses.asdict(self.stats)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._sets.clear()
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, int(value))
+
 
 def line_addresses(byte_addresses: np.ndarray, line_bytes: int) -> np.ndarray:
     """Reduce a byte-address stream to its ordered unique line addresses.

@@ -143,3 +143,17 @@ class Dram:
     @property
     def total_bytes(self) -> int:
         return self.stats.read_bytes + self.stats.write_bytes
+
+    def state_dict(self) -> dict:
+        """The pressure recurrence crosses frame boundaries (it decays,
+        never resets), so a restore must carry it; the cumulative stats
+        come along so totals survive a checkpoint round trip."""
+        return {
+            "pressure": self._pressure,
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._pressure = float(state["pressure"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)

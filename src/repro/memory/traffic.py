@@ -48,3 +48,11 @@ class TrafficCounters:
 
     def reset(self) -> None:
         self._bytes.clear()
+
+    def state_dict(self) -> dict:
+        return dict(self._bytes)
+
+    def load_state_dict(self, state: dict) -> None:
+        self._bytes = collections.Counter(
+            {stream: int(nbytes) for stream, nbytes in state.items()}
+        )

@@ -6,6 +6,8 @@ import dataclasses
 
 import numpy as np
 
+from ..engine.stage import Stage
+
 
 @dataclasses.dataclass
 class BlendStats:
@@ -13,8 +15,10 @@ class BlendStats:
     alpha_blends: int = 0
 
 
-class BlendStage:
+class BlendStage(Stage):
     """Writes fragment colors into a tile-local color array."""
+
+    metrics_group = "blend"
 
     def __init__(self) -> None:
         self.stats = BlendStats()

@@ -17,6 +17,7 @@ import dataclasses
 
 import numpy as np
 
+from ..engine.stage import Stage
 from ..errors import PipelineError
 from ..geometry.primitives import DrawState
 from .commands import (
@@ -50,16 +51,23 @@ class CommandProcessorStats:
     texture_uploads: int = 0
 
 
-class CommandProcessor:
+class CommandProcessor(Stage):
     """Stateful front end of the Geometry Pipeline."""
 
+    metrics_group = "command"
+
     def __init__(self) -> None:
+        self.stats = CommandProcessorStats()
+        self.begin_frame()
+
+    def begin_frame(self, ctx=None) -> None:
+        """Drop the bound pipeline state: nothing carries across a frame
+        boundary (each frame's command stream rebinds from scratch)."""
         self._shader = None
         self._constants = None
         self._textures: dict = {}
         self._constants_version = 0
         self._drawcall_id = 0
-        self.stats = CommandProcessorStats()
         self.frame_had_upload = False
 
     def process(self, stream: CommandStream):

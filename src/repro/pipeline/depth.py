@@ -13,6 +13,8 @@ import dataclasses
 
 import numpy as np
 
+from ..engine.stage import Stage
+
 
 @dataclasses.dataclass
 class DepthStats:
@@ -21,8 +23,10 @@ class DepthStats:
     fragments_culled: int = 0
 
 
-class DepthStage:
+class DepthStage(Stage):
     """Early-Z over one tile's depth buffer."""
+
+    metrics_group = "depth"
 
     def __init__(self) -> None:
         self.stats = DepthStats()

@@ -21,6 +21,7 @@ import dataclasses
 
 import numpy as np
 
+from ..engine.stage import Stage
 from ..errors import PipelineError
 from ..memory.cache import Cache, line_address_list
 from ..memory.dram import Dram
@@ -90,8 +91,10 @@ def shared_shade_memo() -> ShadeMemo:
     return _SHARED_SHADE_MEMO
 
 
-class FragmentStage:
+class FragmentStage(Stage):
     """Shades fragment batches with texture-cache simulation."""
+
+    metrics_group = "fragment"
 
     def __init__(self, texture_cache: Cache, l2_cache: Cache,
                  dram: Dram) -> None:
@@ -104,6 +107,9 @@ class FragmentStage:
         # When a list, every texture line stream driven through the
         # hierarchy is also appended as ``(raw_access_count, lines)`` so
         # the tile scheduler's TileMemo can replay it verbatim later.
+        self.traffic_log = None
+
+    def begin_frame(self, ctx=None) -> None:
         self.traffic_log = None
 
     def shade(self, batch, pass_mask: np.ndarray) -> tuple:

@@ -90,3 +90,14 @@ class FrameBuffer:
     def snapshot_back(self) -> np.ndarray:
         """Copy of the just-rendered frame (call before :meth:`swap`)."""
         return self.back.copy()
+
+    def state_dict(self) -> dict:
+        return {
+            "buffers": [buf.copy() for buf in self._buffers],
+            "back": self._back,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for buf, saved in zip(self._buffers, state["buffers"]):
+            buf[:] = saved
+        self._back = int(state["back"])

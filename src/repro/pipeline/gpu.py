@@ -1,8 +1,17 @@
 """Top-level GPU: the full Tile-Based Rendering pipeline of Fig. 4.
 
+The pipeline is a *stage graph*: every hardware block (command
+processor, vertex stage, primitive assembly, polygon list builder,
+raster pipeline, fragment stage) is a persistent
+:class:`~repro.engine.stage.Stage` constructed once in
+:meth:`Gpu.__init__` and reused across frames, mirroring the fixed
+hardware of a real TBR GPU.  Per-frame state travels in a
+:class:`~repro.engine.stage.FrameContext`; per-frame statistics come
+from a :class:`~repro.engine.stats.StatsRegistry` snapshot-delta over
+the stages' cumulative counters.
+
 :meth:`Gpu.render_frame` runs one frame's command stream through the
-Geometry Pipeline (command processing, vertex shading, primitive
-assembly, tiling) and then the Raster Pipeline tile by tile, returning a
+Geometry Pipeline and then the Raster Pipeline tile by tile, returning a
 :class:`FrameStats` with every activity count the timing and power
 models consume, plus the rendered frame for functional verification.
 
@@ -18,9 +27,11 @@ import dataclasses
 import numpy as np
 
 from ..config import GpuConfig
+from ..engine.stage import FrameContext
+from ..engine.stats import StatsRegistry
 from ..memory.cache import Cache
 from ..memory.dram import Dram
-from ..memory.traffic import TrafficCounters
+from ..memory.traffic import ALL_STREAMS, TrafficCounters
 from ..techniques.base import Technique
 from .blending import BlendStats
 from .command_processor import CommandProcessor
@@ -33,6 +44,17 @@ from .rasterizer import shared_raster_memo
 from .tile_scheduler import RasterPipeline, RasterStats, shared_tile_memo
 from .tiling import PolygonListBuilder, TilingStats
 from .vertex_stage import VertexStage, VertexStageStats
+
+#: FrameStats dataclass field -> (registry group, stats dataclass).
+_STAT_GROUPS = (
+    ("vertex", "vertex", VertexStageStats),
+    ("assembly", "assembly", AssemblyStats),
+    ("tiling", "tiling", TilingStats),
+    ("raster", "raster", RasterStats),
+    ("depth", "depth", DepthStats),
+    ("fragment", "fragment", FragmentStats),
+    ("blend", "blend", BlendStats),
+)
 
 
 @dataclasses.dataclass
@@ -73,6 +95,32 @@ class FrameStats:
     def fragments_shaded(self) -> int:
         return self.fragment.fragments_shaded
 
+    def metric(self, key: str):
+        """Resolve a registry-style dotted key against this frame.
+
+        The same keys the :class:`~repro.engine.stats.StatsRegistry`
+        registers (``"vertex.shader_instructions"``,
+        ``"traffic.texels"``, ``"cache.tile.misses"``), plus
+        ``"command.*"`` for the top-level geometry counters and
+        ``"technique.*"`` for the installed technique's overheads — the
+        vocabulary the timing and energy models consume.
+        """
+        group, _, rest = key.partition(".")
+        if group == "command":
+            return getattr(self, rest)
+        if group == "traffic":
+            return self.traffic.get(rest, 0)
+        if group == "cache":
+            name, _, kind = rest.partition(".")
+            table = (
+                self.cache_accesses if kind == "accesses"
+                else self.cache_misses
+            )
+            return table.get(name, 0)
+        if group == "technique":
+            return getattr(self, f"technique_{rest}")
+        return getattr(getattr(self, group), rest)
+
 
 class Gpu:
     """A simulated Mali-450-class TBR GPU."""
@@ -87,6 +135,12 @@ class Gpu:
         self.texture_cache = Cache(config.texture_cache)
         self.tile_cache = Cache(config.tile_cache)
         self.l2_cache = Cache(config.l2_cache)
+        self.caches = {
+            "vertex": self.vertex_cache,
+            "texture": self.texture_cache,
+            "tile": self.tile_cache,
+            "l2": self.l2_cache,
+        }
         self.framebuffer = FrameBuffer(config)
         self.frame_index = 0
         # Batched raster path: full-screen rasterization sliced per tile,
@@ -100,6 +154,52 @@ class Gpu:
         )
         self._shade_memo = shared_shade_memo() if batched else None
         self._tile_memo = shared_tile_memo() if batched else None
+
+        # --- Persistent stage graph (constructed once, reused) --------
+        self.command_processor = CommandProcessor()
+        self.vertex_stage = VertexStage(self.vertex_cache, self.dram)
+        self.assembly = PrimitiveAssembly(
+            config.screen_width, config.screen_height
+        )
+        self.plb = PolygonListBuilder(
+            config, self.dram, listeners=(self.technique,)
+        )
+        self.fragment_stage = FragmentStage(
+            self.texture_cache, self.l2_cache, self.dram
+        )
+        self.fragment_stage.shade_memo = self._shade_memo
+        memo_filter = getattr(self.technique, "memo_filter", None)
+        if callable(memo_filter):
+            self.fragment_stage.memo_filter = memo_filter
+        self.raster = RasterPipeline(
+            config, self.tile_cache, self.l2_cache, self.dram,
+            self.framebuffer, self.fragment_stage, batched=batched,
+            raster_memo=self._raster_memo, tile_memo=self._tile_memo,
+        )
+        self.stages = (
+            self.command_processor, self.vertex_stage, self.assembly,
+            self.plb, self.raster, self.fragment_stage,
+        )
+
+        # --- Metric registry ------------------------------------------
+        self.stats_registry = StatsRegistry()
+        for stage in self.stages:
+            stage.register_metrics(self.stats_registry)
+        for stream in ALL_STREAMS:
+            self.stats_registry.register(
+                f"traffic.{stream}",
+                (lambda counters=self.traffic, s=stream: counters.bytes(s)),
+            )
+        for name, cache in self.caches.items():
+            self.stats_registry.register(
+                f"cache.{name}.accesses",
+                (lambda stats=cache.stats: stats.accesses),
+            )
+            self.stats_registry.register(
+                f"cache.{name}.misses",
+                (lambda stats=cache.stats: stats.misses),
+            )
+
         # Optional repro.perf.PerfRecorder; None keeps the hot path free
         # of timing overhead.
         self.perf = None
@@ -109,8 +209,12 @@ class Gpu:
     def render_frame(self, commands: CommandStream,
                      clear_color=DEFAULT_CLEAR_COLOR) -> FrameStats:
         """Render one frame; returns its statistics and final colors."""
-        stats = FrameStats(frame_index=self.frame_index)
-        stats.technique_name = self.technique.name
+        ctx = FrameContext(
+            frame_index=self.frame_index,
+            commands=commands,
+            clear_color=clear_color,
+            parameter_buffer=self.plb.parameter_buffer,
+        )
 
         # Frame-boundary cache invalidation: the Parameter Buffer is
         # rewritten in place every frame (stale lines must not hit), and
@@ -123,51 +227,21 @@ class Gpu:
         self.texture_cache.flush()
         self.vertex_cache.flush()
 
-        traffic_before = dict(self.traffic.as_dict())
-        caches = {
-            "vertex": self.vertex_cache,
-            "texture": self.texture_cache,
-            "tile": self.tile_cache,
-            "l2": self.l2_cache,
-        }
-        cache_before = {
-            name: (cache.stats.accesses, cache.stats.misses)
-            for name, cache in caches.items()
-        }
-
-        # --- Geometry Pipeline ---------------------------------------
-        command_processor = CommandProcessor()
-        vertex_stage = VertexStage(self.vertex_cache, self.dram)
-        assembly = PrimitiveAssembly(
-            self.config.screen_width, self.config.screen_height
-        )
-        plb = PolygonListBuilder(
-            self.config, self.dram, listeners=(self.technique,)
-        )
-        fragment_stage = FragmentStage(
-            self.texture_cache, self.l2_cache, self.dram
-        )
-        memo_filter = getattr(self.technique, "memo_filter", None)
-        if callable(memo_filter):
-            fragment_stage.memo_filter = memo_filter
-        fragment_stage.shade_memo = self._shade_memo
-        raster = RasterPipeline(
-            self.config, self.tile_cache, self.l2_cache, self.dram,
-            self.framebuffer, fragment_stage, batched=self.batched,
-            raster_memo=self._raster_memo, tile_memo=self._tile_memo,
-        )
+        before = self.stats_registry.snapshot()
+        for stage in self.stages:
+            stage.begin_frame(ctx)
 
         perf = self.perf
         self.technique.begin_frame(self.frame_index, commands.has_uploads)
 
+        # --- Geometry Pipeline ---------------------------------------
         geometry_timer = perf.stage("geometry") if perf else None
         if geometry_timer:
             geometry_timer.__enter__()
-        plb.begin_frame()
-        for invocation in command_processor.process(commands):
-            shaded = vertex_stage.run(invocation)
-            primitives = assembly.assemble(invocation, shaded)
-            plb.bin_drawcall(invocation.state, primitives)
+        for invocation in self.command_processor.process(commands):
+            shaded = self.vertex_stage.run(invocation)
+            primitives = self.assembly.assemble(invocation, shaded)
+            self.plb.bin_drawcall(invocation.state, primitives)
 
         self.technique.on_geometry_complete()
         if geometry_timer:
@@ -177,7 +251,8 @@ class Gpu:
         raster_timer = perf.stage("raster") if perf else None
         if raster_timer:
             raster_timer.__enter__()
-        skipped = []
+        raster = self.raster
+        skipped = ctx.skipped_tile_ids
         for tile_id in range(self.config.num_tiles):
             raster.stats.tiles_scheduled += 1
             if self.technique.should_skip_tile(tile_id):
@@ -185,7 +260,7 @@ class Gpu:
                 skipped.append(tile_id)
                 continue
             tile_colors = raster.render_tile(
-                tile_id, plb.parameter_buffer, clear_color
+                tile_id, ctx.parameter_buffer, ctx.clear_color
             )
             if self.technique.should_flush_tile(tile_id, tile_colors):
                 raster.flush_tile(tile_id, tile_colors)
@@ -200,45 +275,84 @@ class Gpu:
         self.technique.end_frame()
         if raster_timer:
             raster_timer.__exit__(None, None, None)
+        for stage in self.stages:
+            stage.end_frame(ctx)
+
+        # --- Collect: generic snapshot-delta over the registry ---------
+        stats = self._assemble_stats(ctx, before)
         if perf:
             perf.count("frames")
             perf.count("fragments_rasterized",
-                       raster.stats.fragments_rasterized)
-            perf.count("fragments_shaded",
-                       fragment_stage.stats.fragments_shaded)
-            perf.count("tiles_rendered", raster.stats.tiles_rendered)
-            perf.count("tiles_skipped", raster.stats.tiles_skipped)
+                       stats.raster.fragments_rasterized)
+            perf.count("fragments_shaded", stats.fragment.fragments_shaded)
+            perf.count("tiles_rendered", stats.raster.tiles_rendered)
+            perf.count("tiles_skipped", stats.raster.tiles_skipped)
 
-        # --- Collect ----------------------------------------------------
-        stats.drawcalls = command_processor.stats.drawcalls
-        stats.constant_uploads = command_processor.stats.constant_uploads
-        stats.vertex = vertex_stage.stats
-        stats.assembly = assembly.stats
-        stats.tiling = plb.stats
-        stats.raster = raster.stats
-        stats.depth = raster.depth_stage.stats
-        stats.fragment = fragment_stage.stats
-        stats.blend = raster.blend_stage.stats
+        stats.frame_colors = self.framebuffer.snapshot_back()
+        self.framebuffer.swap()
+        self.frame_index += 1
+        return stats
+
+    def _assemble_stats(self, ctx: FrameContext, before: dict) -> FrameStats:
+        """Build a frame's :class:`FrameStats` from the registry delta."""
+        registry = self.stats_registry
+        delta = registry.delta(before)
+        stats = FrameStats(frame_index=ctx.frame_index)
+        stats.technique_name = self.technique.name
+        stats.drawcalls = delta["command.drawcalls"]
+        stats.constant_uploads = delta["command.constant_uploads"]
+        for field_name, group, cls in _STAT_GROUPS:
+            setattr(stats, field_name, registry.group_delta(group, cls, delta))
+        stats.traffic = {
+            stream: delta[f"traffic.{stream}"] for stream in ALL_STREAMS
+        }
+        for name in self.caches:
+            stats.cache_accesses[name] = delta[f"cache.{name}.accesses"]
+            stats.cache_misses[name] = delta[f"cache.{name}.misses"]
         stats.technique_geometry_stall_cycles = (
             self.technique.geometry_stall_cycles()
         )
         stats.technique_raster_overhead_cycles = (
             self.technique.raster_overhead_cycles()
         )
-        stats.skipped_tile_ids = tuple(skipped)
+        stats.skipped_tile_ids = tuple(ctx.skipped_tile_ids)
         stats.re_disabled = getattr(self.technique, "disabled_this_frame", False)
-
-        traffic_after = self.traffic.as_dict()
-        stats.traffic = {
-            stream: traffic_after[stream] - traffic_before.get(stream, 0)
-            for stream in traffic_after
-        }
-        for name, cache in caches.items():
-            before_acc, before_miss = cache_before[name]
-            stats.cache_accesses[name] = cache.stats.accesses - before_acc
-            stats.cache_misses[name] = cache.stats.misses - before_miss
-
-        stats.frame_colors = self.framebuffer.snapshot_back()
-        self.framebuffer.swap()
-        self.frame_index += 1
         return stats
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (see repro.engine.session / repro.engine.checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Cross-frame state a restored GPU needs to continue
+        bit-identically.
+
+        Stage counters are deliberately absent: per-frame stats are
+        registry snapshot-*deltas*, so absolute counter values never
+        influence a future frame.  Cache contents are likewise absent —
+        every cache is flushed at the next frame boundary anyway (only
+        the flush's writeback count differs, which no FrameStats field
+        records).  What does carry across frames: the framebuffer banks,
+        the DRAM pressure recurrence, traffic totals, cache hit/miss
+        totals, and the technique's signature/memo state.
+        """
+        return {
+            "frame_index": self.frame_index,
+            "batched": self.batched,
+            "framebuffer": self.framebuffer.state_dict(),
+            "dram": self.dram.state_dict(),
+            "traffic": self.traffic.state_dict(),
+            "caches": {
+                name: cache.state_dict()
+                for name, cache in self.caches.items()
+            },
+            "technique": self.technique.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.frame_index = int(state["frame_index"])
+        self.framebuffer.load_state_dict(state["framebuffer"])
+        self.dram.load_state_dict(state["dram"])
+        self.traffic.load_state_dict(state["traffic"])
+        for name, cache in self.caches.items():
+            cache.load_state_dict(state["caches"][name])
+        self.technique.load_state_dict(state["technique"])

@@ -12,6 +12,7 @@ import dataclasses
 
 import numpy as np
 
+from ..engine.stage import Stage
 from ..geometry import clipping
 from ..geometry.primitives import Primitive
 
@@ -26,13 +27,18 @@ class AssemblyStats:
     culled_degenerate: int = 0
 
 
-class PrimitiveAssembly:
+class PrimitiveAssembly(Stage):
     """Assemble, clip and cull one drawcall's triangles."""
+
+    metrics_group = "assembly"
 
     def __init__(self, screen_width: int, screen_height: int) -> None:
         self.width = screen_width
         self.height = screen_height
         self.stats = AssemblyStats()
+        self._next_prim_id = 0
+
+    def begin_frame(self, ctx=None) -> None:
         self._next_prim_id = 0
 
     def assemble(self, invocation, shaded) -> list:

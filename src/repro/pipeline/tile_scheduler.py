@@ -24,6 +24,7 @@ import dataclasses
 import numpy as np
 
 from ..config import GpuConfig
+from ..engine.stage import Stage
 from ..memory.cache import Cache
 from ..memory.dram import Dram
 from .blending import BlendStage
@@ -105,8 +106,10 @@ class RasterStats:
     stall_cycles: int = 0
 
 
-class RasterPipeline:
+class RasterPipeline(Stage):
     """Renders a frame's tiles from a filled Parameter Buffer."""
+
+    metrics_group = "raster"
 
     def __init__(self, config: GpuConfig, tile_cache: Cache, l2_cache: Cache,
                  dram: Dram, framebuffer: FrameBuffer,
@@ -134,6 +137,21 @@ class RasterPipeline:
         self._tiles_x = config.tiles_x
         self._frame_rasters: dict = {}
         self._state_keys: dict = {}
+
+    def register_metrics(self, registry) -> None:
+        """Register raster counters plus the owned depth/blend stages."""
+        super().register_metrics(registry)
+        self.depth_stage.register_metrics(registry)
+        self.blend_stage.register_metrics(registry)
+
+    def begin_frame(self, ctx=None) -> None:
+        """Drop the per-frame ``id()``-keyed memo dicts.  Fresh dicts,
+        not ``.clear()``: entries are keyed by primitive/state object
+        identity, and ids can be recycled once a frame's objects die."""
+        self._frame_rasters = {}
+        self._state_keys = {}
+        self.depth_stage.begin_frame(ctx)
+        self.blend_stage.begin_frame(ctx)
 
     def _tile_fragments(self, prim, tile_id: int):
         """Batched-path fragments of ``prim`` inside ``tile_id``."""

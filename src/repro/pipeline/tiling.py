@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..config import GpuConfig
+from ..engine.stage import Stage
 from ..geometry.primitives import Primitive
 from ..memory.dram import Dram
 
@@ -66,8 +67,10 @@ class ParameterBuffer:
             bin_.clear()
 
 
-class PolygonListBuilder:
+class PolygonListBuilder(Stage):
     """Bins primitives into tiles and feeds the Parameter Buffer."""
+
+    metrics_group = "tiling"
 
     def __init__(self, config: GpuConfig, dram: Dram, listeners=()) -> None:
         self.config = config
@@ -116,6 +119,6 @@ class PolygonListBuilder:
             for listener in self.listeners:
                 listener.on_primitive(prim, tile_ids)
 
-    def begin_frame(self) -> None:
+    def begin_frame(self, ctx=None) -> None:
         self.parameter_buffer.clear()
         self._pb_cursor = 0

@@ -13,6 +13,7 @@ import dataclasses
 
 import numpy as np
 
+from ..engine.stage import Stage
 from ..geometry.vec import homogenize
 from ..memory.cache import Cache, line_addresses
 from ..memory.dram import Dram
@@ -42,8 +43,10 @@ class ShadedVertices:
     varyings: dict        # name -> (n, k)
 
 
-class VertexStage:
+class VertexStage(Stage):
     """Vertex fetch and shading for one drawcall at a time."""
+
+    metrics_group = "vertex"
 
     def __init__(self, vertex_cache: Cache, dram: Dram) -> None:
         self.cache = vertex_cache

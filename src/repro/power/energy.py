@@ -105,26 +105,28 @@ class EnergyModel:
         memo LUT lookups); see :func:`technique_event_counts`.
         """
         c = self.constants
+        metric = stats.metric
         parts = {}
 
         parts["shading"] = c.shader_instruction_nj * (
-            stats.vertex.shader_instructions
-            + stats.fragment.shader_instructions
+            metric("vertex.shader_instructions")
+            + metric("fragment.shader_instructions")
         )
         parts["caches"] = (
-            c.vertex_cache_access_nj * stats.cache_accesses.get("vertex", 0)
-            + c.texture_cache_access_nj * stats.cache_accesses.get("texture", 0)
-            + c.tile_cache_access_nj * stats.cache_accesses.get("tile", 0)
-            + c.l2_cache_access_nj * stats.cache_accesses.get("l2", 0)
+            c.vertex_cache_access_nj * metric("cache.vertex.accesses")
+            + c.texture_cache_access_nj * metric("cache.texture.accesses")
+            + c.tile_cache_access_nj * metric("cache.tile.accesses")
+            + c.l2_cache_access_nj * metric("cache.l2.accesses")
         )
         parts["fixed_function"] = (
-            c.rasterized_fragment_nj * stats.raster.fragments_rasterized
-            + c.depth_test_nj * stats.depth.fragments_tested
-            + c.blend_nj * stats.blend.fragments_blended
-            + c.binned_primitive_nj * stats.tiling.tile_entries
+            c.rasterized_fragment_nj * metric("raster.fragments_rasterized")
+            + c.depth_test_nj * metric("depth.fragments_tested")
+            + c.blend_nj * metric("blend.fragments_blended")
+            + c.binned_primitive_nj * metric("tiling.tile_entries")
         )
         parts["color_depth_buffers"] = c.color_depth_buffer_access_nj * (
-            stats.depth.fragments_tested + stats.blend.fragments_blended
+            metric("depth.fragments_tested")
+            + metric("blend.fragments_blended")
         )
 
         technique_nj = 0.0

@@ -81,6 +81,18 @@ class Technique:
         """Extra Raster Pipeline cycles this frame (signature compares)."""
         return 0
 
+    # Checkpointing ------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Cross-frame technique state for RenderSession checkpoints.
+
+        The baseline carries nothing across frames.  Subclasses return
+        whatever their ``begin_frame`` does not rebuild from scratch
+        (signature history, content banks, memo tables)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`; baseline has nothing to do."""
+
     @classmethod
     def stages_bypassed(cls) -> tuple:
         """Raster stages this technique saves for redundant work (Fig. 3)."""

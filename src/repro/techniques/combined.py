@@ -37,14 +37,17 @@ class CombinedElimination(Technique):
 
     name = "re+te"
 
-    def __init__(self, config: GpuConfig, compare_distance: int = 2) -> None:
+    def __init__(self, config: GpuConfig, compare_distance: int = 2,
+                 exact: bool = False) -> None:
         super().__init__()
         # Imported here: repro.core depends on repro.techniques.base, so
         # a module-level import would be circular.
         from ..core.rendering_elimination import RenderingElimination
 
         self.config = config
-        self.re = RenderingElimination(config, compare_distance=compare_distance)
+        self.re = RenderingElimination(
+            config, exact=exact, compare_distance=compare_distance
+        )
         self.te = TransactionElimination(config, compare_distance=compare_distance)
         self._skipped_this_frame: set = set()
 
@@ -99,6 +102,14 @@ class CombinedElimination(Technique):
 
     def raster_overhead_cycles(self) -> int:
         return self.re.raster_overhead_cycles()
+
+    # Checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"re": self.re.state_dict(), "te": self.te.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.re.load_state_dict(state["re"])
+        self.te.load_state_dict(state["te"])
 
     # Introspection ----------------------------------------------------------
     def current_signatures(self):

@@ -187,6 +187,29 @@ class FragmentMemoization(Technique):
         keep = rank_in_set < self.ways
         return unique_by_recency[order[keep]]
 
+    def state_dict(self) -> dict:
+        """The even frame's recorded hashes must survive a restore that
+        lands on the odd frame of a PFR pair.  Dict keys become strings
+        in the checkpoint codec, so tile ids are stored as pairs."""
+        return {
+            "odd_frame": self._odd_frame,
+            "even_tile_hashes": [
+                [tile_id, list(arrays)]
+                for tile_id, arrays in self._even_tile_hashes.items()
+            ],
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._odd_frame = bool(state["odd_frame"])
+        self._survivor_cache = {}
+        self._even_tile_hashes = {
+            int(tile_id): [np.asarray(a, dtype=np.uint32) for a in arrays]
+            for tile_id, arrays in state["even_tile_hashes"]
+        }
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, int(value))
+
     @property
     def lut_occupancy(self) -> int:
         """Survivor count for the highest recorded tile (diagnostics)."""

@@ -91,6 +91,24 @@ class TransactionElimination(Technique):
         self.stats.flush_bytes_avoided += len(raw)
         return False
 
+    def state_dict(self) -> dict:
+        return {
+            "signature_buffer": self.signature_buffer.state_dict(),
+            "bank": self._bank,
+            "content_banks": [list(bank) for bank in self._content_banks],
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.signature_buffer.load_state_dict(state["signature_buffer"])
+        self._bank = int(state["bank"])
+        self._content_banks = [
+            [tile if tile is not None else None for tile in bank]
+            for bank in state["content_banks"]
+        ]
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, int(value))
+
     @classmethod
     def stages_bypassed(cls) -> tuple:
         return ("tile_flush",)

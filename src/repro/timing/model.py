@@ -76,61 +76,68 @@ class TimingModel:
         self.config = config
 
     def frame_cycles(self, stats: FrameStats) -> CycleBreakdown:
+        """Convert one frame's activity into cycles.
+
+        Counters are read through :meth:`FrameStats.metric` with the
+        same dotted keys the stages registered in the GPU's
+        :class:`~repro.engine.stats.StatsRegistry` — the timing model's
+        inputs are exactly the registry vocabulary.
+        """
         config = self.config
+        metric = stats.metric
 
         geometry_parts = {
-            "command_processor": stats.drawcalls * COMMAND_CYCLES
-            + stats.constant_uploads * COMMAND_CYCLES,
-            "vertex_fetch": stats.vertex.vertices_fetched * VERTEX_FETCH_CYCLES,
-            "vertex_shading": stats.vertex.shader_instructions
+            "command_processor": metric("command.drawcalls") * COMMAND_CYCLES
+            + metric("command.constant_uploads") * COMMAND_CYCLES,
+            "vertex_fetch": metric("vertex.vertices_fetched")
+            * VERTEX_FETCH_CYCLES,
+            "vertex_shading": metric("vertex.shader_instructions")
             / config.num_vertex_processors,
-            "primitive_assembly": stats.assembly.triangles_in
+            "primitive_assembly": metric("assembly.triangles_in")
             / config.triangles_per_cycle,
-            "binning": stats.tiling.tile_entries
-            + 2 * stats.tiling.primitives_binned,
-            "pb_write": stats.tiling.parameter_bytes_written
+            "binning": metric("tiling.tile_entries")
+            + 2 * metric("tiling.primitives_binned"),
+            "pb_write": metric("tiling.parameter_bytes_written")
             / config.dram_bytes_per_cycle,
         }
         geometry_stalls = (
-            stats.vertex.stall_cycles
-            + stats.tiling.stall_cycles
+            metric("vertex.stall_cycles")
+            + metric("tiling.stall_cycles")
         )
+        technique_geometry = metric("technique.geometry_stall_cycles")
         geometry = (
             _pipeline_time(geometry_parts)
             + geometry_stalls
-            + stats.technique_geometry_stall_cycles
+            + technique_geometry
         )
         geometry_parts["memory_stalls"] = geometry_stalls
-        geometry_parts["technique_stalls"] = (
-            stats.technique_geometry_stall_cycles
-        )
+        geometry_parts["technique_stalls"] = technique_geometry
 
         raster_parts = {
-            "tile_scheduler": stats.raster.pb_bytes_fetched
+            "tile_scheduler": metric("raster.pb_bytes_fetched")
             / SCHEDULER_BYTES_PER_CYCLE,
-            "rasterizer": stats.raster.interp_attr_fragments
+            "rasterizer": metric("raster.interp_attr_fragments")
             / config.raster_attributes_per_cycle,
-            "early_z": stats.depth.fragments_tested
+            "early_z": metric("depth.fragments_tested")
             / EARLY_Z_FRAGMENTS_PER_CYCLE,
-            "fragment_shading": stats.fragment.shader_instructions
+            "fragment_shading": metric("fragment.shader_instructions")
             / config.num_fragment_processors,
-            "blend": stats.blend.fragments_blended
+            "blend": metric("blend.fragments_blended")
             / BLEND_FRAGMENTS_PER_CYCLE,
-            "tile_flush": stats.raster.flush_bytes
+            "tile_flush": metric("raster.flush_bytes")
             / FLUSH_DRAIN_BYTES_PER_CYCLE,
         }
         raster_stalls = (
-            stats.raster.stall_cycles + stats.fragment.stall_cycles
+            metric("raster.stall_cycles") + metric("fragment.stall_cycles")
         )
+        technique_raster = metric("technique.raster_overhead_cycles")
         raster = (
             _pipeline_time(raster_parts)
             + raster_stalls
-            + stats.technique_raster_overhead_cycles
+            + technique_raster
         )
         raster_parts["memory_stalls"] = raster_stalls
-        raster_parts["technique_overhead"] = (
-            stats.technique_raster_overhead_cycles
-        )
+        raster_parts["technique_overhead"] = technique_raster
 
         return CycleBreakdown(
             geometry_cycles=geometry,

@@ -18,8 +18,6 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-import numpy as np
-
 from ..errors import PipelineError
 from ..geometry import mat4
 from ..geometry.primitives import VertexBuffer, quad_buffer

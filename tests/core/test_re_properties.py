@@ -13,7 +13,6 @@ The invariants under test are the paper's correctness arguments:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

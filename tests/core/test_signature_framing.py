@@ -1,7 +1,6 @@
 """Tile-input bitstream framing helpers (Section III-E)."""
 
 import numpy as np
-import pytest
 
 from repro.core import constants_block, padded_length, primitive_block
 from repro.geometry import DrawState, Primitive, mat4

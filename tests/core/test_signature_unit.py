@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro.config import GpuConfig
 from repro.core import SignatureBuffer, SignatureUnit
 from repro.geometry import DrawState, Primitive, mat4
-from repro.hashing import crc32_table, reference_crc
+from repro.hashing import crc32_table
 from repro.hashing.parallel import ComputeCrcUnit
 from repro.shaders import FLAT_COLOR, pack_constants
 

@@ -1,0 +1,97 @@
+"""The pickle-free checkpoint codec: exact round trips and validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    decode_state,
+    encode_state,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.errors import CheckpointError
+
+
+class TestEncodeDecode:
+    def test_scalars_round_trip(self):
+        state = {
+            "i": 42, "f": 0.1 + 0.2, "s": "text", "b": True, "n": None,
+            "neg": -7, "big": 2**62,
+        }
+        assert decode_state(json.loads(json.dumps(encode_state(state)))) == state
+
+    def test_float_round_trip_is_bit_exact(self):
+        values = [0.1, 1e-300, 3.141592653589793, 2.0**-1074]
+        out = decode_state(json.loads(json.dumps(encode_state(values))))
+        assert all(a == b for a, b in zip(values, out))
+
+    @pytest.mark.parametrize("dtype", ["uint32", "float32", "int64", "bool"])
+    def test_ndarray_round_trip(self, dtype):
+        array = (np.arange(24).reshape(2, 3, 4) % 5).astype(dtype)
+        out = decode_state(json.loads(json.dumps(encode_state(array))))
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        assert np.array_equal(out, array)
+
+    def test_bytes_round_trip(self):
+        raw = bytes(range(256))
+        assert decode_state(json.loads(json.dumps(encode_state(raw)))) == raw
+
+    def test_numpy_scalars_become_python(self):
+        encoded = encode_state({"a": np.uint32(7), "b": np.float64(1.5)})
+        assert encoded == {"a": 7, "b": 1.5}
+
+    def test_tuples_become_lists(self):
+        assert decode_state(encode_state((1, 2))) == [1, 2]
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(CheckpointError):
+            encode_state({1: "x"})
+
+    def test_reserved_keys_rejected(self):
+        with pytest.raises(CheckpointError):
+            encode_state({"__ndarray__": 1})
+
+    def test_unserializable_objects_rejected(self):
+        with pytest.raises(CheckpointError):
+            encode_state({"o": object()})
+
+
+class TestFileFormat:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        state = {"x": np.arange(5, dtype=np.uint32), "y": {"z": 1.25}}
+        save_checkpoint(state, path)
+        loaded = load_checkpoint(path)
+        assert loaded["format"] == CHECKPOINT_FORMAT
+        assert loaded["version"] == CHECKPOINT_VERSION
+        assert np.array_equal(loaded["x"], state["x"])
+        assert loaded["y"] == {"z": 1.25}
+
+    def test_reserved_top_level_keys_rejected_on_save(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            save_checkpoint({"format": "evil"}, tmp_path / "x.ckpt")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text(json.dumps({"format": "other", "version": 1}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text(json.dumps(
+            {"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION + 1}
+        ))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_non_dict_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)

@@ -1,0 +1,103 @@
+"""StatsRegistry / MetricSpec and the Stage metric-registration path."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine import MetricSpec, Stage, StatsRegistry
+from repro.errors import ReproError
+
+
+@dataclasses.dataclass
+class ToyStats:
+    widgets: int = 0
+    gizmos: int = 0
+    ratio: float = 0.0
+    label: str = "x"   # non-counter field: must not register
+
+
+class ToyStage(Stage):
+    metrics_group = "toy"
+
+    def __init__(self):
+        self.stats = ToyStats()
+
+
+class TestMetricSpec:
+    def test_rejects_empty_and_spaced_keys(self):
+        with pytest.raises(ReproError):
+            MetricSpec("")
+        with pytest.raises(ReproError):
+            MetricSpec("bad key")
+
+    def test_valid_key(self):
+        spec = MetricSpec("toy.widgets", "widget count")
+        assert spec.key == "toy.widgets"
+
+
+class TestStatsRegistry:
+    def test_register_counters_skips_non_counter_fields(self):
+        registry = StatsRegistry()
+        registry.register_counters("toy", ToyStats())
+        assert set(registry.keys()) == {"toy.widgets", "toy.gizmos", "toy.ratio"}
+
+    def test_duplicate_registration_rejected(self):
+        registry = StatsRegistry()
+        registry.register("k", lambda: 0)
+        with pytest.raises(ReproError):
+            registry.register("k", lambda: 1)
+
+    def test_unknown_key_rejected(self):
+        registry = StatsRegistry()
+        with pytest.raises(ReproError):
+            registry.value("nope")
+
+    def test_snapshot_delta_tracks_live_counters(self):
+        stats = ToyStats()
+        registry = StatsRegistry()
+        registry.register_counters("toy", stats)
+        before = registry.snapshot()
+        stats.widgets += 3
+        stats.gizmos += 1
+        delta = registry.delta(before)
+        assert delta == {"toy.widgets": 3, "toy.gizmos": 1, "toy.ratio": 0.0}
+        assert registry.value("toy.widgets") == 3
+
+    def test_group_delta_rebuilds_dataclass(self):
+        stats = ToyStats()
+        registry = StatsRegistry()
+        registry.register_counters("toy", stats)
+        before = registry.snapshot()
+        stats.widgets = 7
+        rebuilt = registry.group_delta("toy", ToyStats, registry.delta(before))
+        assert rebuilt.widgets == 7
+        assert rebuilt.gizmos == 0
+        assert rebuilt.label == "x"   # non-counter fields keep defaults
+
+    def test_specs_in_registration_order(self):
+        registry = StatsRegistry()
+        registry.register("b.one", lambda: 0)
+        registry.register("a.two", lambda: 0)
+        assert [s.key for s in registry.specs] == ["b.one", "a.two"]
+
+
+class TestStageProtocol:
+    def test_register_metrics_uses_group(self):
+        registry = StatsRegistry()
+        ToyStage().register_metrics(registry)
+        assert "toy.widgets" in registry.keys()
+
+    def test_stage_without_group_registers_nothing(self):
+        class Anon(Stage):
+            pass
+
+        registry = StatsRegistry()
+        Anon().register_metrics(registry)
+        assert registry.keys() == ()
+
+    def test_reset_zeroes_counters(self):
+        stage = ToyStage()
+        stage.stats.widgets = 9
+        stage.reset()
+        assert stage.stats.widgets == 0
+        assert stage.stats.label == "x"

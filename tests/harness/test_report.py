@@ -1,7 +1,5 @@
 """Full-report generation."""
 
-import pytest
-
 from repro.config import GpuConfig
 from repro.harness.report import REPORT_ORDER, generate_report
 

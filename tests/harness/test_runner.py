@@ -6,7 +6,6 @@ import pytest
 from repro.config import GpuConfig
 from repro.errors import ReproError
 from repro.harness import (
-    RunResult,
     classify_run,
     equal_tiles_fraction,
     make_technique,

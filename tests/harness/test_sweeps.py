@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.config import GpuConfig
 from repro.errors import ReproError
-from repro.harness.sweeps import SweepPoint, sweep, tabulate
+from repro.harness.sweeps import sweep, tabulate
 
 
 class TestSweep:

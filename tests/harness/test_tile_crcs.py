@@ -1,0 +1,52 @@
+"""Regression: vectorized tile_color_crcs equals the sliced reference."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.harness import tile_color_crcs
+from repro.pipeline.framebuffer import FrameBuffer
+
+
+def reference_tile_crcs(config, frame_colors, tile_rect):
+    """The original per-tile slice-and-copy implementation."""
+    quantized = (np.clip(frame_colors, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    crcs = np.empty(config.num_tiles, dtype=np.uint32)
+    for tile_id in range(config.num_tiles):
+        x0, y0, x1, y1 = tile_rect(tile_id)
+        crcs[tile_id] = zlib.crc32(
+            np.ascontiguousarray(quantized[y0:y1, x0:x1]).tobytes()
+        )
+    return crcs
+
+
+@pytest.mark.parametrize("width,height", [
+    (96, 64),    # exact multiple of the 16-px tile: fast path only
+    (100, 70),   # partial right and bottom edge tiles
+    (8, 8),      # smaller than one tile: edge path only
+    (96, 70),    # partial bottom edge only
+    (100, 64),   # partial right edge only
+])
+def test_matches_reference(width, height):
+    config = GpuConfig(screen_width=width, screen_height=height)
+    framebuffer = FrameBuffer(config)
+    rng = np.random.default_rng(1234)
+    frame = rng.random((height, width, 4), dtype=np.float32) * 1.2 - 0.1
+    expected = reference_tile_crcs(config, frame, framebuffer.tile_rect)
+    actual = tile_color_crcs(config, frame, framebuffer.tile_rect)
+    assert actual.dtype == expected.dtype
+    assert np.array_equal(actual, expected)
+
+
+def test_distinguishes_tiles():
+    config = GpuConfig.small()
+    framebuffer = FrameBuffer(config)
+    frame = np.zeros((config.screen_height, config.screen_width, 4),
+                     dtype=np.float32)
+    crcs_before = tile_color_crcs(config, frame, framebuffer.tile_rect)
+    frame[0, 0, 0] = 1.0  # touch one pixel of tile 0
+    crcs_after = tile_color_crcs(config, frame, framebuffer.tile_rect)
+    assert crcs_after[0] != crcs_before[0]
+    assert np.array_equal(crcs_after[1:], crcs_before[1:])

@@ -1,7 +1,6 @@
 """Per-frame redundancy timelines and phase summaries."""
 
 import numpy as np
-import pytest
 
 from repro.config import GpuConfig
 from repro.harness import run_workload

@@ -1,7 +1,5 @@
 """Primitive Assembly: clipping, culling, screen mapping."""
 
-import math
-
 import numpy as np
 import pytest
 

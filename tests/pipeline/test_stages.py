@@ -12,8 +12,7 @@ from repro.pipeline.command_processor import DrawInvocation
 from repro.pipeline.depth import DepthStage
 from repro.pipeline.vertex_stage import VertexStage
 from repro.geometry.primitives import DrawState
-from repro.shaders import FLAT_COLOR, TEXTURED, pack_constants
-from repro.textures import flat_texture
+from repro.shaders import FLAT_COLOR, pack_constants
 
 
 class TestDepthStage:

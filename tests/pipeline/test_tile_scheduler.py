@@ -1,7 +1,6 @@
 """Raster pipeline driver: tile scheduling, PB fetch, flush accounting."""
 
 import numpy as np
-import pytest
 
 from repro.config import GpuConfig
 from repro.geometry import DrawState, Primitive, mat4

@@ -1,7 +1,6 @@
 """Polygon List Builder: binning, Parameter Buffer, listener events."""
 
 import numpy as np
-import pytest
 
 from repro.config import GpuConfig
 from repro.geometry import DrawState, Primitive, mat4

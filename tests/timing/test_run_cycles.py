@@ -1,0 +1,63 @@
+"""TimingModel.run_cycles aggregation over multi-frame runs."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.geometry import mat4, quad_buffer
+from repro.pipeline import CommandStream, Gpu
+from repro.shaders import FLAT_COLOR, pack_constants
+from repro.timing import TimingModel
+
+PROJ = mat4.ortho2d()
+
+
+def frame_stream(z):
+    stream = CommandStream()
+    stream.set_shader(FLAT_COLOR)
+    stream.set_constants(pack_constants(PROJ, (0.2, z, 0.4, 1.0)))
+    stream.draw(quad_buffer(0.0, 0.0, 1.0, 1.0, z=z))
+    return stream
+
+
+@pytest.fixture(scope="module")
+def frames():
+    gpu = Gpu(GpuConfig.small())
+    # Varying constants per frame: each frame does slightly different work.
+    return [gpu.render_frame(frame_stream(0.1 * (i + 1))) for i in range(3)]
+
+
+class TestRunCycles:
+    def test_totals_are_frame_sums(self, frames):
+        model = TimingModel(GpuConfig.small())
+        per_frame = [model.frame_cycles(stats) for stats in frames]
+        total = model.run_cycles(frames)
+        assert total.geometry_cycles == pytest.approx(
+            sum(f.geometry_cycles for f in per_frame)
+        )
+        assert total.raster_cycles == pytest.approx(
+            sum(f.raster_cycles for f in per_frame)
+        )
+        assert total.total_cycles == pytest.approx(
+            sum(f.total_cycles for f in per_frame)
+        )
+
+    def test_parts_aggregate_by_key(self, frames):
+        model = TimingModel(GpuConfig.small())
+        per_frame = [model.frame_cycles(stats) for stats in frames]
+        total = model.run_cycles(frames)
+        assert set(total.geometry_parts) == set(per_frame[0].geometry_parts)
+        assert set(total.raster_parts) == set(per_frame[0].raster_parts)
+        for key in total.raster_parts:
+            assert total.raster_parts[key] == pytest.approx(
+                sum(f.raster_parts[key] for f in per_frame)
+            )
+        for key in total.geometry_parts:
+            assert total.geometry_parts[key] == pytest.approx(
+                sum(f.geometry_parts[key] for f in per_frame)
+            )
+
+    def test_empty_run_is_zero(self):
+        total = TimingModel(GpuConfig.small()).run_cycles([])
+        assert total.total_cycles == 0.0
+        assert total.geometry_parts == {}
+        assert total.raster_parts == {}

@@ -1,13 +1,12 @@
 """Activity-based cycle model."""
 
-import numpy as np
 import pytest
 
 from repro.config import GpuConfig
 from repro.core import RenderingElimination
 from repro.geometry import mat4, quad_buffer
 from repro.pipeline import CommandStream, Gpu
-from repro.shaders import FLAT_COLOR, TEXTURED, pack_constants
+from repro.shaders import TEXTURED, pack_constants
 from repro.textures import checker_texture
 from repro.timing import CycleBreakdown, TimingModel
 

@@ -7,7 +7,6 @@ animation or rasterization would silently destroy redundancy.  This
 net catches regressions anywhere in that chain.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import GpuConfig

@@ -1,6 +1,5 @@
 """The Table II benchmark suite: structure and behaviour classes."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ReproError

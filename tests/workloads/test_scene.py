@@ -1,10 +1,9 @@
 """Scene graph and camera models."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PipelineError
-from repro.pipeline.commands import Draw, SetConstants
+from repro.pipeline.commands import SetConstants
 from repro.textures import flat_texture
 from repro.workloads import (
     ContinuousCamera,

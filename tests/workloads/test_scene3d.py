@@ -9,11 +9,9 @@ from repro.errors import PipelineError
 from repro.geometry import box_buffer, mat4
 from repro.pipeline import Gpu
 from repro.pipeline.commands import SetConstants
-from repro.textures import flat_texture
 from repro.workloads.scene3d import (
     CameraPath3D,
     MeshNode,
-    Scene3D,
     corridor_scene,
 )
 

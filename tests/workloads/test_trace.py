@@ -41,7 +41,7 @@ class TestRoundTrip:
         record_trace(path, scene.frames(10))
         with open(path) as handle:
             lines = handle.readlines()
-        texture_lines = [l for l in lines if '"type": "texture"' in l]
+        texture_lines = [ln for ln in lines if '"type": "texture"' in ln]
         # One entry per distinct texture regardless of frame count.
         distinct = {n.texture.texture_id for n in scene.nodes if n.texture}
         assert len(texture_lines) == len(distinct)
