@@ -13,6 +13,14 @@ Global flags: ``--jobs N`` fans independent (workload, technique) cells
 across N worker processes (see :mod:`repro.harness.parallel`);
 ``--profile`` records per-stage simulator wall-clock and event rates and
 writes them to ``BENCH_pipeline.json``.
+
+Supervision flags (any of them routes the run through the
+fault-tolerant orchestrator in :mod:`repro.harness.supervisor`):
+``--timeout`` / ``--retries`` / ``--checkpoint-stride`` set the policy,
+``--journal`` appends every attempt/retry/timeout/recovery to a JSONL
+run journal, and ``--inject-fault alias/technique:frame:kind[:times]``
+(or the ``REPRO_FAULT_SPEC`` environment variable) deterministically
+injects a crash/error/hang so the recovery paths can be exercised.
 """
 
 from __future__ import annotations
@@ -38,6 +46,23 @@ def _config_from(args) -> GpuConfig:
         "mali450": GpuConfig.mali450,
     }
     return presets[args.scale]()
+
+
+def _supervision_requested(args) -> bool:
+    return bool(
+        args.timeout or args.retries is not None or args.journal
+        or args.inject_fault or args.checkpoint_stride
+    )
+
+
+def _policy_from(args):
+    from .harness.supervisor import SupervisorPolicy
+
+    return SupervisorPolicy(
+        timeout_s=args.timeout,
+        max_retries=args.retries if args.retries is not None else 2,
+        checkpoint_stride=args.checkpoint_stride or 0,
+    )
 
 
 def _cmd_list(_args) -> int:
@@ -83,11 +108,22 @@ def _cmd_experiment(args) -> int:
               file=sys.stderr)
         return 2
     cache = RunCache(_config_from(args), num_frames=args.frames)
-    if args.jobs > 1:
-        cache.prefetch(
-            _EXPERIMENT_TECHNIQUES.get(args.id, ("baseline", "re")),
-            processes=args.jobs,
-        )
+    if args.jobs > 1 or _supervision_requested(args):
+        from .errors import SupervisionError
+
+        supervised = _supervision_requested(args)
+        try:
+            cache.prefetch(
+                _EXPERIMENT_TECHNIQUES.get(args.id, ("baseline", "re")),
+                processes=args.jobs,
+                policy=_policy_from(args) if supervised else None,
+                journal_path=args.journal,
+                fault_spec=args.inject_fault,
+            )
+        except SupervisionError as exc:
+            print(f"supervised prefetch failed: {exc.args[0]}",
+                  file=sys.stderr)
+            return 1
     result = EXPERIMENTS[args.id](cache)
     print(result.title + "\n" + result.table())
     if result.notes:
@@ -95,7 +131,52 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _print_run_summary(run) -> None:
+    print(f"{run.alias} under {run.technique}: {run.num_frames} frames at "
+          f"{run.config.screen_width}x{run.config.screen_height}")
+    print(f"  cycles:          {run.total_cycles / 1e6:10.2f} M "
+          f"(geometry {run.geometry_cycles / 1e6:.2f} M / "
+          f"raster {run.raster_cycles / 1e6:.2f} M)")
+    print(f"  energy:          {run.total_energy_nj / 1e6:10.2f} mJ "
+          f"(GPU {run.gpu_energy_nj / 1e6:.2f} / "
+          f"memory {run.dram_energy_nj / 1e6:.2f})")
+    print(f"  fragments shaded:{run.fragments_shaded:11d}")
+    print(f"  tiles skipped:   {run.tiles_skipped:11d} "
+          f"({100 * run.skipped_fraction():.1f}% after warm-up)")
+    print(f"  DRAM traffic:    {run.total_traffic_bytes / 1024:10.1f} KB "
+          f"(colors {run.traffic_bytes('colors') / 1024:.0f} / "
+          f"texels {run.traffic_bytes('texels') / 1024:.0f} / "
+          f"primitives {run.traffic_bytes('primitives') / 1024:.0f})")
+
+
+def _cmd_run_supervised(args) -> int:
+    """`run` routed through the fault-tolerant supervisor: one cell,
+    retried / resumed per the policy built from the supervision flags."""
+    from .harness.parallel import Cell
+    from .harness.supervisor import supervise_cells
+
+    cell = Cell(args.game, args.technique, args.frames)
+    supervised = supervise_cells(
+        [cell], config=_config_from(args), policy=_policy_from(args),
+        journal_path=args.journal, fault_spec=args.inject_fault,
+    )
+    outcome = supervised.outcomes[cell]
+    if not outcome.succeeded:
+        print(f"run failed after {outcome.attempts} attempt(s): "
+              f"{outcome.failure}", file=sys.stderr)
+        if args.journal:
+            print(f"journal written to {args.journal}", file=sys.stderr)
+        return 1
+    if outcome.attempts > 1:
+        print(f"recovered after {outcome.attempts} attempts "
+              f"(resumed from frame {outcome.resumed_from_frame})")
+    _print_run_summary(outcome.result)
+    return 0
+
+
 def _cmd_run(args) -> int:
+    if _supervision_requested(args):
+        return _cmd_run_supervised(args)
     perf = None
     if args.profile:
         from .perf import PerfRecorder
@@ -113,21 +194,7 @@ def _cmd_run(args) -> int:
         print(f"resumed from checkpoint {args.resume}")
     # Report what actually ran: on --resume the technique and frame count
     # come from the checkpoint, not the CLI defaults.
-    print(f"{run.alias} under {run.technique}: {run.num_frames} frames at "
-          f"{run.config.screen_width}x{run.config.screen_height}")
-    print(f"  cycles:          {run.total_cycles / 1e6:10.2f} M "
-          f"(geometry {run.geometry_cycles / 1e6:.2f} M / "
-          f"raster {run.raster_cycles / 1e6:.2f} M)")
-    print(f"  energy:          {run.total_energy_nj / 1e6:10.2f} mJ "
-          f"(GPU {run.gpu_energy_nj / 1e6:.2f} / "
-          f"memory {run.dram_energy_nj / 1e6:.2f})")
-    print(f"  fragments shaded:{run.fragments_shaded:11d}")
-    print(f"  tiles skipped:   {run.tiles_skipped:11d} "
-          f"({100 * run.skipped_fraction():.1f}% after warm-up)")
-    print(f"  DRAM traffic:    {run.total_traffic_bytes / 1024:10.1f} KB "
-          f"(colors {run.traffic_bytes('colors') / 1024:.0f} / "
-          f"texels {run.traffic_bytes('texels') / 1024:.0f} / "
-          f"primitives {run.traffic_bytes('primitives') / 1024:.0f})")
+    _print_run_summary(run)
     if perf is not None:
         from .perf import write_bench
 
@@ -173,6 +240,24 @@ def main(argv=None) -> int:
                              "event rates")
     parser.add_argument("--bench-out", default="BENCH_pipeline.json",
                         help="where --profile writes its JSON payload")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt wall-clock limit; exceeding it "
+                             "terminates the worker and retries the cell")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="retries after a failed attempt "
+                             "(default 2 when supervision is active)")
+    parser.add_argument("--checkpoint-stride", type=int, default=0,
+                        metavar="FRAMES",
+                        help="checkpoint every N frames so retries resume "
+                             "mid-run instead of restarting (0 = off)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="append a JSONL record per attempt/retry/"
+                             "timeout/recovery to this file")
+    parser.add_argument("--inject-fault", default=None,
+                        metavar="ALIAS/TECH:FRAME:KIND[:TIMES]",
+                        help="deterministically crash/error/hang the "
+                             "matching cell (testing the recovery path)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list games, experiments and techniques")

@@ -16,6 +16,7 @@ screen coordinates.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import math
 
 from .errors import ConfigError
@@ -140,6 +141,12 @@ class GpuConfig:
     def to_dict(self) -> dict:
         """Plain-dict form (nested cache/queue configs become dicts)."""
         return dataclasses.asdict(self)
+
+    def digest(self) -> str:
+        """Short stable fingerprint of every field, for run-cache keys,
+        journal records and per-cell checkpoint file names.  Two configs
+        share a digest iff their ``repr`` (every field) is identical."""
+        return hashlib.sha256(repr(self).encode()).hexdigest()[:16]
 
     @classmethod
     def from_dict(cls, data: dict) -> "GpuConfig":

@@ -21,6 +21,7 @@ from .checkpoint import (
     CHECKPOINT_VERSION,
     load_checkpoint,
     save_checkpoint,
+    try_load_checkpoint,
 )
 from .factory import TECHNIQUES, make_technique
 from .stage import FrameContext, Stage
@@ -40,6 +41,7 @@ __all__ = [
     "make_technique",
     "save_checkpoint",
     "tile_color_crcs",
+    "try_load_checkpoint",
 ]
 
 #: Symbols resolved lazily from repro.engine.session (circular-import

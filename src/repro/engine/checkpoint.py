@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 
 import numpy as np
 
@@ -89,15 +90,26 @@ def decode_state(obj):
 
 def save_checkpoint(state: dict, path) -> None:
     """Write a state dict to ``path`` as tagged JSON, stamped with the
-    checkpoint format and version for validation on load."""
+    checkpoint format and version for validation on load.
+
+    The write is atomic (temp file + ``os.replace`` in the same
+    directory): a process killed mid-save leaves either the previous
+    checkpoint or none, never a truncated file — the supervisor's
+    crash-recovery path depends on every on-disk checkpoint being
+    loadable.
+    """
     if "format" in state or "version" in state:
         raise CheckpointError(
             "state dict must not define 'format' or 'version' itself"
         )
     payload = {"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION}
     payload.update(state)
-    with open(path, "w", encoding="ascii") as handle:
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="ascii") as handle:
         json.dump(encode_state(payload), handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
 
 
 def load_checkpoint(path) -> dict:
@@ -114,3 +126,15 @@ def load_checkpoint(path) -> dict:
             f"supported (expected {CHECKPOINT_VERSION})"
         )
     return state
+
+
+def try_load_checkpoint(path) -> dict:
+    """Best-effort :func:`load_checkpoint`: ``None`` if the file is
+    missing, unparsable or not a supported checkpoint.  Recovery paths
+    use this to fall back to a fresh run instead of failing the cell."""
+    if path is None:
+        return None
+    try:
+        return load_checkpoint(path)
+    except (OSError, ValueError, KeyError, CheckpointError):
+        return None

@@ -219,6 +219,33 @@ class RenderSession:
             self._render_one(stream)
         return target - start
 
+    def run_checkpointed(self, stride: int, path, after_step=None) -> int:
+        """Render every remaining frame, saving a checkpoint to ``path``
+        each time ``stride`` more frames complete.
+
+        The final frame is not checkpointed (the run is already done);
+        every intermediate checkpoint is written atomically, so a
+        process killed at any instant leaves a loadable checkpoint and a
+        retry resumes bit-identically instead of starting over.
+
+        ``after_step(frames_rendered)`` is invoked after each stride
+        boundary, *after* its checkpoint is on disk — the supervisor
+        uses it for progress reporting and deterministic fault
+        injection.  ``stride <= 0`` renders everything in one step (one
+        trailing ``after_step`` call, no checkpoints).  Returns the
+        number of frames rendered by this call.
+        """
+        start = self.frames_rendered
+        if stride is None or stride <= 0:
+            stride = self.num_frames
+        while self.frames_rendered < self.num_frames:
+            self.run(until=min(self.num_frames, self.frames_rendered + stride))
+            if path is not None and self.frames_rendered < self.num_frames:
+                self.save(path)
+            if after_step is not None:
+                after_step(self.frames_rendered)
+        return self.frames_rendered - start
+
     def _render_one(self, stream) -> None:
         stats = self.gpu.render_frame(stream, clear_color=self.scene.clear_color)
         cycles = self.timing.frame_cycles(stats)

@@ -32,3 +32,8 @@ class HashingError(ReproError):
 
 class CheckpointError(ReproError):
     """A render-session checkpoint could not be serialized or restored."""
+
+
+class SupervisionError(ReproError):
+    """A supervised harness run had cells fail after exhausting retries,
+    or a fault-injection / supervision policy spec was invalid."""

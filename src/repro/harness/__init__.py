@@ -1,10 +1,20 @@
 """Experiment harness: runners, tile classification, quality metrics,
-parameter sweeps, reporting."""
+parameter sweeps, fault-tolerant supervision, reporting."""
 
 from . import charts, images, reporting
 from .classify import TileClasses, classify_run, equal_tiles_fraction
+from .parallel import Cell, cell_label, cell_seed, merged_totals, run_cells, run_matrix
 from .report import REPORT_ORDER, generate_report
 from .quality import FidelityReport, compare_runs, mse, psnr, tile_errors
+from .supervisor import (
+    CellOutcome,
+    FaultSpec,
+    RunJournal,
+    SupervisedRun,
+    SupervisorPolicy,
+    attempt_history,
+    supervise_cells,
+)
 from .sweeps import SweepPoint, sweep, tabulate
 from .timeline import (
     PhaseSummary,
@@ -18,6 +28,7 @@ from .runner import (
     FrameMetrics,
     RunResult,
     make_technique,
+    result_from_session,
     run_workload,
     tile_color_crcs,
 )
@@ -31,6 +42,19 @@ __all__ = [
     "TileClasses",
     "classify_run",
     "equal_tiles_fraction",
+    "Cell",
+    "cell_label",
+    "cell_seed",
+    "merged_totals",
+    "run_cells",
+    "run_matrix",
+    "CellOutcome",
+    "FaultSpec",
+    "RunJournal",
+    "SupervisedRun",
+    "SupervisorPolicy",
+    "attempt_history",
+    "supervise_cells",
     "FidelityReport",
     "compare_runs",
     "mse",
@@ -48,6 +72,7 @@ __all__ = [
     "FrameMetrics",
     "RunResult",
     "make_technique",
+    "result_from_session",
     "run_workload",
     "tile_color_crcs",
 ]

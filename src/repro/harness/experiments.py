@@ -58,10 +58,7 @@ class RunCache:
         self._runs: dict = {}
 
     def _key(self, alias: str, technique: str) -> tuple:
-        config_key = hashlib.sha256(
-            repr(self.config).encode()
-        ).hexdigest()[:16]
-        return (alias, technique, config_key, self.num_frames)
+        return (alias, technique, self.config.digest(), self.num_frames)
 
     def run(self, alias: str, technique: str) -> RunResult:
         key = self._key(alias, technique)
@@ -77,11 +74,19 @@ class RunCache:
 
     def prefetch(self, techniques: typing.Sequence,
                  aliases: typing.Sequence = FIGURE_ORDER,
-                 processes: int = None) -> int:
+                 processes: int = None, policy=None,
+                 journal_path=None, fault_spec=None) -> int:
         """Populate the cache for an ``aliases x techniques`` grid,
         optionally fanning the missing cells across a process pool (see
         :mod:`repro.harness.parallel`).  Returns the number of cells
-        actually simulated."""
+        actually simulated.
+
+        ``policy`` / ``journal_path`` / ``fault_spec`` route the cells
+        through the fault-tolerant supervisor
+        (:mod:`repro.harness.supervisor`): timed-out or crashed cells
+        are retried from their last checkpoint instead of taking the
+        whole prefetch down.
+        """
         from .parallel import Cell, run_cells
 
         missing = [
@@ -95,7 +100,10 @@ class RunCache:
             Cell(alias, technique, self.num_frames)
             for alias, technique in missing
         ]
-        results = run_cells(cells, config=self.config, processes=processes)
+        results = run_cells(
+            cells, config=self.config, processes=processes, policy=policy,
+            journal_path=journal_path, fault_spec=fault_spec,
+        )
         for cell, run in results.items():
             self._runs[self._key(cell.alias, cell.technique)] = run
         return len(missing)

@@ -16,6 +16,14 @@ guards any library code that reaches for global randomness.)
 ``processes`` in ``(None, 0, 1)`` selects the serial fallback, which
 runs cells in-process (and therefore shares the in-process raster/shade
 memos — fastest on single-core machines).
+
+Fault tolerance: the plain pool path assumes every worker succeeds — a
+hung or crashed cell takes the whole ``pool.map`` down with it.  Passing
+``policy`` (and/or ``journal_path`` / ``fault_spec``) routes the run
+through :mod:`repro.harness.supervisor` instead: per-cell wall-clock
+timeouts, bounded retry with exponential backoff, crash isolation, and
+checkpoint-based recovery, with every attempt recorded in a JSONL run
+journal.
 """
 
 from __future__ import annotations
@@ -27,21 +35,34 @@ import typing
 import numpy as np
 
 from ..config import GpuConfig
+from ..errors import SupervisionError
 from .runner import run_workload
 
 
 @dataclasses.dataclass(frozen=True)
 class Cell:
-    """One independent unit of harness work."""
+    """One independent unit of harness work.
+
+    ``config`` optionally overrides the run-wide :class:`GpuConfig` for
+    this cell alone (parameter sweeps fan out heterogeneous grids this
+    way); ``None`` means "use the config the runner was given".
+    """
 
     alias: str
     technique: str = "baseline"
     num_frames: int = 50
     exact_signatures: bool = False
+    config: GpuConfig = None
 
 
 def cell_seed(cell: Cell) -> int:
-    """Deterministic 32-bit seed derived from the cell's identity."""
+    """Deterministic 32-bit seed derived from the cell's identity.
+
+    The per-cell config override is deliberately excluded: the seed
+    covers what the cell *renders*, and reseeding exists only to guard
+    stray global-randomness users, so sweep points of the same cell
+    reseed identically.
+    """
     digest = hashlib.sha256(
         f"{cell.alias}|{cell.technique}|{cell.num_frames}"
         f"|{cell.exact_signatures}".encode()
@@ -49,12 +70,25 @@ def cell_seed(cell: Cell) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
+def cell_label(cell: Cell) -> str:
+    """Human-readable cell identity used by journals and fault specs."""
+    return f"{cell.alias}/{cell.technique}"
+
+
+def coerce_cells(cells: typing.Sequence) -> list:
+    """Normalize a cell sequence: tuples become :class:`Cell`, duplicate
+    cells collapse (keeping first-seen order) so result dicts keyed by
+    cell cannot silently drop work."""
+    coerced = [c if isinstance(c, Cell) else Cell(*c) for c in cells]
+    return list(dict.fromkeys(coerced))
+
+
 def _run_cell(payload: tuple) -> tuple:
     """Worker body: run one cell; returns ``(cell, RunResult)``."""
     cell, config = payload
     np.random.seed(cell_seed(cell))
     result = run_workload(
-        cell.alias, cell.technique, config=config,
+        cell.alias, cell.technique, config=cell.config or config,
         num_frames=cell.num_frames,
         exact_signatures=cell.exact_signatures,
     )
@@ -62,18 +96,43 @@ def _run_cell(payload: tuple) -> tuple:
 
 
 def run_cells(cells: typing.Sequence, config: GpuConfig = None,
-              processes: int = None) -> dict:
+              processes: int = None, policy=None, journal_path=None,
+              fault_spec=None, workdir=None) -> dict:
     """Run every cell, returning ``{cell: RunResult}``.
 
     ``processes`` > 1 fans cells across a process pool (capped at the
     machine's CPU count); ``None``/``0``/``1`` runs serially in-process.
     Results are keyed by cell regardless of completion order, so callers
     see the same mapping either way.
-    """
-    cells = [c if isinstance(c, Cell) else Cell(*c) for c in cells]
-    config = config or GpuConfig.benchmark()
-    payloads = [(cell, config) for cell in cells]
 
+    Passing any of ``policy`` (a
+    :class:`~repro.harness.supervisor.SupervisorPolicy`),
+    ``journal_path`` or ``fault_spec`` runs the cells under the
+    fault-tolerant supervisor instead of the bare pool; cells that still
+    fail after the policy's retries raise :class:`SupervisionError`
+    (successful cells' results are attached to the exception).
+    """
+    cells = coerce_cells(cells)
+    config = config or GpuConfig.benchmark()
+
+    if policy is not None or journal_path is not None or fault_spec is not None:
+        from .supervisor import supervise_cells
+
+        supervised = supervise_cells(
+            cells, config=config, policy=policy, processes=processes,
+            journal_path=journal_path, fault_spec=fault_spec,
+            workdir=workdir,
+        )
+        failed = supervised.failed
+        if failed:
+            raise SupervisionError(
+                "supervised run failed for "
+                + ", ".join(sorted(cell_label(c) for c in failed)),
+                supervised,
+            )
+        return supervised.results()
+
+    payloads = [(cell, config) for cell in cells]
     if processes in (None, 0, 1) or len(cells) <= 1:
         return dict(_run_cell(payload) for payload in payloads)
 
@@ -89,14 +148,18 @@ def run_cells(cells: typing.Sequence, config: GpuConfig = None,
 
 def run_matrix(aliases: typing.Sequence, techniques: typing.Sequence,
                config: GpuConfig = None, num_frames: int = 50,
-               processes: int = None) -> dict:
+               processes: int = None, policy=None, journal_path=None,
+               fault_spec=None) -> dict:
     """Run the full ``aliases x techniques`` grid; returns a mapping
     ``(alias, technique) -> RunResult``."""
     cells = [
         Cell(alias, technique, num_frames)
         for alias in aliases for technique in techniques
     ]
-    results = run_cells(cells, config=config, processes=processes)
+    results = run_cells(
+        cells, config=config, processes=processes, policy=policy,
+        journal_path=journal_path, fault_spec=fault_spec,
+    )
     return {
         (cell.alias, cell.technique): run for cell, run in results.items()
     }

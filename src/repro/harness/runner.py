@@ -27,6 +27,7 @@ __all__ = [
     "FrameMetrics",
     "RunResult",
     "make_technique",
+    "result_from_session",
     "run_workload",
     "tile_color_crcs",
 ]
@@ -134,6 +135,27 @@ def _write_manifest(path, session: RenderSession, result: RunResult,
         handle.write("\n")
 
 
+def result_from_session(session: RenderSession) -> RunResult:
+    """Package a completed :class:`RenderSession` as a :class:`RunResult`.
+
+    Shared by :func:`run_workload` and the supervised cell runner in
+    :mod:`repro.harness.supervisor`, so both produce field-identical
+    results for the same session state.
+    """
+    return RunResult(
+        alias=session.alias,
+        technique=session.technique_name,
+        config=session.config,
+        num_frames=session.num_frames,
+        frames=session.frames,
+        tile_color_crcs=session.color_crcs,
+        tile_input_sigs=session.input_sigs,
+        final_frame_crc=session.final_frame_crc,
+        technique_stats=getattr(session.technique, "stats", None),
+        warmup_frames=session.config.signature_compare_distance,
+    )
+
+
 def run_workload(alias: str, technique: str = "baseline",
                  config: GpuConfig = None, num_frames: int = 50,
                  exact_signatures: bool = False, perf=None,
@@ -174,18 +196,7 @@ def run_workload(alias: str, technique: str = "baseline",
         session.save(checkpoint_path)
     session.run()
 
-    result = RunResult(
-        alias=session.alias,
-        technique=session.technique_name,
-        config=session.config,
-        num_frames=session.num_frames,
-        frames=session.frames,
-        tile_color_crcs=session.color_crcs,
-        tile_input_sigs=session.input_sigs,
-        final_frame_crc=session.final_frame_crc,
-        technique_stats=getattr(session.technique, "stats", None),
-        warmup_frames=session.config.signature_compare_distance,
-    )
+    result = result_from_session(session)
     if manifest_path is not None:
         _write_manifest(
             manifest_path, session, result, resumed_at, checkpoint_path

@@ -55,7 +55,8 @@ def _sweep_point(payload: tuple) -> RunResult:
 
 def sweep(alias: str, technique: str, parameters: dict,
           base_config: GpuConfig = None, num_frames: int = 8,
-          technique_params: dict = None, processes: int = None) -> list:
+          technique_params: dict = None, processes: int = None,
+          policy=None, journal_path=None, fault_spec=None) -> list:
     """Run ``alias`` under ``technique`` for every combination of
     ``parameters`` (a mapping of GpuConfig field name -> list of values).
 
@@ -68,6 +69,14 @@ def sweep(alias: str, technique: str, parameters: dict,
     ``processes`` > 1 fans the grid across a process pool (each point is
     an independent simulation); the default runs serially and returns
     identical results.
+
+    Large sweep matrices are exactly the runs worth leaving unattended,
+    so ``policy`` / ``journal_path`` / ``fault_spec`` route the grid
+    through the fault-tolerant supervisor
+    (:mod:`repro.harness.supervisor`) — per-point timeouts, bounded
+    retries and checkpoint recovery — instead of the bare pool.  The
+    supervised path does not support ``technique_params`` (those are
+    per-call :func:`run_workload` extras a cell cannot carry).
     """
     base_config = base_config or GpuConfig.small()
     names = list(parameters)
@@ -76,23 +85,45 @@ def sweep(alias: str, technique: str, parameters: dict,
             raise ReproError(f"GpuConfig has no parameter {name!r}")
 
     assignments = []
-    payloads = []
+    configs = []
     for values in itertools.product(*(parameters[n] for n in names)):
         assignment = dict(zip(names, values))
         assignments.append(assignment)
-        payloads.append((
-            alias, technique, dataclasses.replace(base_config, **assignment),
-            num_frames, technique_params,
-        ))
+        configs.append(dataclasses.replace(base_config, **assignment))
 
-    if processes in (None, 0, 1) or len(payloads) <= 1:
-        runs = [_sweep_point(payload) for payload in payloads]
+    supervised = (
+        policy is not None or journal_path is not None
+        or fault_spec is not None
+    )
+    if supervised:
+        if technique_params:
+            raise ReproError(
+                "supervised sweeps do not support technique_params"
+            )
+        from .parallel import Cell, run_cells
+
+        cells = [
+            Cell(alias, technique, num_frames, config=config)
+            for config in configs
+        ]
+        results = run_cells(
+            cells, config=base_config, processes=processes, policy=policy,
+            journal_path=journal_path, fault_spec=fault_spec,
+        )
+        runs = [results[cell] for cell in cells]
     else:
-        import multiprocessing
+        payloads = [
+            (alias, technique, config, num_frames, technique_params)
+            for config in configs
+        ]
+        if processes in (None, 0, 1) or len(payloads) <= 1:
+            runs = [_sweep_point(payload) for payload in payloads]
+        else:
+            import multiprocessing
 
-        workers = min(int(processes), len(payloads))
-        with multiprocessing.Pool(workers) as pool:
-            runs = pool.map(_sweep_point, payloads)
+            workers = min(int(processes), len(payloads))
+            with multiprocessing.Pool(workers) as pool:
+                runs = pool.map(_sweep_point, payloads)
 
     return [
         SweepPoint(parameters=assignment, run=run)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the harness test package."""
+
+import os
+import pathlib
+
+import pytest
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    """Directory for run journals and other diagnostic artifacts.
+
+    When ``REPRO_TEST_ARTIFACTS`` is set (as CI does), artifacts land in
+    that directory so a failed harness job can upload them; otherwise
+    they go to pytest's per-test tmp_path and vanish with it.
+    """
+    root = os.environ.get("REPRO_TEST_ARTIFACTS")
+    if not root:
+        return tmp_path
+    os.makedirs(root, exist_ok=True)
+    return pathlib.Path(root)

@@ -1,0 +1,109 @@
+"""Algebraic properties of the CRC combination layer.
+
+The signature unit leans on three facts: combining with an empty
+submessage is a no-op (identity), combination is associative (so a
+tile's signature can be assembled in any grouping of its primitive
+chunks), and the hash is order-sensitive (so reordered primitives
+produce a different signature).  Each is pinned here over randomized
+byte blocks and split points, always against the one-shot
+:func:`crc32_table` reference.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    IncrementalCrc,
+    combine,
+    combine_many,
+    crc32_table,
+)
+
+crcs_arrays = st.lists(
+    st.integers(0, 2**32 - 1), min_size=0, max_size=24
+).map(lambda xs: np.array(xs, dtype=np.uint32))
+
+
+class TestIdentity:
+    @given(crcs_arrays)
+    def test_empty_submessage_is_identity(self, crcs):
+        # Appending zero bits of CRC 0 must leave every lane unchanged.
+        assert np.array_equal(combine_many(crcs, 0, 0), crcs)
+
+    @given(st.binary(max_size=96))
+    def test_empty_suffix_identity_matches_reference(self, block):
+        crc = crc32_table(block)
+        assert combine(crc, crc32_table(b""), 0) == crc
+
+
+class TestAssociativity:
+    @given(st.binary(max_size=64), st.binary(max_size=64),
+           st.binary(max_size=64))
+    def test_grouping_does_not_matter(self, a, b, c):
+        ca, cb, cc = crc32_table(a), crc32_table(b), crc32_table(c)
+        left = combine(combine(ca, cb, len(b) * 8), cc, len(c) * 8)
+        right = combine(ca, combine(cb, cc, len(c) * 8),
+                        (len(b) + len(c)) * 8)
+        assert left == right
+        # Both groupings equal the one-shot CRC of the concatenation.
+        assert left == crc32_table(a + b + c)
+
+    @given(crcs_arrays, st.binary(max_size=48), st.binary(max_size=48))
+    def test_vector_lanes_associate_like_scalars(self, crcs, b, c):
+        cb, cc = crc32_table(b), crc32_table(c)
+        step = combine_many(
+            combine_many(crcs, cb, len(b) * 8), cc, len(c) * 8
+        )
+        fused = combine_many(
+            crcs, combine(cb, cc, len(c) * 8), (len(b) + len(c)) * 8
+        )
+        assert np.array_equal(step, fused)
+
+
+class TestIncrementalVsOneShot:
+    @given(st.binary(max_size=256), st.data())
+    def test_any_split_equals_whole(self, block, data):
+        # Cut the block at a random sorted set of split points and feed
+        # the pieces incrementally: the running CRC must equal the
+        # one-shot CRC of the whole block at the end.
+        points = data.draw(
+            st.lists(st.integers(0, len(block)), max_size=8).map(sorted)
+        )
+        inc = IncrementalCrc()
+        start = 0
+        for point in [*points, len(block)]:
+            inc.append(block[start:point])
+            start = point
+        assert inc.value == crc32_table(block)
+
+    @given(st.binary(max_size=128), st.integers(0, 128))
+    def test_append_crc_split_equals_whole(self, block, cut):
+        cut = min(cut, len(block))
+        head, tail = block[:cut], block[cut:]
+        inc = IncrementalCrc()
+        inc.append(head)
+        inc.append_crc(crc32_table(tail), len(tail) * 8)
+        assert inc.value == crc32_table(block)
+
+
+class TestOrderSensitivity:
+    @given(st.binary(min_size=1, max_size=48),
+           st.binary(min_size=1, max_size=48))
+    def test_swapped_blocks_match_their_own_reference(self, a, b):
+        # A raw inequality assertion would let hypothesis hunt for CRC
+        # collisions; the strong property is that each ordering equals
+        # the reference CRC of *its* concatenation, so orderings agree
+        # exactly when the concatenations do.
+        ab = combine(crc32_table(a), crc32_table(b), len(b) * 8)
+        ba = combine(crc32_table(b), crc32_table(a), len(a) * 8)
+        assert ab == crc32_table(a + b)
+        assert ba == crc32_table(b + a)
+        if a + b == b + a:
+            assert ab == ba
+
+    def test_known_reorder_changes_signature(self):
+        a, b = b"primitive A", b"primitive B"
+        ab = combine(crc32_table(a), crc32_table(b), len(b) * 8)
+        ba = combine(crc32_table(b), crc32_table(a), len(a) * 8)
+        assert ab != ba

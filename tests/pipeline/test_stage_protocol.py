@@ -1,0 +1,95 @@
+"""Conformance of every registered pipeline stage to the Stage protocol.
+
+The stage-graph engine's contract: every block wired into
+``Gpu.__init__`` is a persistent :class:`~repro.engine.stage.Stage` —
+reusable across frames, registered once in the
+:class:`~repro.engine.stats.StatsRegistry`, and restorable to its
+just-constructed statistics state via ``reset()``.  The supervisor's
+checkpoint recovery leans on that contract, so it is pinned here for the
+whole stage tuple at once rather than per-stage.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.engine.session import RenderSession
+from repro.engine.stage import Stage
+
+CONFIG = GpuConfig.small()
+
+
+@pytest.fixture(scope="module")
+def session():
+    return RenderSession("ccs", technique="re", config=CONFIG, num_frames=2)
+
+
+@pytest.fixture(scope="module")
+def initial_snapshot(session):
+    # Captured before any frame is rendered; module-scoped fixtures run
+    # in dependency order, so this precedes the rendering fixture below.
+    return session.gpu.stats_registry.snapshot()
+
+
+@pytest.fixture(scope="module")
+def rendered(session, initial_snapshot):
+    session.run()
+    return session.gpu
+
+
+class TestProtocol:
+    def test_every_stage_is_a_stage(self, session):
+        assert session.gpu.stages, "stage graph must not be empty"
+        for stage in session.gpu.stages:
+            assert isinstance(stage, Stage), type(stage).__name__
+
+    def test_lifecycle_hooks_accept_no_context(self, session):
+        # reset() calls begin_frame(None); both hooks must tolerate a
+        # missing FrameContext for standalone/unit use.
+        for stage in session.gpu.stages:
+            stage.begin_frame(None)
+            stage.end_frame(None)
+
+    def test_every_stage_registers_a_metrics_group(self, session):
+        keys = session.gpu.stats_registry.keys()
+        for stage in session.gpu.stages:
+            group = stage.metrics_group
+            assert group, type(stage).__name__
+            for field in dataclasses.fields(stage.stats):
+                if field.type not in (int, float, "int", "float"):
+                    continue
+                assert f"{group}.{field.name}" in keys
+
+    def test_groups_are_distinct(self, session):
+        groups = [stage.metrics_group for stage in session.gpu.stages]
+        assert len(groups) == len(set(groups))
+
+
+class TestReset:
+    def test_rendering_moves_counters(self, rendered, initial_snapshot):
+        after = rendered.stats_registry.snapshot()
+        moved = [
+            key for key in after
+            if after[key] != initial_snapshot[key]
+        ]
+        assert moved, "two rendered frames must move some counter"
+
+    def test_reset_restores_initial_metrics(self, rendered,
+                                            initial_snapshot):
+        for stage in rendered.stages:
+            stage.reset()
+        after_reset = rendered.stats_registry.snapshot()
+        for stage in rendered.stages:
+            prefix = f"{stage.metrics_group}."
+            for key in after_reset:
+                if key.startswith(prefix):
+                    assert after_reset[key] == initial_snapshot[key], key
+
+    def test_reset_is_idempotent(self, rendered):
+        for stage in rendered.stages:
+            stage.reset()
+        once = rendered.stats_registry.snapshot()
+        for stage in rendered.stages:
+            stage.reset()
+        assert rendered.stats_registry.snapshot() == once
