@@ -7,7 +7,18 @@ Subcommands:
   fig16, fig17a, fig17b, re_overheads, hash_quality, table1).
 * ``run <game>``     — run one benchmark under one technique, printing
   per-frame skip/cycle/energy summaries.
+* ``sweep <game>``   — run one benchmark across a grid of GpuConfig
+  values (``--set tile_size=8,16,32``) and tabulate a metric.
+* ``report``         — regenerate every figure into a markdown report,
+  or, given a metrics log (``report run.metrics.jsonl``), print the
+  per-stage cycle shares, skip-rate curve and hottest tiles of that run.
 * ``list``           — list the available games and experiments.
+
+Observability flags (``run`` and ``sweep``; see :mod:`repro.obs`):
+``--trace out.json`` records a Chrome trace-event timeline (load it in
+Perfetto or ``chrome://tracing``), ``--metrics out.jsonl`` samples every
+counter at each frame boundary into a per-frame metrics log that
+``report`` analyses offline.
 
 Global flags: ``--jobs N`` fans independent (workload, technique) cells
 across N worker processes (see :mod:`repro.harness.parallel`);
@@ -159,6 +170,7 @@ def _cmd_run_supervised(args) -> int:
     supervised = supervise_cells(
         [cell], config=_config_from(args), policy=_policy_from(args),
         journal_path=args.journal, fault_spec=args.inject_fault,
+        trace_path=args.trace, metrics_path=args.metrics,
     )
     outcome = supervised.outcomes[cell]
     if not outcome.succeeded:
@@ -171,7 +183,17 @@ def _cmd_run_supervised(args) -> int:
         print(f"recovered after {outcome.attempts} attempts "
               f"(resumed from frame {outcome.resumed_from_frame})")
     _print_run_summary(outcome.result)
+    _print_observability_paths(args)
     return 0
+
+
+def _print_observability_paths(args) -> None:
+    if args.trace:
+        print(f"  wrote trace to {args.trace} "
+              f"(load in Perfetto / chrome://tracing)")
+    if args.metrics:
+        print(f"  wrote per-frame metrics to {args.metrics} "
+              f"(analyse with `python -m repro report {args.metrics}`)")
 
 
 def _cmd_run(args) -> int:
@@ -189,12 +211,15 @@ def _cmd_run(args) -> int:
         checkpoint_at=args.checkpoint_at,
         checkpoint_path=args.checkpoint_out,
         manifest_path=args.manifest,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
     )
     if args.resume:
         print(f"resumed from checkpoint {args.resume}")
     # Report what actually ran: on --resume the technique and frame count
     # come from the checkpoint, not the CLI defaults.
     _print_run_summary(run)
+    _print_observability_paths(args)
     if perf is not None:
         from .perf import write_bench
 
@@ -216,7 +241,74 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _coerce_sweep_value(text: str):
+    """``--set`` values: int where possible, then float, else string."""
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_sweep(args) -> int:
+    from .errors import ReproError
+    from .harness.reporting import format_table
+    from .harness.sweeps import sweep, tabulate
+
+    parameters = {}
+    for spec in args.set:
+        name, _, values = spec.partition("=")
+        if not values:
+            print(f"bad --set {spec!r}: expected name=v1,v2,...",
+                  file=sys.stderr)
+            return 2
+        parameters[name] = [
+            _coerce_sweep_value(v) for v in values.split(",")
+        ]
+    supervised = _supervision_requested(args)
+    try:
+        points = sweep(
+            args.game, args.technique, parameters,
+            base_config=_config_from(args), num_frames=args.frames,
+            processes=args.jobs or None,
+            policy=_policy_from(args) if supervised else None,
+            journal_path=args.journal, fault_spec=args.inject_fault,
+            trace_path=args.trace, metrics_path=args.metrics,
+        )
+        rows = tabulate(points, args.metric)
+    except ReproError as exc:
+        print(f"sweep failed: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(f"{args.game} under {args.technique}: "
+          f"{len(points)} configurations x {args.frames} frames")
+    print(format_table(list(parameters) + [args.metric], rows))
+    if args.trace or args.metrics:
+        if len(points) > 1:
+            print("  per-point trace/metrics paths derive from the given "
+                  "stem (suffixed -NN-alias-technique)")
+        else:
+            _print_observability_paths(args)
+    return 0
+
+
 def _cmd_report(args) -> int:
+    if args.metrics_log or args.validate_trace:
+        from .errors import ReproError
+        from .obs import render_report, validate_trace_file
+
+        try:
+            if args.validate_trace:
+                counts = validate_trace_file(args.validate_trace)
+                print(f"trace ok: {counts['events']} events "
+                      f"({counts['spans']} spans, {counts['instants']} "
+                      f"instants, {counts['counters']} counter samples)")
+            if args.metrics_log:
+                print(render_report(args.metrics_log, top=args.top))
+        except ReproError as exc:
+            print(f"report failed: {exc.args[0]}", file=sys.stderr)
+            return 1
+        return 0
     from .harness.report import generate_report
 
     results = generate_report(
@@ -225,6 +317,17 @@ def _cmd_report(args) -> int:
     )
     print(f"wrote {len(results)} sections to {args.out}")
     return 0
+
+
+def _add_observability_flags(subparser) -> None:
+    subparser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON timeline here "
+             "(load in Perfetto / chrome://tracing)")
+    subparser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write a per-frame JSONL metrics log here "
+             "(analyse with `python -m repro report PATH`)")
 
 
 def main(argv=None) -> int:
@@ -277,16 +380,42 @@ def main(argv=None) -> int:
                      help="where --checkpoint-at writes the checkpoint")
     run.add_argument("--manifest", default=None, metavar="PATH",
                      help="write a JSON run manifest here")
-    report = sub.add_parser(
-        "report", help="regenerate every figure into one markdown report"
+    _add_observability_flags(run)
+    swp = sub.add_parser(
+        "sweep", help="run one game across a grid of GpuConfig values"
     )
+    swp.add_argument("game")
+    swp.add_argument("--technique", choices=TECHNIQUES, default="re")
+    swp.add_argument("--set", action="append", required=True,
+                     metavar="NAME=V1,V2,...",
+                     help="GpuConfig field and the values to sweep it "
+                          "over; repeat for a multi-parameter grid")
+    swp.add_argument("--metric", default="total_cycles",
+                     help="metric column to tabulate "
+                          "(default: total_cycles)")
+    _add_observability_flags(swp)
+    report = sub.add_parser(
+        "report", help="regenerate every figure into one markdown "
+                       "report, or analyse a per-frame metrics log"
+    )
+    report.add_argument("metrics_log", nargs="?", default=None,
+                        help="a metrics JSONL written by --metrics; when "
+                             "given, print that run's per-stage cycle "
+                             "shares, skip-rate curve and hottest tiles "
+                             "instead of regenerating figures")
     report.add_argument("--out", default="REPORT.md")
+    report.add_argument("--top", type=int, default=10,
+                        help="how many hottest tiles to list")
+    report.add_argument("--validate-trace", default=None, metavar="PATH",
+                        help="strictly validate a Chrome trace-event "
+                             "JSON file written by --trace")
 
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
         "experiment": _cmd_experiment,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

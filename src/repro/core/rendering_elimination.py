@@ -120,9 +120,14 @@ class RenderingElimination(Technique):
         if self.disabled_this_frame:
             return False
         self._tiles_compared += 1
+        tracer = self.gpu.tracer if self.gpu is not None else None
         if self.signature_buffer.matches_reference(tile_id):
             self._tiles_skipped += 1
+            if tracer:
+                tracer.instant("signature_hit", tile=tile_id)
             return True
+        if tracer:
+            tracer.instant("signature_miss", tile=tile_id)
         return False
 
     # Overheads -----------------------------------------------------------

@@ -180,7 +180,8 @@ class RenderSession:
 
     def __init__(self, alias: str, technique: str = "baseline",
                  config: GpuConfig = None, num_frames: int = 50,
-                 exact_signatures: bool = False, perf=None) -> None:
+                 exact_signatures: bool = False, perf=None,
+                 tracer=None, metrics=None) -> None:
         self.alias = alias
         self.technique_name = technique
         self.config = config if config is not None else GpuConfig.benchmark()
@@ -194,6 +195,8 @@ class RenderSession:
         self.gpu.perf = perf
         self.timing = TimingModel(self.config)
         self.energy_model = EnergyModel(self.config)
+        self.metrics = None
+        self.attach_observability(tracer=tracer, metrics=metrics)
 
         self.frames: list = []          # FrameMetrics, one per frame
         self.frame_stats: list = []     # FrameStats, one per frame
@@ -202,6 +205,47 @@ class RenderSession:
         self._input_sigs: list = [] if self._track_sigs else None
         self._events_before = technique_event_counts(self.technique)
         self.final_frame_crc = 0
+
+    # Observability ------------------------------------------------------
+    @property
+    def tracer(self):
+        """The GPU's tracer (falsy when tracing is disabled)."""
+        return self.gpu.tracer
+
+    def attach_observability(self, tracer=None, metrics=None,
+                             header_fields: dict = None) -> None:
+        """Install a :class:`~repro.obs.Tracer` and/or
+        :class:`~repro.obs.MetricsLog` on this session.
+
+        The tracer receives the run's identity as trace metadata; the
+        metrics log gets a header record describing the run (written
+        once per log).  ``header_fields`` adds caller context to both —
+        the supervisor stamps attempt/retry ids this way so journals,
+        traces and metrics logs correlate.  Passing ``None`` for either
+        sink leaves it unchanged.
+        """
+        if tracer is not None:
+            self.gpu.tracer = tracer or None
+            if tracer:
+                tracer.annotate(
+                    alias=self.alias, technique=self.technique_name,
+                    num_frames=self.num_frames,
+                    config_digest=self.config.digest(),
+                    **(header_fields or {}),
+                )
+        if metrics is not None:
+            self.metrics = metrics
+            if metrics.header is None:
+                metrics.write_header(
+                    alias=self.alias, technique=self.technique_name,
+                    num_frames=self.num_frames,
+                    num_tiles=self.config.num_tiles,
+                    tiles_x=self.config.tiles_x,
+                    tiles_y=self.config.tiles_y,
+                    tile_size=self.config.tile_size,
+                    config_digest=self.config.digest(),
+                    **(header_fields or {}),
+                )
 
     # Frame loop ---------------------------------------------------------
     @property
@@ -247,6 +291,10 @@ class RenderSession:
         return self.frames_rendered - start
 
     def _render_one(self, stream) -> None:
+        metrics = self.metrics
+        registry_before = (
+            self.gpu.stats_registry.snapshot() if metrics is not None else None
+        )
         stats = self.gpu.render_frame(stream, clear_color=self.scene.clear_color)
         cycles = self.timing.frame_cycles(stats)
         events_after = technique_event_counts(self.technique)
@@ -276,6 +324,14 @@ class RenderSession:
         if self._track_sigs:
             self._input_sigs.append(self.technique.current_signatures())
         self.final_frame_crc = zlib.crc32(stats.frame_colors.tobytes())
+        if metrics is not None:
+            from ..obs.metrics import frame_record
+
+            energy = self.frames[-1].energy
+            metrics.sample(**frame_record(
+                stats, cycles, energy,
+                self.gpu.stats_registry.delta(registry_before),
+            ))
 
     # Result views -------------------------------------------------------
     @property
@@ -345,11 +401,14 @@ class RenderSession:
 
     @classmethod
     def from_checkpoint(cls, source, config: GpuConfig = None,
-                        perf=None) -> "RenderSession":
+                        perf=None, tracer=None,
+                        metrics=None) -> "RenderSession":
         """Rebuild a session from a checkpoint file path or state dict.
 
         ``config`` defaults to the configuration stored in the
         checkpoint, so a resumed run simulates the same hardware.
+        ``tracer``/``metrics`` attach observability sinks to the resumed
+        session (sinks are host-side and never checkpointed).
         """
         state = source if isinstance(source, dict) else load_checkpoint(source)
         meta = state["session"]
@@ -359,6 +418,7 @@ class RenderSession:
             meta["alias"], meta["technique"], config=config,
             num_frames=int(meta["num_frames"]),
             exact_signatures=bool(meta["exact_signatures"]), perf=perf,
+            tracer=tracer, metrics=metrics,
         )
         session.restore(state)
         return session

@@ -48,7 +48,11 @@ class StatsRegistry:
         """Register one counter under ``key``; duplicate keys are bugs."""
         spec = MetricSpec(key, description)
         if key in self._getters:
-            raise ReproError(f"metric {key!r} registered twice")
+            raise ReproError(
+                f"metric {key!r} registered twice; metric keys must be "
+                "unique per registry — the usual cause is two stages "
+                "sharing a metrics_group"
+            )
         self._getters[key] = getter
         self._specs[key] = spec
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 import typing
 
 import numpy as np
@@ -75,6 +76,21 @@ def cell_label(cell: Cell) -> str:
     return f"{cell.alias}/{cell.technique}"
 
 
+def per_cell_path(base, cell: Cell, index: int, many: bool):
+    """Derive a per-cell artifact path (trace/metrics) from a base path.
+
+    One cell uses the base path verbatim; a matrix suffixes the stem
+    with the cell's position and label (the index disambiguates sweep
+    points, which share alias/technique across configs)."""
+    if base is None:
+        return None
+    base = os.fspath(base)
+    if not many:
+        return base
+    root, ext = os.path.splitext(base)
+    return f"{root}-{index:02d}-{cell.alias}-{cell.technique}{ext}"
+
+
 def coerce_cells(cells: typing.Sequence) -> list:
     """Normalize a cell sequence: tuples become :class:`Cell`, duplicate
     cells collapse (keeping first-seen order) so result dicts keyed by
@@ -85,25 +101,31 @@ def coerce_cells(cells: typing.Sequence) -> list:
 
 def _run_cell(payload: tuple) -> tuple:
     """Worker body: run one cell; returns ``(cell, RunResult)``."""
-    cell, config = payload
+    cell, config, trace_path, metrics_path = payload
     np.random.seed(cell_seed(cell))
     result = run_workload(
         cell.alias, cell.technique, config=cell.config or config,
         num_frames=cell.num_frames,
         exact_signatures=cell.exact_signatures,
+        trace_path=trace_path, metrics_path=metrics_path,
     )
     return cell, result
 
 
 def run_cells(cells: typing.Sequence, config: GpuConfig = None,
               processes: int = None, policy=None, journal_path=None,
-              fault_spec=None, workdir=None) -> dict:
+              fault_spec=None, workdir=None, trace_path=None,
+              metrics_path=None) -> dict:
     """Run every cell, returning ``{cell: RunResult}``.
 
     ``processes`` > 1 fans cells across a process pool (capped at the
     machine's CPU count); ``None``/``0``/``1`` runs serially in-process.
     Results are keyed by cell regardless of completion order, so callers
     see the same mapping either way.
+
+    ``trace_path`` / ``metrics_path`` record per-run observability
+    (:mod:`repro.obs`) for every cell; with more than one cell the
+    paths are suffixed per cell, the same scheme the supervisor uses.
 
     Passing any of ``policy`` (a
     :class:`~repro.harness.supervisor.SupervisorPolicy`),
@@ -121,7 +143,8 @@ def run_cells(cells: typing.Sequence, config: GpuConfig = None,
         supervised = supervise_cells(
             cells, config=config, policy=policy, processes=processes,
             journal_path=journal_path, fault_spec=fault_spec,
-            workdir=workdir,
+            workdir=workdir, trace_path=trace_path,
+            metrics_path=metrics_path,
         )
         failed = supervised.failed
         if failed:
@@ -132,7 +155,13 @@ def run_cells(cells: typing.Sequence, config: GpuConfig = None,
             )
         return supervised.results()
 
-    payloads = [(cell, config) for cell in cells]
+    many = len(cells) > 1
+    payloads = [
+        (cell, config,
+         per_cell_path(trace_path, cell, index, many),
+         per_cell_path(metrics_path, cell, index, many))
+        for index, cell in enumerate(cells)
+    ]
     if processes in (None, 0, 1) or len(cells) <= 1:
         return dict(_run_cell(payload) for payload in payloads)
 

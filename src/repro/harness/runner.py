@@ -160,11 +160,22 @@ def run_workload(alias: str, technique: str = "baseline",
                  config: GpuConfig = None, num_frames: int = 50,
                  exact_signatures: bool = False, perf=None,
                  resume_from=None, checkpoint_at: int = None,
-                 checkpoint_path=None, manifest_path=None) -> RunResult:
+                 checkpoint_path=None, manifest_path=None,
+                 trace_path=None, metrics_path=None) -> RunResult:
     """Render ``num_frames`` of a benchmark under a technique.
 
     ``perf`` may be a :class:`repro.perf.PerfRecorder`; it then receives
     per-stage wall-clock and event counts for every frame rendered.
+
+    Observability (:mod:`repro.obs`):
+
+    * ``trace_path`` — record span/instant events for every frame and
+      write Chrome trace-event JSON there (Perfetto-loadable).  The
+      trace is written even if the run raises, so a failed run still
+      leaves its timeline behind.
+    * ``metrics_path`` — sample every registry counter at each frame
+      boundary into a JSONL per-frame metrics log there (the input to
+      ``python -m repro report``).
 
     Checkpoint/resume:
 
@@ -176,25 +187,42 @@ def run_workload(alias: str, technique: str = "baseline",
       after that many frames, then keep rendering to completion.
     * ``manifest_path`` — write a JSON manifest describing the run.
     """
+    tracer = metrics = None
+    if trace_path is not None or metrics_path is not None:
+        from ..obs import MetricsLog, TraceRecorder
+
+        if trace_path is not None:
+            tracer = TraceRecorder()
+        if metrics_path is not None:
+            metrics = MetricsLog(metrics_path)
+
     if resume_from is not None:
         session = RenderSession.from_checkpoint(
-            resume_from, config=config, perf=perf
+            resume_from, config=config, perf=perf,
+            tracer=tracer, metrics=metrics,
         )
         resumed_at = session.frames_rendered
     else:
         session = RenderSession(
             alias, technique=technique, config=config,
             num_frames=num_frames, exact_signatures=exact_signatures,
-            perf=perf,
+            perf=perf, tracer=tracer, metrics=metrics,
         )
         resumed_at = 0
 
-    if checkpoint_at is not None:
-        session.run(until=checkpoint_at)
-        if checkpoint_path is None:
-            raise ValueError("checkpoint_at requires checkpoint_path")
-        session.save(checkpoint_path)
-    session.run()
+    try:
+        if checkpoint_at is not None:
+            session.run(until=checkpoint_at)
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_at requires checkpoint_path")
+            session.save(checkpoint_path)
+        session.run()
+    finally:
+        if tracer is not None:
+            tracer.close_open_spans()
+            tracer.write(trace_path)
+        if metrics is not None:
+            metrics.close()
 
     result = result_from_session(session)
     if manifest_path is not None:

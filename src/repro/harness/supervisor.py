@@ -59,7 +59,7 @@ from ..config import GpuConfig
 from ..engine.checkpoint import try_load_checkpoint
 from ..engine.session import RenderSession
 from ..errors import ReproError, SupervisionError
-from .parallel import Cell, cell_label, cell_seed, coerce_cells
+from .parallel import Cell, cell_label, cell_seed, coerce_cells, per_cell_path
 from .runner import RunResult, result_from_session
 
 __all__ = [
@@ -305,7 +305,8 @@ def _fire_fault(fault: FaultSpec) -> None:
 
 def _attempt_main(conn, cell: Cell, config: GpuConfig,
                   policy: SupervisorPolicy, attempt: int, ckpt_path,
-                  fault: FaultSpec) -> None:
+                  fault: FaultSpec, trace_path=None,
+                  metrics_path=None) -> None:
     """Child body: run (or resume) one cell, reporting over ``conn``.
 
     Messages: ``("progress", frames_rendered)`` after every stride
@@ -313,9 +314,26 @@ def _attempt_main(conn, cell: Cell, config: GpuConfig,
     one of ``("ok", RunResult, resumed_from_frame)`` or
     ``("error", description)``.  A crash sends nothing — the parent
     reads the EOF and the exit code instead.
+
+    Observability: ``trace_path`` records a Chrome trace for this
+    attempt (rewritten per attempt, metadata stamped with the cell,
+    attempt number and resume frame, so the journal's ``attempt_start``
+    records correlate with the trace that survived); ``metrics_path`` is
+    appended to across attempts — each attempt contributes its own
+    stamped header and the frames it rendered, flushed per record so
+    even a crashed attempt leaves its completed frames on disk.
     """
     np.random.seed(cell_seed(cell))
+    tracer = metrics = None
     try:
+        if trace_path is not None or metrics_path is not None:
+            from ..obs import MetricsLog, TraceRecorder
+
+            if trace_path is not None:
+                tracer = TraceRecorder()
+            if metrics_path is not None:
+                metrics = MetricsLog(metrics_path, mode="a")
+
         state = try_load_checkpoint(ckpt_path)
         if state is not None:
             session = RenderSession.from_checkpoint(state)
@@ -327,6 +345,15 @@ def _attempt_main(conn, cell: Cell, config: GpuConfig,
                 exact_signatures=cell.exact_signatures,
             )
             resumed_from = 0
+        if tracer is not None or metrics is not None:
+            session.attach_observability(
+                tracer=tracer, metrics=metrics,
+                header_fields={
+                    "cell": cell_label(cell),
+                    "attempt": attempt,
+                    "resumed_from_frame": resumed_from,
+                },
+            )
 
         armed = fault is not None and fault.matches(cell)
 
@@ -345,6 +372,14 @@ def _attempt_main(conn, cell: Cell, config: GpuConfig,
         except (OSError, ValueError):
             pass
     finally:
+        if tracer is not None:
+            try:
+                tracer.close_open_spans()
+                tracer.write(trace_path)
+            except OSError:      # pragma: no cover - best-effort artifact
+                pass
+        if metrics is not None:
+            metrics.close()
         try:
             conn.close()
         except OSError:
@@ -362,6 +397,8 @@ class _CellState:
     cell: Cell
     config: GpuConfig
     ckpt_path: object = None
+    trace_path: object = None
+    metrics_path: object = None
     attempt: int = 0
     next_eligible: float = 0.0
     #: Last frame a checkpoint is known to exist for (this run).
@@ -388,7 +425,8 @@ def _mp_context():
 def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
                     policy: SupervisorPolicy = None, processes: int = None,
                     journal_path=None, fault_spec=None,
-                    workdir=None) -> SupervisedRun:
+                    workdir=None, trace_path=None,
+                    metrics_path=None) -> SupervisedRun:
     """Run every cell under supervision; never raises for cell failures.
 
     ``processes`` bounds how many attempts run concurrently (default 1 —
@@ -398,6 +436,14 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
     ``workdir``, checkpoints of cells that never succeed are *kept*, so
     re-running the same matrix resumes them; a successful cell's
     checkpoint is always deleted.
+
+    ``trace_path`` / ``metrics_path`` enable observability
+    (:mod:`repro.obs`) inside the workers: each attempt writes a Chrome
+    trace stamped with its cell/attempt/resume-frame metadata and
+    appends per-frame metrics records under its own stamped header, so
+    the journal, the trace and the metrics log tell one correlated
+    story.  With more than one cell the paths are suffixed per cell
+    (see the journal's ``attempt_start`` records for the exact paths).
 
     ``fault_spec`` accepts a :class:`FaultSpec` or spec string; when
     ``None`` the ``REPRO_FAULT_SPEC`` environment variable is consulted.
@@ -432,8 +478,9 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
         fault=str(fault) if fault else None,
     )
 
+    many = len(cells) > 1
     pending: list = []
-    for cell in cells:
+    for index, cell in enumerate(cells):
         cell_config = cell.config or config
         ckpt_path = None
         if workdir is not None and policy.checkpoint_stride > 0:
@@ -443,7 +490,15 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
                 f"{cell.alias}-{cell.technique}-f{cell.num_frames}{exact}"
                 f"-{cell_config.digest()[:8]}.ckpt",
             )
-        pending.append(_CellState(cell, cell_config, ckpt_path))
+        cell_metrics = per_cell_path(metrics_path, cell, index, many)
+        if cell_metrics is not None:
+            # Attempts append; start each supervised run from a clean log.
+            open(cell_metrics, "w", encoding="utf-8").close()
+        pending.append(_CellState(
+            cell, cell_config, ckpt_path,
+            trace_path=per_cell_path(trace_path, cell, index, many),
+            metrics_path=cell_metrics,
+        ))
 
     active: dict = {}      # id(_CellState) -> _Active
     outcomes: dict = {}    # Cell -> CellOutcome
@@ -454,7 +509,8 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
         process = ctx.Process(
             target=_attempt_main,
             args=(child_conn, state.cell, state.config, policy,
-                  state.attempt, state.ckpt_path, fault),
+                  state.attempt, state.ckpt_path, fault,
+                  state.trace_path, state.metrics_path),
             daemon=True,
         )
         process.start()
@@ -464,10 +520,15 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
             if policy.timeout_s else None
         )
         active[id(state)] = _Active(state, process, parent_conn, deadline)
+        extra = {}
+        if state.trace_path is not None:
+            extra["trace"] = str(state.trace_path)
+        if state.metrics_path is not None:
+            extra["metrics"] = str(state.metrics_path)
         journal.append(
             "attempt_start", cell=cell_label(state.cell),
             attempt=state.attempt, resume_frame=state.checkpoint_frame,
-            num_frames=state.cell.num_frames, pid=process.pid,
+            num_frames=state.cell.num_frames, pid=process.pid, **extra,
         )
 
     def reap(entry: _Active) -> None:

@@ -46,9 +46,11 @@ class SweepPoint:
 
 def _sweep_point(payload: tuple) -> RunResult:
     """Worker body for parallel sweeps (module-level for pickling)."""
-    alias, technique, config, num_frames, technique_params = payload
+    (alias, technique, config, num_frames, technique_params,
+     trace_path, metrics_path) = payload
     return run_workload(
         alias, technique, config=config, num_frames=num_frames,
+        trace_path=trace_path, metrics_path=metrics_path,
         **(technique_params or {}),
     )
 
@@ -56,7 +58,8 @@ def _sweep_point(payload: tuple) -> RunResult:
 def sweep(alias: str, technique: str, parameters: dict,
           base_config: GpuConfig = None, num_frames: int = 8,
           technique_params: dict = None, processes: int = None,
-          policy=None, journal_path=None, fault_spec=None) -> list:
+          policy=None, journal_path=None, fault_spec=None,
+          trace_path=None, metrics_path=None) -> list:
     """Run ``alias`` under ``technique`` for every combination of
     ``parameters`` (a mapping of GpuConfig field name -> list of values).
 
@@ -69,6 +72,11 @@ def sweep(alias: str, technique: str, parameters: dict,
     ``processes`` > 1 fans the grid across a process pool (each point is
     an independent simulation); the default runs serially and returns
     identical results.
+
+    ``trace_path`` / ``metrics_path`` record per-point observability
+    (:mod:`repro.obs`): each grid point writes its own trace / metrics
+    log, the paths suffixed with the point's position and cell label
+    (single-point sweeps use the paths verbatim).
 
     Large sweep matrices are exactly the runs worth leaving unattended,
     so ``policy`` / ``journal_path`` / ``fault_spec`` route the grid
@@ -109,12 +117,19 @@ def sweep(alias: str, technique: str, parameters: dict,
         results = run_cells(
             cells, config=base_config, processes=processes, policy=policy,
             journal_path=journal_path, fault_spec=fault_spec,
+            trace_path=trace_path, metrics_path=metrics_path,
         )
         runs = [results[cell] for cell in cells]
     else:
+        from .parallel import Cell, per_cell_path
+
+        many = len(configs) > 1
+        point = Cell(alias, technique, num_frames)
         payloads = [
-            (alias, technique, config, num_frames, technique_params)
-            for config in configs
+            (alias, technique, config, num_frames, technique_params,
+             per_cell_path(trace_path, point, index, many),
+             per_cell_path(metrics_path, point, index, many))
+            for index, config in enumerate(configs)
         ]
         if processes in (None, 0, 1) or len(payloads) <= 1:
             runs = [_sweep_point(payload) for payload in payloads]

@@ -1,0 +1,34 @@
+"""Observability: structured tracing and per-frame metrics.
+
+The telemetry layer for the simulator — distinct from
+:mod:`repro.perf`, which times the *simulator process* in aggregate.
+This package records *time-resolved, per-entity* telemetry of the
+simulated run:
+
+* :class:`Tracer` / :class:`TraceRecorder` — span and instant events
+  over the stage graph, emitted as Chrome trace-event JSON for
+  Perfetto / ``chrome://tracing`` (``--trace out.json``);
+* :class:`MetricsLog` — every registry counter sampled at each frame
+  boundary into a JSONL time series plus per-tile skip heatmap data
+  (``--metrics out.jsonl``);
+* :mod:`repro.obs.report` — offline analysis of a metrics log
+  (``python -m repro report run.metrics.jsonl``);
+* :mod:`repro.obs.validate` — strict trace-event schema checks, so
+  viewer compatibility is pinned by tests.
+"""
+
+from .metrics import MetricsLog, frame_record
+from .report import render_report
+from .tracer import NULL_TRACER, Tracer, TraceRecorder
+from .validate import validate_trace, validate_trace_file
+
+__all__ = [
+    "MetricsLog",
+    "NULL_TRACER",
+    "TraceRecorder",
+    "Tracer",
+    "frame_record",
+    "render_report",
+    "validate_trace",
+    "validate_trace_file",
+]

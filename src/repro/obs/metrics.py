@@ -1,0 +1,180 @@
+"""MetricsLog: per-frame columnar time series of every counter.
+
+At each frame boundary the render session samples the frame's registry
+delta (every :class:`~repro.engine.stats.StatsRegistry` counter), the
+timing/energy breakdowns and the tile-skip decisions into one flat JSON
+record.  Records are held in memory *and* appended to a JSONL file when
+a path is given, so a killed run still leaves every completed frame on
+disk.
+
+The file starts with a ``header`` record describing the run (alias,
+technique, tile grid) — :func:`MetricsLog.load` round-trips it.  Under
+the supervisor the log is opened in append mode and every attempt writes
+its own header stamped with the attempt id; frames re-rendered by a
+retry therefore appear twice, and the loader keeps the *last* record per
+frame index — the one that produced the surviving result.
+
+``python -m repro report <metrics.jsonl>`` (see :mod:`repro.obs.report`)
+reconstructs per-stage cycle shares, skip-rate curves and per-tile
+heatmaps from this log alone.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ReproError
+
+
+class MetricsLog:
+    """Per-frame metrics records, in memory and optionally on disk."""
+
+    def __init__(self, path=None, mode: str = "w") -> None:
+        self.path = path
+        self.header: dict = None
+        self.records: list = []        # frame records, in arrival order
+        self._handle = (
+            open(path, mode, encoding="utf-8") if path else None
+        )
+
+    # Writing ------------------------------------------------------------
+    def write_header(self, **fields) -> dict:
+        """Describe the run; stored once per (attempt of a) run."""
+        record = {"kind": "header"}
+        record.update(fields)
+        self.header = record
+        self._emit(record)
+        return record
+
+    def sample(self, **fields) -> dict:
+        """Append one frame record (requires a ``frame_index`` field)."""
+        if "frame_index" not in fields:
+            raise ReproError("metrics record needs a frame_index")
+        record = {"kind": "frame"}
+        record.update(fields)
+        self.records.append(record)
+        self._emit(record)
+        return record
+
+    def _emit(self, record: dict) -> None:
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "MetricsLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # Loading ------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "MetricsLog":
+        """Parse a JSONL metrics file back into a :class:`MetricsLog`.
+
+        Keeps the last header and, when a frame index appears more than
+        once (supervised retries re-render from the last checkpoint),
+        the last record for that frame.
+        """
+        log = cls()
+        by_frame: dict = {}
+        order: list = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"{path}:{lineno}: bad metrics record: {exc}"
+                    ) from None
+                kind = record.get("kind")
+                if kind == "header":
+                    log.header = record
+                elif kind == "frame":
+                    index = int(record["frame_index"])
+                    if index not in by_frame:
+                        order.append(index)
+                    by_frame[index] = record
+                else:
+                    raise ReproError(
+                        f"{path}:{lineno}: unknown record kind {kind!r}"
+                    )
+        log.records = [by_frame[index] for index in sorted(order)]
+        return log
+
+    # Columnar views -----------------------------------------------------
+    def column(self, field: str, default=None) -> list:
+        """One field across every frame record, in frame order."""
+        return [record.get(field, default) for record in self.records]
+
+    def counter_column(self, key: str) -> list:
+        """One registry counter (``"raster.tiles_skipped"``...) per frame."""
+        return [
+            record.get("counters", {}).get(key, 0)
+            for record in self.records
+        ]
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.records)
+
+    def tiles_total(self) -> int:
+        """Tile count of the grid, from the header."""
+        if self.header is None or "num_tiles" not in self.header:
+            raise ReproError("metrics log has no header with num_tiles")
+        return int(self.header["num_tiles"])
+
+    def tile_skip_counts(self) -> list:
+        """Per-tile skip totals across every frame (heatmap data)."""
+        counts = [0] * self.tiles_total()
+        for record in self.records:
+            for tile_id in record.get("skipped_tile_ids", ()):
+                counts[int(tile_id)] += 1
+        return counts
+
+    def tile_render_counts(self) -> list:
+        """Per-tile rendered-frame totals (the skip complement)."""
+        frames = self.num_frames
+        return [frames - skips for skips in self.tile_skip_counts()]
+
+
+def frame_record(stats, cycles, energy, delta: dict) -> dict:
+    """Build one frame's metrics-record fields from the session's view.
+
+    ``stats`` is the frame's :class:`~repro.pipeline.gpu.FrameStats`,
+    ``cycles``/``energy`` the timing/energy breakdowns, and ``delta`` the
+    frame's registry snapshot-delta (every counter, by dotted key).
+    """
+    return {
+        "frame_index": stats.frame_index,
+        "technique": stats.technique_name,
+        "re_disabled": bool(stats.re_disabled),
+        "tiles_total": stats.raster.tiles_scheduled,
+        "tiles_skipped": stats.raster.tiles_skipped,
+        "flushes_suppressed": stats.raster.flushes_suppressed,
+        "fragments_rasterized": stats.raster.fragments_rasterized,
+        "fragments_shaded": stats.fragment.fragments_shaded,
+        "fragments_memoized": stats.fragment.fragments_memoized,
+        "geometry_cycles": cycles.geometry_cycles,
+        "raster_cycles": cycles.raster_cycles,
+        "cycle_parts": {
+            "geometry": dict(cycles.geometry_parts),
+            "raster": dict(cycles.raster_parts),
+        },
+        "energy_nj": {
+            "total": energy.total_nj,
+            "gpu": energy.gpu_nj,
+            "dram": energy.dram_nj,
+        },
+        "traffic": dict(stats.traffic),
+        "skipped_tile_ids": [int(t) for t in stats.skipped_tile_ids],
+        "counters": dict(delta),
+    }

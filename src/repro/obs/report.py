@@ -1,0 +1,154 @@
+"""Analysis of a per-frame metrics log: the ``repro report`` backend.
+
+Reconstructs the shape of the paper's per-run analyses (Fig. 10's
+per-stage cycle shares, Fig. 12's skip-rate behaviour over time) from a
+:class:`~repro.obs.metrics.MetricsLog` alone — no simulator run needed,
+so a log shipped home from a fleet worker can be dissected offline.
+
+Three views:
+
+* :func:`stage_cycle_breakdown` — total cycles per pipeline stage part
+  (``geometry.rasterizer_setup``, ``raster.fragment_processing``, ...)
+  summed over frames, with each part's share of the run.
+* :func:`skip_rate_series` — fraction of tiles skipped per frame, the
+  frame-over-frame curve the behaviour classes of Section V live in.
+* :func:`hottest_tiles` — per-tile render counts across the run, top-N
+  hottest (least-skipped) first; the flat array behind a tile heatmap.
+
+:func:`render_report` formats all three as aligned text tables; totals
+are exact sums of the log's per-frame records, so they reconcile with
+``RunResult`` aggregates to the last cycle.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..harness.reporting import format_table
+from ..harness.timeline import sparkline
+from .metrics import MetricsLog
+
+
+def _as_log(log) -> MetricsLog:
+    if isinstance(log, MetricsLog):
+        return log
+    return MetricsLog.load(log)
+
+
+def stage_cycle_breakdown(log) -> dict:
+    """``{"geometry.<part>"|"raster.<part>": cycles}`` summed over frames."""
+    log = _as_log(log)
+    totals: dict = {}
+    for record in log.records:
+        parts = record.get("cycle_parts", {})
+        for side in ("geometry", "raster"):
+            for part, cycles in parts.get(side, {}).items():
+                key = f"{side}.{part}"
+                totals[key] = totals.get(key, 0.0) + cycles
+    return totals
+
+
+def total_cycles(log) -> float:
+    """Exact run total: sum of per-frame geometry + raster cycles."""
+    log = _as_log(log)
+    return sum(
+        record.get("geometry_cycles", 0.0) + record.get("raster_cycles", 0.0)
+        for record in log.records
+    )
+
+
+def skip_rate_series(log) -> list:
+    """Fraction of tiles skipped, one value per frame."""
+    log = _as_log(log)
+    series = []
+    for record in log.records:
+        tiles = record.get("tiles_total", 0)
+        series.append(
+            record.get("tiles_skipped", 0) / tiles if tiles else 0.0
+        )
+    return series
+
+
+def hottest_tiles(log, top: int = 10) -> list:
+    """Top-``top`` most-rendered tiles: ``(tile_id, rendered, skipped)``.
+
+    Ties break toward the lower tile id so the ranking is deterministic.
+    """
+    log = _as_log(log)
+    skips = log.tile_skip_counts()
+    frames = log.num_frames
+    ranked = sorted(
+        ((frames - skipped, skipped, tile_id)
+         for tile_id, skipped in enumerate(skips)),
+        key=lambda row: (-row[0], row[2]),
+    )
+    return [
+        (tile_id, rendered, skipped)
+        for rendered, skipped, tile_id in ranked[:max(0, int(top))]
+    ]
+
+
+def render_report(log, top: int = 10, width: int = 60) -> str:
+    """Format the full analysis as text (the ``repro report`` output)."""
+    log = _as_log(log)
+    if log.num_frames == 0:
+        raise ReproError("metrics log contains no frame records")
+    header = log.header or {}
+    lines = []
+    title = "metrics report"
+    if header:
+        title += (
+            f": {header.get('alias', '?')} under "
+            f"{header.get('technique', '?')}"
+        )
+        if header.get("attempt"):
+            title += f" (attempt {header['attempt']})"
+    lines.append(title)
+    lines.append(f"frames: {log.num_frames}")
+
+    # Per-stage cycle breakdown (Fig. 10's shape) ----------------------
+    breakdown = stage_cycle_breakdown(log)
+    run_cycles = total_cycles(log)
+    geometry = sum(log.column("geometry_cycles", 0.0))
+    raster = sum(log.column("raster_cycles", 0.0))
+    lines.append("")
+    lines.append(
+        f"cycles: {run_cycles:.0f} total "
+        f"(geometry {geometry:.0f} / raster {raster:.0f})"
+    )
+    rows = [
+        [part, cycles, cycles / run_cycles if run_cycles else 0.0]
+        for part, cycles in sorted(
+            breakdown.items(), key=lambda item: -item[1]
+        )
+    ]
+    lines.append(format_table(
+        ["stage part", "cycles", "share"], rows, float_format="{:.3f}"
+    ))
+
+    # Skip-rate curve (Fig. 12's shape) --------------------------------
+    series = skip_rate_series(log)
+    skipped = sum(log.column("tiles_skipped", 0))
+    scheduled = sum(log.column("tiles_total", 0))
+    lines.append("")
+    lines.append(
+        f"tiles skipped: {skipped} of {scheduled} scheduled "
+        f"({100.0 * skipped / scheduled if scheduled else 0.0:.1f}%)"
+    )
+    lines.append("skip rate per frame: "
+                 + sparkline(series, width=width))
+    disabled = sum(1 for flag in log.column("re_disabled", False) if flag)
+    if disabled:
+        lines.append(f"frames with RE disabled (uploads/refresh): {disabled}")
+
+    # Hottest tiles (heatmap data) -------------------------------------
+    lines.append("")
+    lines.append(f"top {top} hottest tiles (most frames rendered):")
+    rows = [
+        [tile_id, rendered, skipped_count,
+         rendered / log.num_frames if log.num_frames else 0.0]
+        for tile_id, rendered, skipped_count in hottest_tiles(log, top)
+    ]
+    lines.append(format_table(
+        ["tile", "rendered", "skipped", "render rate"], rows,
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Strict structural validation of Chrome trace-event payloads.
+
+``chrome://tracing`` and Perfetto silently drop events they cannot
+interpret, so "the trace loads" is not a test.  This module pins the
+subset of the trace-event format the recorder emits: every event must
+carry ``name``/``ph``/``pid``/``ts``/``tid`` with the right types, the
+phase must be one we emit, and duration events must nest — every ``E``
+closes the matching ``B`` on its ``(pid, tid)`` track, LIFO, with a
+non-decreasing timestamp, and no span is left open at the end.
+
+Used by the test suite (so viewer compatibility is a regression, not a
+surprise) and by ``python -m repro report --validate-trace``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ReproError
+
+#: Fields every trace event must carry.
+REQUIRED_FIELDS = ("name", "ph", "pid", "tid", "ts")
+
+#: Event phases the recorder emits (duration, instant, counter, metadata).
+KNOWN_PHASES = ("B", "E", "i", "C", "M")
+
+
+def validate_event(event, index: int) -> None:
+    """Check one event's required fields and types."""
+    if not isinstance(event, dict):
+        raise ReproError(f"event {index}: not an object")
+    for field in REQUIRED_FIELDS:
+        if field not in event:
+            raise ReproError(f"event {index}: missing field {field!r}")
+    if not isinstance(event["name"], str) or not event["name"]:
+        raise ReproError(f"event {index}: name must be a non-empty string")
+    if event["ph"] not in KNOWN_PHASES:
+        raise ReproError(
+            f"event {index}: unknown phase {event['ph']!r} "
+            f"(expected one of {KNOWN_PHASES})"
+        )
+    for field in ("pid", "tid"):
+        if not isinstance(event[field], int) or isinstance(event[field], bool):
+            raise ReproError(f"event {index}: {field} must be an integer")
+    ts = event["ts"]
+    if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+        raise ReproError(f"event {index}: ts must be a number")
+    if ts < 0:
+        raise ReproError(f"event {index}: ts must be >= 0, got {ts}")
+    if "args" in event and not isinstance(event["args"], dict):
+        raise ReproError(f"event {index}: args must be an object")
+
+
+def validate_trace(payload) -> dict:
+    """Validate a trace payload; returns summary counts.
+
+    ``payload`` is the JSON object form (``{"traceEvents": [...]}``), a
+    bare event list, or a :class:`~repro.obs.tracer.TraceRecorder`.
+    Raises :class:`ReproError` on the first violation; returns
+    ``{"events": n, "spans": n, "instants": n, "counters": n}``.
+    """
+    if hasattr(payload, "to_json"):
+        payload = payload.to_json()
+    if isinstance(payload, dict):
+        if "traceEvents" not in payload:
+            raise ReproError("trace payload has no traceEvents array")
+        events = payload["traceEvents"]
+    else:
+        events = payload
+    if not isinstance(events, list):
+        raise ReproError("traceEvents must be an array")
+
+    stacks: dict = {}          # (pid, tid) -> [(name, ts)]
+    counts = {"events": 0, "spans": 0, "instants": 0, "counters": 0}
+    for index, event in enumerate(events):
+        validate_event(event, index)
+        counts["events"] += 1
+        track = (event["pid"], event["tid"])
+        ph = event["ph"]
+        if ph == "B":
+            stacks.setdefault(track, []).append((event["name"], event["ts"]))
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                raise ReproError(
+                    f"event {index}: E with no open B on track {track}"
+                )
+            name, begin_ts = stack.pop()
+            if event["name"] != name:
+                raise ReproError(
+                    f"event {index}: E named {event['name']!r} closes "
+                    f"B named {name!r} on track {track}"
+                )
+            if event["ts"] < begin_ts:
+                raise ReproError(
+                    f"event {index}: span {name!r} ends before it begins"
+                )
+            counts["spans"] += 1
+        elif ph == "i":
+            counts["instants"] += 1
+        elif ph == "C":
+            counts["counters"] += 1
+    unclosed = {
+        track: [name for name, _ in stack]
+        for track, stack in stacks.items() if stack
+    }
+    if unclosed:
+        raise ReproError(f"unbalanced trace: open spans {unclosed}")
+    return counts
+
+
+def validate_trace_file(path) -> dict:
+    """Load a trace JSON file and validate it."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path}: not valid JSON: {exc}") from None
+    return validate_trace(payload)

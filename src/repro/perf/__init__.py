@@ -13,4 +13,7 @@ can track simulator throughput.
 
 from .timers import PerfRecorder, StageTimer, load_bench, write_bench
 
+# The bench-regression guard lives in :mod:`repro.perf.guard`; it is not
+# re-exported here so ``python -m repro.perf.guard`` does not double-import
+# the module through the package.
 __all__ = ["PerfRecorder", "StageTimer", "load_bench", "write_bench"]

@@ -44,15 +44,24 @@ class PerfRecorder:
         self.stage_seconds: dict = {}
         self.stage_calls: dict = {}
         self.counters: dict = {}
+        self.counter_stages: dict = {}   # counter name -> owning stage
         self._wall_start = time.perf_counter()
 
     def stage(self, name: str) -> StageTimer:
         """A context manager timing one occurrence of stage ``name``."""
         return StageTimer(self, name)
 
-    def count(self, name: str, n: int = 1) -> None:
-        """Add ``n`` to event counter ``name``."""
+    def count(self, name: str, n: int = 1, stage: str = None) -> None:
+        """Add ``n`` to event counter ``name``.
+
+        ``stage`` attributes the counter to the stage whose timed
+        seconds its rate should be computed against (fragments happen
+        during ``raster`` time, not total stage time); counters without
+        a stage rate against wall-clock.
+        """
         self.counters[name] = self.counters.get(name, 0) + n
+        if stage is not None:
+            self.counter_stages[name] = stage
 
     @property
     def wall_seconds(self) -> float:
@@ -60,14 +69,24 @@ class PerfRecorder:
         return time.perf_counter() - self._wall_start
 
     def rates(self) -> dict:
-        """Events per second of total stage time, where meaningful."""
-        total = sum(self.stage_seconds.values())
-        if total <= 0.0:
-            return {}
-        return {
-            f"{name}_per_sec": value / total
-            for name, value in self.counters.items()
-        }
+        """Events per second of their *owning stage's* time.
+
+        A counter attributed to a stage (``count(..., stage="raster")``)
+        divides by that stage's accumulated seconds — dividing by the
+        total across stages would understate every rate by whatever
+        share of time the other stages took.  Counters with no owning
+        stage (or whose stage was never timed) divide by wall-clock.
+        """
+        wall = self.wall_seconds
+        rates: dict = {}
+        for name, value in self.counters.items():
+            stage = self.counter_stages.get(name)
+            denominator = self.stage_seconds.get(stage, 0.0) if stage else 0.0
+            if denominator <= 0.0:
+                denominator = wall
+            if denominator > 0.0:
+                rates[f"{name}_per_sec"] = value / denominator
+        return rates
 
     def snapshot(self) -> dict:
         """A JSON-serializable view of everything recorded so far."""

@@ -203,6 +203,9 @@ class Gpu:
         # Optional repro.perf.PerfRecorder; None keeps the hot path free
         # of timing overhead.
         self.perf = None
+        # Optional repro.obs.Tracer; None (or the falsy null tracer)
+        # keeps the hot path at one truthiness check per decision.
+        self.tracer = None
         self.technique.attach(self)
 
     # ------------------------------------------------------------------
@@ -232,18 +235,39 @@ class Gpu:
             stage.begin_frame(ctx)
 
         perf = self.perf
+        tracer = self.tracer
+        if tracer:
+            tracer.begin("frame", frame=self.frame_index,
+                         technique=self.technique.name)
         self.technique.begin_frame(self.frame_index, commands.has_uploads)
 
         # --- Geometry Pipeline ---------------------------------------
         geometry_timer = perf.stage("geometry") if perf else None
         if geometry_timer:
             geometry_timer.__enter__()
+        if tracer:
+            tracer.begin("geometry")
         for invocation in self.command_processor.process(commands):
+            if tracer:
+                tracer.begin("vertex")
             shaded = self.vertex_stage.run(invocation)
+            if tracer:
+                tracer.end("vertex")
+                tracer.begin("assembly")
             primitives = self.assembly.assemble(invocation, shaded)
+            if tracer:
+                tracer.end("assembly")
+                tracer.begin("binning")
             self.plb.bin_drawcall(invocation.state, primitives)
+            if tracer:
+                tracer.end("binning")
 
         self.technique.on_geometry_complete()
+        if tracer:
+            stall = self.technique.geometry_stall_cycles()
+            if stall:
+                tracer.instant("ot_queue_stall", cycles=stall)
+            tracer.end("geometry")
         if geometry_timer:
             geometry_timer.__exit__(None, None, None)
 
@@ -251,6 +275,8 @@ class Gpu:
         raster_timer = perf.stage("raster") if perf else None
         if raster_timer:
             raster_timer.__enter__()
+        if tracer:
+            tracer.begin("raster")
         raster = self.raster
         skipped = ctx.skipped_tile_ids
         for tile_id in range(self.config.num_tiles):
@@ -258,7 +284,11 @@ class Gpu:
             if self.technique.should_skip_tile(tile_id):
                 raster.stats.tiles_skipped += 1
                 skipped.append(tile_id)
+                if tracer:
+                    tracer.instant("tile_skip", tile=tile_id)
                 continue
+            if tracer:
+                tracer.begin("tile", tile=tile_id)
             tile_colors = raster.render_tile(
                 tile_id, ctx.parameter_buffer, ctx.clear_color
             )
@@ -266,13 +296,19 @@ class Gpu:
                 raster.flush_tile(tile_id, tile_colors)
             else:
                 raster.stats.flushes_suppressed += 1
+                if tracer:
+                    tracer.instant("flush_suppressed", tile=tile_id)
                 # The Frame Buffer already holds identical colors; the
                 # functional write is still performed so the simulated
                 # output stays exact even if the technique is wrong --
                 # only the DRAM traffic is suppressed.
                 self.framebuffer.write_tile(tile_id, tile_colors)
+            if tracer:
+                tracer.end("tile")
 
         self.technique.end_frame()
+        if tracer:
+            tracer.end("raster")
         if raster_timer:
             raster_timer.__exit__(None, None, None)
         for stage in self.stages:
@@ -280,13 +316,25 @@ class Gpu:
 
         # --- Collect: generic snapshot-delta over the registry ---------
         stats = self._assemble_stats(ctx, before)
+        if tracer:
+            tracer.counter("tiles", {
+                "skipped": stats.raster.tiles_skipped,
+                "rendered": stats.raster.tiles_rendered,
+            })
+            tracer.counter("fragments", {
+                "shaded": stats.fragment.fragments_shaded,
+            })
+            tracer.end("frame")
         if perf:
             perf.count("frames")
             perf.count("fragments_rasterized",
-                       stats.raster.fragments_rasterized)
-            perf.count("fragments_shaded", stats.fragment.fragments_shaded)
-            perf.count("tiles_rendered", stats.raster.tiles_rendered)
-            perf.count("tiles_skipped", stats.raster.tiles_skipped)
+                       stats.raster.fragments_rasterized, stage="raster")
+            perf.count("fragments_shaded", stats.fragment.fragments_shaded,
+                       stage="raster")
+            perf.count("tiles_rendered", stats.raster.tiles_rendered,
+                       stage="raster")
+            perf.count("tiles_skipped", stats.raster.tiles_skipped,
+                       stage="raster")
 
         stats.frame_colors = self.framebuffer.snapshot_back()
         self.framebuffer.swap()

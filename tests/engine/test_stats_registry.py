@@ -44,8 +44,23 @@ class TestStatsRegistry:
     def test_duplicate_registration_rejected(self):
         registry = StatsRegistry()
         registry.register("k", lambda: 0)
-        with pytest.raises(ReproError):
+        with pytest.raises(ReproError, match="registered twice"):
             registry.register("k", lambda: 1)
+
+    def test_duplicate_error_names_the_key_and_cause(self):
+        registry = StatsRegistry()
+        registry.register("toy.widgets", lambda: 0)
+        with pytest.raises(ReproError, match=r"'toy\.widgets'.*metrics_group"):
+            registry.register("toy.widgets", lambda: 1)
+
+    def test_stages_sharing_a_metrics_group_collide(self):
+        # Regression: two stages with the same metrics_group register the
+        # same dotted keys; the second must fail loudly, not silently
+        # shadow the first stage's getters.
+        registry = StatsRegistry()
+        ToyStage().register_metrics(registry)
+        with pytest.raises(ReproError, match="registered twice"):
+            ToyStage().register_metrics(registry)
 
     def test_unknown_key_rejected(self):
         registry = StatsRegistry()

@@ -50,3 +50,23 @@ class TestAggregates:
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert geomean([]) == 0.0
         assert geomean([0.0, 4.0]) == pytest.approx(4.0)  # zeros skipped
+
+    def test_geomean_skips_negatives(self):
+        assert geomean([-2.0, 9.0]) == pytest.approx(9.0)
+
+    def test_normalized_truncates_to_shorter_series(self):
+        assert normalized([2.0, 4.0, 6.0], [2.0]) == [1.0]
+
+
+class TestTableShape:
+    def test_separator_matches_column_widths(self):
+        table = format_table(["game", "cycles"], [["cde", 123456]])
+        header, separator, row = table.splitlines()
+        assert len(separator) == len(header)
+        assert separator.replace("-", "").strip() == ""
+        assert len(row) <= len(header)
+
+    def test_integers_render_unformatted(self):
+        # Only floats go through float_format; ints keep full precision.
+        table = format_table(["n"], [[1234567]])
+        assert "1234567" in table

@@ -35,6 +35,21 @@ class TestTimelines:
         assert np.all(timeline >= 0.0) and np.all(timeline <= 1.0)
         assert timeline[0] == 0.0          # no reference frame yet
 
+    def test_equal_colors_distance_widens_warmup(self):
+        run = run_workload("cde", "re", CONFIG, num_frames=8)
+        timeline = equal_colors_timeline(run, distance=3)
+        assert np.all(timeline[:3] == 0.0)  # no reference that far back
+        assert timeline.shape == (8,)
+
+    def test_equal_colors_distance_beyond_run_is_all_zero(self):
+        run = run_workload("cde", "re", CONFIG, num_frames=4)
+        assert equal_colors_timeline(run, distance=10).max() == 0.0
+
+    def test_skip_timeline_sums_to_run_total(self):
+        run = run_workload("cde", "re", CONFIG, num_frames=8)
+        total = skip_timeline(run).sum() * run.config.num_tiles
+        assert round(total) == run.tiles_skipped
+
     def test_mixed_game_is_bimodal(self):
         # csn alternates 12-frame runs and pauses.
         run = run_workload("csn", "re", CONFIG, num_frames=30)
@@ -62,6 +77,18 @@ class TestPhaseSummary:
         summary = summarize_phases(np.array([]), skip_warmup=0)
         assert summary == PhaseSummary(0.0, 0.0, 0.0, 0, 0, 0)
 
+    def test_warmup_longer_than_series_is_empty(self):
+        summary = summarize_phases(np.array([1.0]), skip_warmup=5)
+        assert summary == PhaseSummary(0.0, 0.0, 0.0, 0, 0, 0)
+
+    def test_all_midrange_frames_have_no_transitions(self):
+        timeline = np.array([0.5, 0.5, 0.5, 0.5])
+        summary = summarize_phases(timeline, skip_warmup=0)
+        assert summary.quiet_frames == 0
+        assert summary.busy_frames == 0
+        assert summary.transitions == 0
+        assert not summary.is_bimodal
+
 
 class TestSparkline:
     def test_glyph_extremes(self):
@@ -72,3 +99,14 @@ class TestSparkline:
     def test_downsampling(self):
         line = sparkline(np.linspace(0, 1, 100), width=10)
         assert len(line) == 10
+
+    def test_width_wider_than_series_keeps_one_glyph_per_frame(self):
+        line = sparkline(np.array([0.0, 0.5, 1.0]), width=10)
+        assert len(line) == 3
+
+    def test_empty_series(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_values_clip_to_glyph_range(self):
+        line = sparkline(np.array([-0.5, 1.5]))
+        assert line == " █"

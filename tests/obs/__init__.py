@@ -1,0 +1,1 @@
+"""Observability layer: tracer, metrics log, validation, report."""

@@ -1,0 +1,169 @@
+"""Observability end-to-end: real runs produce valid traces and a
+metrics log whose offline analysis reconciles exactly with RunResult."""
+
+import json
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.harness.parallel import Cell
+from repro.harness.runner import run_workload
+from repro.harness.supervisor import SupervisorPolicy, supervise_cells
+from repro.obs import MetricsLog, validate_trace_file
+from repro.obs.report import (
+    hottest_tiles,
+    render_report,
+    skip_rate_series,
+    stage_cycle_breakdown,
+    total_cycles,
+)
+
+CONFIG = GpuConfig.small()
+FRAMES = 6
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    root = tmp_path_factory.mktemp("obs")
+    trace_path = root / "run.trace.json"
+    metrics_path = root / "run.metrics.jsonl"
+    result = run_workload(
+        "cde", "re", CONFIG, num_frames=FRAMES,
+        trace_path=trace_path, metrics_path=metrics_path,
+    )
+    return result, trace_path, metrics_path
+
+
+class TestTraceOutput:
+    def test_trace_is_schema_valid(self, traced_run):
+        _, trace_path, _ = traced_run
+        counts = validate_trace_file(trace_path)
+        assert counts["spans"] > 0
+        assert counts["instants"] > 0
+
+    def test_every_frame_has_a_span(self, traced_run):
+        _, trace_path, _ = traced_run
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        frames = [e for e in events if e["ph"] == "B" and e["name"] == "frame"]
+        assert len(frames) == FRAMES
+        assert [e["args"]["frame"] for e in frames] == list(range(FRAMES))
+
+    def test_stage_spans_nest_inside_frames(self, traced_run):
+        _, trace_path, _ = traced_run
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "B"}
+        assert {"frame", "geometry", "raster", "vertex", "tile"} <= names
+
+    def test_re_decisions_appear_as_instants(self, traced_run):
+        result, trace_path, _ = traced_run
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        instants = [e["name"] for e in events if e["ph"] == "i"]
+        assert instants.count("tile_skip") == result.tiles_skipped
+        assert "signature_hit" in instants
+        assert "signature_miss" in instants
+
+    def test_metadata_describes_the_run(self, traced_run):
+        _, trace_path, _ = traced_run
+        metadata = json.loads(trace_path.read_text())["metadata"]
+        assert metadata["alias"] == "cde"
+        assert metadata["technique"] == "re"
+        assert metadata["num_frames"] == FRAMES
+
+
+class TestMetricsReconciliation:
+    def test_report_totals_match_run_result_exactly(self, traced_run):
+        result, _, metrics_path = traced_run
+        log = MetricsLog.load(metrics_path)
+        assert log.num_frames == FRAMES
+        assert total_cycles(log) == result.total_cycles
+        assert sum(log.column("tiles_skipped")) == result.tiles_skipped
+        assert sum(log.column("fragments_shaded")) == result.fragments_shaded
+        assert sum(log.column("geometry_cycles")) == result.geometry_cycles
+        assert sum(log.column("raster_cycles")) == result.raster_cycles
+        # Stage parts model *occupancy* — overlapped stages sum to at
+        # least the elapsed pipeline time, never less.
+        assert sum(stage_cycle_breakdown(log).values()) >= result.total_cycles
+
+    def test_skip_rate_series_matches_per_frame_stats(self, traced_run):
+        result, _, metrics_path = traced_run
+        log = MetricsLog.load(metrics_path)
+        expected = [
+            frame.tiles_skipped / CONFIG.num_tiles for frame in result.frames
+        ]
+        assert skip_rate_series(log) == pytest.approx(expected)
+
+    def test_tile_heatmap_counts_match_skip_total(self, traced_run):
+        result, _, metrics_path = traced_run
+        log = MetricsLog.load(metrics_path)
+        assert sum(log.tile_skip_counts()) == result.tiles_skipped
+        ranked = hottest_tiles(log, top=CONFIG.num_tiles)
+        assert len(ranked) == CONFIG.num_tiles
+        rendered = [row[1] for row in ranked]
+        assert rendered == sorted(rendered, reverse=True)
+
+    def test_render_report_mentions_the_run(self, traced_run):
+        _, _, metrics_path = traced_run
+        text = render_report(metrics_path)
+        assert "cde under re" in text
+        assert "skip rate per frame" in text
+        assert "hottest tiles" in text
+
+
+class TestSupervisedObservability:
+    def test_faulted_run_stamps_attempts_and_dedupes_frames(self, tmp_path):
+        trace_path = tmp_path / "cell.trace.json"
+        metrics_path = tmp_path / "cell.metrics.jsonl"
+        cell = Cell("ccs", "re", FRAMES)
+        policy = SupervisorPolicy(
+            max_retries=2, checkpoint_stride=2,
+            backoff_base_s=0.01, backoff_max_s=0.05,
+        )
+        run = supervise_cells(
+            [cell], config=CONFIG, policy=policy,
+            fault_spec="ccs/re:4:error",
+            trace_path=trace_path, metrics_path=metrics_path,
+        )
+        outcome = run.outcomes[cell]
+        assert outcome.succeeded
+        assert outcome.attempts == 2
+
+        # The trace comes from the surviving attempt and is valid even
+        # though attempt 1 died mid-frame.
+        validate_trace_file(trace_path)
+        metadata = json.loads(trace_path.read_text())["metadata"]
+        assert metadata["attempt"] == 2
+        assert metadata["resumed_from_frame"] == 4
+
+        # Both attempts appended to the one metrics file; the loader
+        # keeps the last header and one record per frame.
+        headers = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+            if json.loads(line)["kind"] == "header"
+        ]
+        assert [h["attempt"] for h in headers] == [1, 2]
+        log = MetricsLog.load(metrics_path)
+        assert log.header["attempt"] == 2
+        assert log.column("frame_index") == list(range(FRAMES))
+        assert sum(log.column("tiles_skipped")) == outcome.result.tiles_skipped
+        assert total_cycles(log) == outcome.result.total_cycles
+        assert "attempt 2" in render_report(log)
+
+    def test_multi_cell_paths_fan_out_per_cell(self, tmp_path):
+        trace_path = tmp_path / "grid.trace.json"
+        metrics_path = tmp_path / "grid.metrics.jsonl"
+        cells = [Cell("cde", "re", 4), Cell("cde", "baseline", 4)]
+        run = supervise_cells(
+            cells, config=CONFIG,
+            policy=SupervisorPolicy(max_retries=0),
+            trace_path=trace_path, metrics_path=metrics_path,
+        )
+        assert all(o.succeeded for o in run.outcomes.values())
+        for index, cell in enumerate(cells):
+            stem = f"grid.trace-{index:02d}-cde-{cell.technique}.json"
+            cell_trace = tmp_path / stem
+            validate_trace_file(cell_trace)
+            cell_metrics = tmp_path / (
+                f"grid.metrics-{index:02d}-cde-{cell.technique}.jsonl"
+            )
+            assert MetricsLog.load(cell_metrics).num_frames == 4

@@ -1,0 +1,104 @@
+"""MetricsLog: JSONL round-trip, columnar views, retry dedupe."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import MetricsLog
+
+
+def sample_frame(log, index, skipped=(), tiles=4, **extra):
+    log.sample(
+        frame_index=index, tiles_total=tiles, tiles_skipped=len(skipped),
+        skipped_tile_ids=list(skipped),
+        counters={"raster.tiles_skipped": len(skipped)}, **extra,
+    )
+
+
+class TestInMemory:
+    def test_sample_requires_frame_index(self):
+        with pytest.raises(ReproError, match="frame_index"):
+            MetricsLog().sample(tiles_skipped=0)
+
+    def test_columns_in_frame_order(self):
+        log = MetricsLog()
+        sample_frame(log, 0, skipped=[1])
+        sample_frame(log, 1, skipped=[1, 2])
+        assert log.column("tiles_skipped") == [1, 2]
+        assert log.counter_column("raster.tiles_skipped") == [1, 2]
+        assert log.counter_column("no.such.counter") == [0, 0]
+        assert log.num_frames == 2
+
+    def test_tile_counts_need_a_header(self):
+        log = MetricsLog()
+        sample_frame(log, 0)
+        with pytest.raises(ReproError, match="num_tiles"):
+            log.tile_skip_counts()
+
+    def test_tile_skip_and_render_counts(self):
+        log = MetricsLog()
+        log.write_header(alias="cde", num_tiles=4)
+        sample_frame(log, 0, skipped=[0, 2])
+        sample_frame(log, 1, skipped=[0])
+        assert log.tile_skip_counts() == [2, 0, 1, 0]
+        assert log.tile_render_counts() == [0, 2, 1, 2]
+
+
+class TestRoundTrip:
+    def test_header_and_frames_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with MetricsLog(path) as log:
+            log.write_header(alias="cde", technique="re", num_tiles=4)
+            sample_frame(log, 0, skipped=[3])
+        loaded = MetricsLog.load(path)
+        assert loaded.header["alias"] == "cde"
+        assert loaded.header["num_tiles"] == 4
+        assert loaded.num_frames == 1
+        assert loaded.records[0]["skipped_tile_ids"] == [3]
+
+    def test_append_mode_dedupes_retried_frames(self, tmp_path):
+        # A supervised retry re-renders from the last checkpoint: the
+        # same frame index appears twice and the loader must keep the
+        # later (surviving) record, under the later header.
+        path = tmp_path / "metrics.jsonl"
+        with MetricsLog(path) as log:
+            log.write_header(alias="cde", attempt=1)
+            sample_frame(log, 0, skipped=[])
+            sample_frame(log, 1, skipped=[1])
+        with MetricsLog(path, mode="a") as log:
+            log.write_header(alias="cde", attempt=2, num_tiles=4)
+            sample_frame(log, 1, skipped=[1, 2])
+            sample_frame(log, 2, skipped=[2])
+        loaded = MetricsLog.load(path)
+        assert loaded.header["attempt"] == 2
+        assert loaded.column("frame_index") == [0, 1, 2]
+        assert loaded.column("tiles_skipped") == [0, 2, 1]
+
+    def test_bad_json_line_is_located(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"kind": "header"}\nnot json\n')
+        with pytest.raises(ReproError, match=r"metrics\.jsonl:2"):
+            MetricsLog.load(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(ReproError, match="unknown record kind"):
+            MetricsLog.load(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            '{"kind": "header", "alias": "cde"}\n'
+            '\n'
+            '{"kind": "frame", "frame_index": 0}\n'
+        )
+        assert MetricsLog.load(path).num_frames == 1
+
+    def test_records_flushed_per_line(self, tmp_path):
+        # A killed run must leave every completed frame on disk, so the
+        # log flushes after each record rather than on close.
+        path = tmp_path / "metrics.jsonl"
+        log = MetricsLog(path)
+        sample_frame(log, 0)
+        assert path.read_text().count("\n") == 1
+        log.close()

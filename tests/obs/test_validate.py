@@ -1,0 +1,133 @@
+"""Strict trace-event schema validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import TraceRecorder, validate_trace, validate_trace_file
+
+
+def event(**overrides):
+    base = {"name": "x", "ph": "i", "pid": 1, "tid": 0, "ts": 0.0}
+    base.update(overrides)
+    return base
+
+
+class TestEventSchema:
+    def test_recorder_output_passes(self):
+        tracer = TraceRecorder(pid=1)
+        with tracer.span("frame"):
+            tracer.instant("tile_skip", tile=1)
+            tracer.counter("tiles", {"skipped": 1})
+        counts = validate_trace(tracer)
+        assert counts["spans"] == 1
+        assert counts["instants"] == 1
+        assert counts["counters"] == 1
+
+    @pytest.mark.parametrize("field", ["name", "ph", "pid", "tid", "ts"])
+    def test_missing_required_field(self, field):
+        bad = event()
+        del bad[field]
+        with pytest.raises(ReproError, match=f"missing field '{field}'"):
+            validate_trace([bad])
+
+    def test_rejects_non_object_event(self):
+        with pytest.raises(ReproError, match="not an object"):
+            validate_trace(["nope"])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ReproError, match="non-empty string"):
+            validate_trace([event(name="")])
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ReproError, match="unknown phase 'X'"):
+            validate_trace([event(ph="X")])
+
+    def test_rejects_bool_pid_and_float_tid(self):
+        with pytest.raises(ReproError, match="pid must be an integer"):
+            validate_trace([event(pid=True)])
+        with pytest.raises(ReproError, match="tid must be an integer"):
+            validate_trace([event(tid=0.5)])
+
+    def test_rejects_negative_and_non_numeric_ts(self):
+        with pytest.raises(ReproError, match="ts must be >= 0"):
+            validate_trace([event(ts=-1.0)])
+        with pytest.raises(ReproError, match="ts must be a number"):
+            validate_trace([event(ts="soon")])
+
+    def test_rejects_non_object_args(self):
+        with pytest.raises(ReproError, match="args must be an object"):
+            validate_trace([event(args=[1, 2])])
+
+
+class TestSpanBalance:
+    def test_unclosed_span_rejected(self):
+        with pytest.raises(ReproError, match="unbalanced"):
+            validate_trace([event(ph="B", name="frame")])
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(ReproError, match="no open B"):
+            validate_trace([event(ph="E", name="frame")])
+
+    def test_mismatched_end_name_rejected(self):
+        with pytest.raises(ReproError, match="closes .* named 'frame'"):
+            validate_trace([
+                event(ph="B", name="frame"),
+                event(ph="E", name="raster"),
+            ])
+
+    def test_end_before_begin_timestamp_rejected(self):
+        with pytest.raises(ReproError, match="ends before it begins"):
+            validate_trace([
+                event(ph="B", name="frame", ts=5.0),
+                event(ph="E", name="frame", ts=1.0),
+            ])
+
+    def test_tracks_balance_independently(self):
+        counts = validate_trace([
+            event(ph="B", name="a", tid=0),
+            event(ph="B", name="b", tid=1),
+            event(ph="E", name="b", tid=1),
+            event(ph="E", name="a", tid=0),
+        ])
+        assert counts["spans"] == 2
+
+    def test_same_name_spans_close_lifo(self):
+        counts = validate_trace([
+            event(ph="B", name="tile", ts=0.0),
+            event(ph="B", name="tile", ts=1.0),
+            event(ph="E", name="tile", ts=2.0),
+            event(ph="E", name="tile", ts=3.0),
+        ])
+        assert counts["spans"] == 2
+
+
+class TestPayloadForms:
+    def test_object_form_requires_trace_events(self):
+        with pytest.raises(ReproError, match="no traceEvents"):
+            validate_trace({"metadata": {}})
+
+    def test_events_must_be_an_array(self):
+        with pytest.raises(ReproError, match="must be an array"):
+            validate_trace({"traceEvents": "lots"})
+
+    def test_file_round_trip(self, tmp_path):
+        tracer = TraceRecorder(pid=1)
+        with tracer.span("frame"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write(path)
+        assert validate_trace_file(path)["spans"] == 1
+
+    def test_file_with_invalid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("{broken")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            validate_trace_file(path)
+
+    def test_file_counts_match_payload(self, tmp_path):
+        payload = {"traceEvents": [event(), event(name="y")]}
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload))
+        assert validate_trace_file(path)["instants"] == 2

@@ -1,0 +1,1 @@
+"""Simulator self-instrumentation: timers, rates, bench guard."""

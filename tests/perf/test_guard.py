@@ -1,0 +1,109 @@
+"""Bench-regression guard: counter exactness, stage-share tolerance."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.guard import compare_bench, main, stage_shares
+
+
+def payload(counters=None, stage_seconds=None, wall=4.0):
+    return {
+        "profile": {
+            "counters": counters or {"fragments_shaded": 100, "frames": 6},
+            "stage_seconds": stage_seconds or {
+                "geometry": 1.0, "raster": 3.0,
+            },
+            "wall_seconds": wall,
+        },
+    }
+
+
+class TestStageShares:
+    def test_shares_sum_to_one(self):
+        shares = stage_shares({"geometry": 1.0, "raster": 3.0})
+        assert shares == {"geometry": 0.25, "raster": 0.75}
+
+    def test_empty_or_zero_time_is_empty(self):
+        assert stage_shares({}) == {}
+        assert stage_shares({"geometry": 0.0}) == {}
+
+
+class TestCompareBench:
+    def test_identical_payloads_pass(self):
+        assert compare_bench(payload(), payload()) == []
+
+    def test_counter_drift_always_fails(self):
+        candidate = payload(counters={"fragments_shaded": 101, "frames": 6})
+        failures = compare_bench(payload(), candidate)
+        assert len(failures) == 1
+        assert "fragments_shaded" in failures[0]
+
+    def test_missing_and_extra_counters_fail(self):
+        candidate = payload(counters={"fragments_shaded": 100, "extra": 1})
+        failures = compare_bench(payload(), candidate)
+        assert any("'extra'" in f for f in failures)
+        assert any("'frames'" in f for f in failures)
+
+    def test_stage_share_drift_within_tolerance_passes(self):
+        candidate = payload(stage_seconds={"geometry": 1.2, "raster": 3.0})
+        assert compare_bench(payload(), candidate,
+                             share_tolerance=0.10) == []
+
+    def test_stage_share_drift_beyond_tolerance_fails(self):
+        candidate = payload(stage_seconds={"geometry": 3.0, "raster": 1.0})
+        failures = compare_bench(payload(), candidate,
+                                 share_tolerance=0.10)
+        assert any("share of stage time" in f for f in failures)
+
+    def test_absolute_stage_times_do_not_matter(self):
+        # A 10x slower machine with the same split must pass.
+        candidate = payload(stage_seconds={"geometry": 10.0, "raster": 30.0},
+                            wall=40.0)
+        assert compare_bench(payload(), candidate) == []
+
+    def test_wall_check_is_opt_in(self):
+        slow = payload(wall=400.0)
+        assert compare_bench(payload(), slow) == []
+        failures = compare_bench(payload(), slow, wall_tolerance=0.02)
+        assert any("wall time" in f for f in failures)
+
+    def test_accepts_bare_profile_dicts(self):
+        assert compare_bench(payload()["profile"], payload()) == []
+
+    def test_rejects_non_profile_payloads(self):
+        with pytest.raises(ReproError, match="not a bench profile"):
+            compare_bench({"nonsense": 1}, payload())
+
+
+class TestCli:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload())
+        assert main([base, base]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_regression_exit_one_lists_failures(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload())
+        cand = self.write(
+            tmp_path, "cand.json",
+            payload(counters={"fragments_shaded": 99, "frames": 6}),
+        )
+        assert main([base, cand]) == 1
+        assert "fragments_shaded" in capsys.readouterr().out
+
+    def test_missing_file_exit_two(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload())
+        assert main([base, str(tmp_path / "absent.json")]) == 2
+        assert "bench guard error" in capsys.readouterr().err
+
+    def test_committed_baseline_passes_against_itself(self):
+        import pathlib
+
+        baseline = pathlib.Path(__file__).parents[2] / "BENCH_pipeline.json"
+        assert main([str(baseline), str(baseline)]) == 0

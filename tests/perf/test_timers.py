@@ -1,0 +1,72 @@
+"""PerfRecorder: stage timing, counter-to-stage attribution, rates."""
+
+import time
+
+import pytest
+
+from repro.perf import PerfRecorder
+
+
+class TestStageTimer:
+    def test_stage_accumulates_seconds_and_calls(self):
+        perf = PerfRecorder()
+        for _ in range(3):
+            with perf.stage("raster"):
+                time.sleep(0.001)
+        assert perf.stage_calls["raster"] == 3
+        assert perf.stage_seconds["raster"] > 0.0
+
+    def test_counters_accumulate(self):
+        perf = PerfRecorder()
+        perf.count("fragments", 10)
+        perf.count("fragments", 5)
+        assert perf.counters["fragments"] == 15
+
+
+class TestRateAttribution:
+    def test_stage_owned_counter_rates_against_stage_seconds(self):
+        perf = PerfRecorder()
+        with perf.stage("raster"):
+            time.sleep(0.002)
+        perf.stage_seconds["raster"] = 0.5      # pin for exact math
+        perf.count("fragments", 100, stage="raster")
+        assert perf.rates()["fragments_per_sec"] == pytest.approx(200.0)
+
+    def test_unowned_counter_rates_against_wall_clock(self):
+        perf = PerfRecorder()
+        perf._wall_start = time.perf_counter() - 2.0   # pin ~2s elapsed
+        perf.count("frames", 10)
+        rate = perf.rates()["frames_per_sec"]
+        assert rate == pytest.approx(5.0, rel=0.05)
+
+    def test_unowned_rate_ignores_other_stages_time(self):
+        # Regression: rating every counter against the sum of stage
+        # seconds understated rates by the share other stages took.
+        perf = PerfRecorder()
+        perf.stage_seconds["geometry"] = 100.0  # large foreign stage
+        perf.count("frames", 10)
+        rate = perf.rates()["frames_per_sec"]
+        assert rate > 10 / 100.0 * 2            # not diluted by geometry
+
+    def test_counter_owned_by_untimed_stage_falls_back_to_wall(self):
+        perf = PerfRecorder()
+        perf.count("fragments", 100, stage="never_timed")
+        assert "fragments_per_sec" in perf.rates()
+
+    def test_later_count_can_claim_ownership(self):
+        perf = PerfRecorder()
+        perf.count("fragments", 1)
+        perf.count("fragments", 1, stage="raster")
+        assert perf.counter_stages["fragments"] == "raster"
+
+    def test_snapshot_is_json_shaped(self):
+        perf = PerfRecorder()
+        with perf.stage("raster"):
+            pass
+        perf.count("fragments", 3, stage="raster")
+        snapshot = perf.snapshot()
+        assert set(snapshot) == {
+            "wall_seconds", "stage_seconds", "stage_calls", "counters",
+            "rates",
+        }
+        assert snapshot["counters"] == {"fragments": 3}

@@ -58,3 +58,92 @@ class TestReport:
         assert "## hash_quality" in text
         stdout = capsys.readouterr().out
         assert "wrote 12 sections" in stdout
+
+
+class TestObservability:
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "run.metrics.jsonl"
+        assert main([
+            "--frames", "4", "run", "cde", "--technique", "re",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote trace to" in out
+        assert "wrote per-frame metrics to" in out
+
+        from repro.obs import MetricsLog, validate_trace_file
+
+        assert validate_trace_file(trace)["spans"] > 0
+        assert MetricsLog.load(metrics).num_frames == 4
+
+    def test_report_analyses_a_metrics_log(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "run.metrics.jsonl"
+        main(["--frames", "4", "run", "cde",
+              "--trace", str(trace), "--metrics", str(metrics)])
+        capsys.readouterr()
+        assert main([
+            "report", str(metrics), "--top", "3",
+            "--validate-trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace ok" in out
+        assert "cde under re" in out
+        assert "top 3 hottest tiles" in out
+
+    def test_report_rejects_a_broken_log(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["report", str(bad)]) == 1
+        assert "report failed" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_tabulates_a_grid(self, capsys):
+        assert main([
+            "--frames", "3", "sweep", "cde", "--technique", "re",
+            "--set", "tile_size=8,16", "--metric", "tiles_skipped",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 configurations x 3 frames" in out
+        assert "tile_size" in out
+        assert "tiles_skipped" in out
+
+    def test_sweep_values_coerce_by_type(self, capsys):
+        # int, float and string values all parse from one --set flag.
+        assert main([
+            "--frames", "2", "sweep", "cde",
+            "--set", "tile_size=16",
+        ]) == 0
+        assert "1 configurations" in capsys.readouterr().out
+
+    def test_sweep_rejects_malformed_set(self, capsys):
+        assert main(["sweep", "cde", "--set", "tile_size"]) == 2
+        assert "bad --set" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_parameter(self, capsys):
+        assert main([
+            "--frames", "2", "sweep", "cde", "--set", "warp_core=1,2",
+        ]) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_metric(self, capsys):
+        assert main([
+            "--frames", "2", "sweep", "cde",
+            "--set", "tile_size=8,16", "--metric", "vibes",
+        ]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_sweep_per_point_observability(self, tmp_path):
+        trace = tmp_path / "sweep.trace.json"
+        assert main([
+            "--frames", "3", "sweep", "cde",
+            "--set", "tile_size=8,16", "--trace", str(trace),
+        ]) == 0
+        from repro.obs import validate_trace_file
+
+        for index in (0, 1):
+            validate_trace_file(
+                tmp_path / f"sweep.trace-{index:02d}-cde-re.json"
+            )
