@@ -32,8 +32,12 @@ def _frames() -> int:
 
 
 @pytest.fixture(scope="session")
-def cache() -> RunCache:
-    return RunCache(_config(), num_frames=_frames())
+def cache(report_dir) -> RunCache:
+    # Every simulated cell also lands in a run registry beside the
+    # figure tables, so a benchmark session leaves cross-run-diffable
+    # manifests (`python -m repro runs --kind figure`) with its .txt.
+    registry = os.path.join(str(report_dir), "registry")
+    return RunCache(_config(), num_frames=_frames(), registry=registry)
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,21 @@ Subcommands:
 * ``report``         — regenerate every figure into a markdown report,
   or, given a metrics log (``report run.metrics.jsonl``), print the
   per-stage cycle shares, skip-rate curve and hottest tiles of that run.
+* ``runs``           — list the run registry (every recorded run/sweep
+  point/bench profile, newest last; filter with ``--kind``/``--game``).
+* ``diff <A> <B>``   — compare two registered runs: per-stage cycle
+  deltas, skip-rate and traffic deltas, counter diffs and per-tile CRC
+  divergence.  A/B are run ids (or unique prefixes) from ``runs``.
+* ``trend``          — render the performance trajectory over the
+  registry's bench profiles; ``--check`` exits non-zero on regression
+  (``--append BENCH.json`` records a profile first).
 * ``list``           — list the available games and experiments.
+
+Cross-run registry: ``run`` and ``sweep`` record a manifest of every
+completed run (what ran, git revision, headline numbers, artifact
+paths) into a content-addressed registry — ``results/registry/`` by
+default, overridable with ``--registry DIR`` or ``REPRO_REGISTRY``;
+``--no-registry`` opts out.  ``runs``/``diff``/``trend`` read it back.
 
 Observability flags (``run`` and ``sweep``; see :mod:`repro.obs`):
 ``--trace out.json`` records a Chrome trace-event timeline (load it in
@@ -37,6 +51,7 @@ injects a crash/error/hang so the recovery paths can be exercised.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .config import GpuConfig
@@ -74,6 +89,69 @@ def _policy_from(args):
         max_retries=args.retries if args.retries is not None else 2,
         checkpoint_stride=args.checkpoint_stride or 0,
     )
+
+
+def _registry_root(args) -> str:
+    from .obs.store import REGISTRY_ENV_VAR
+
+    return (args.registry or os.environ.get(REGISTRY_ENV_VAR)
+            or os.path.join("results", "registry"))
+
+
+def _registry_from(args):
+    """The registry this invocation records into, or ``None`` (opt-out)."""
+    if args.no_registry:
+        return None
+    from .obs.store import RunRegistry
+
+    return RunRegistry(_registry_root(args))
+
+
+def _reader_registry(args):
+    """The registry a read-only subcommand (runs/diff/trend) queries."""
+    from .obs.store import RunRegistry
+
+    return RunRegistry(_registry_root(args))
+
+
+def _live_from(args):
+    """A :class:`LiveAggregator` when ``--live`` was given, else ``None``."""
+    if not getattr(args, "live", None):
+        return None
+    from .obs.live import LiveAggregator
+
+    # Flag stalls well inside the supervisor's timeout, so a wedged
+    # worker is visible in the status table before the kill fires.
+    stall_after_s = 5.0
+    if args.timeout:
+        stall_after_s = min(stall_after_s, args.timeout / 2.0)
+    return LiveAggregator(path=args.live, stream=sys.stderr,
+                          stall_after_s=stall_after_s)
+
+
+def _run_artifacts(args) -> dict:
+    return {
+        "trace": args.trace,
+        "metrics": args.metrics,
+        "manifest": getattr(args, "manifest", None),
+        "journal": args.journal,
+        "live": getattr(args, "live", None),
+    }
+
+
+def _record_run(registry, result, kind: str, args, extra: dict = None):
+    """Best-effort registry append; a broken registry never fails a run."""
+    if registry is None:
+        return None
+    from .errors import ReproError
+
+    try:
+        return registry.record_run(
+            result, kind=kind, artifacts=_run_artifacts(args), extra=extra,
+        )
+    except (OSError, ReproError) as exc:
+        print(f"  (registry append failed: {exc})", file=sys.stderr)
+        return None
 
 
 def _cmd_list(_args) -> int:
@@ -171,6 +249,7 @@ def _cmd_run_supervised(args) -> int:
         [cell], config=_config_from(args), policy=_policy_from(args),
         journal_path=args.journal, fault_spec=args.inject_fault,
         trace_path=args.trace, metrics_path=args.metrics,
+        live=_live_from(args),
     )
     outcome = supervised.outcomes[cell]
     if not outcome.succeeded:
@@ -184,6 +263,10 @@ def _cmd_run_supervised(args) -> int:
               f"(resumed from frame {outcome.resumed_from_frame})")
     _print_run_summary(outcome.result)
     _print_observability_paths(args)
+    run_id = _record_run(_registry_from(args), outcome.result, "run", args)
+    if run_id:
+        print(f"  registered as {run_id} (compare with "
+              f"`python -m repro diff`)")
     return 0
 
 
@@ -204,22 +287,38 @@ def _cmd_run(args) -> int:
         from .perf import PerfRecorder
 
         perf = PerfRecorder()
-    run = run_workload(
-        args.game, args.technique, _config_from(args), num_frames=args.frames,
-        perf=perf,
-        resume_from=args.resume,
-        checkpoint_at=args.checkpoint_at,
-        checkpoint_path=args.checkpoint_out,
-        manifest_path=args.manifest,
-        trace_path=args.trace,
-        metrics_path=args.metrics,
-    )
+    live = _live_from(args)
+    live_sink = None
+    if live is not None:
+        from .obs.live import ChannelLiveSink
+
+        live_sink = ChannelLiveSink(live, f"{args.game}/{args.technique}")
+    try:
+        run = run_workload(
+            args.game, args.technique, _config_from(args),
+            num_frames=args.frames,
+            perf=perf,
+            resume_from=args.resume,
+            checkpoint_at=args.checkpoint_at,
+            checkpoint_path=args.checkpoint_out,
+            manifest_path=args.manifest,
+            trace_path=args.trace,
+            metrics_path=args.metrics,
+            live=live_sink,
+        )
+    finally:
+        if live is not None:
+            live.close()
     if args.resume:
         print(f"resumed from checkpoint {args.resume}")
     # Report what actually ran: on --resume the technique and frame count
     # come from the checkpoint, not the CLI defaults.
     _print_run_summary(run)
     _print_observability_paths(args)
+    run_id = _record_run(_registry_from(args), run, "run", args)
+    if run_id:
+        print(f"  registered as {run_id} (compare with "
+              f"`python -m repro diff`)")
     if perf is not None:
         from .perf import write_bench
 
@@ -238,6 +337,11 @@ def _cmd_run(args) -> int:
         }
         write_bench(args.bench_out, payload)
         print(f"  wrote profile to {args.bench_out}")
+        registry = _registry_from(args)
+        if registry is not None:
+            bench_id = registry.record_bench(payload)
+            print(f"  registered bench {bench_id} (follow with "
+                  f"`python -m repro trend`)")
     return 0
 
 
@@ -275,6 +379,7 @@ def _cmd_sweep(args) -> int:
             policy=_policy_from(args) if supervised else None,
             journal_path=args.journal, fault_spec=args.inject_fault,
             trace_path=args.trace, metrics_path=args.metrics,
+            live=_live_from(args),
         )
         rows = tabulate(points, args.metric)
     except ReproError as exc:
@@ -286,9 +391,19 @@ def _cmd_sweep(args) -> int:
     if args.trace or args.metrics:
         if len(points) > 1:
             print("  per-point trace/metrics paths derive from the given "
-                  "stem (suffixed -NN-alias-technique)")
+                  "stem (suffixed with each point's parameter assignment)")
         else:
             _print_observability_paths(args)
+    registry = _registry_from(args)
+    if registry is not None:
+        run_ids = [
+            _record_run(registry, point.run, "sweep-point", args,
+                        extra={"parameters": point.parameters})
+            for point in points
+        ]
+        if any(run_ids):
+            print(f"  registered {len([r for r in run_ids if r])} sweep "
+                  f"point(s) in {registry.root}")
     return 0
 
 
@@ -319,6 +434,118 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_runs(args) -> int:
+    import time as time_module
+
+    from .errors import ReproError
+    from .harness.reporting import format_table
+
+    registry = _reader_registry(args)
+    try:
+        entries = registry.query(
+            kind=args.kind, alias=args.game, technique=args.technique,
+        )
+    except ReproError as exc:
+        print(f"runs failed: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"registry {registry.root} is empty (run with --registry, "
+              "or see `python -m repro run --help`)")
+        return 0
+    rows = []
+    for entry in entries:
+        summary = entry.summary or {}
+        if entry.kind == "bench":
+            wall = summary.get("wall_seconds")
+            headline = (
+                f"wall={wall:.3f}s" if wall is not None else "wall=?"
+            )
+        else:
+            cycles = summary.get("total_cycles")
+            skip = summary.get("skipped_fraction")
+            headline = (
+                f"cycles={cycles / 1e6:.2f}M skip={100 * (skip or 0):.1f}%"
+                if cycles is not None else "-"
+            )
+            if summary.get("parameters"):
+                headline += " " + ",".join(
+                    f"{k}={v}" for k, v in summary["parameters"].items()
+                )
+        rows.append([
+            entry.run_id,
+            entry.kind,
+            entry.alias or "-",
+            entry.technique or "-",
+            entry.num_frames if entry.num_frames is not None else "-",
+            entry.git_rev or "-",
+            time_module.strftime(
+                "%Y-%m-%d %H:%M",
+                time_module.localtime(entry.created_at or 0),
+            ),
+            headline,
+        ])
+    print(f"registry {registry.root}: {len(entries)} entries "
+          "(oldest first)")
+    print(format_table(
+        ["run_id", "kind", "game", "technique", "frames", "git",
+         "when", "summary"], rows,
+    ))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .errors import ReproError
+    from .obs.diff import diff_runs, render_diff
+
+    registry = _reader_registry(args)
+    try:
+        diff = diff_runs(registry, args.run_a, args.run_b)
+    except ReproError as exc:
+        print(f"diff failed: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(render_diff(diff, top_counters=args.top))
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    from .errors import ReproError
+    from .obs.trend import check_trend, render_trend
+
+    registry = _reader_registry(args)
+    try:
+        if args.append:
+            for path in args.append:
+                bench_id = registry.record_bench(path)
+                print(f"appended {path} as {bench_id}")
+        print(render_trend(registry))
+        if args.check:
+            failures = check_trend(
+                registry, share_tolerance=args.share_tolerance,
+                wall_tolerance=args.wall_tolerance,
+            )
+            if failures:
+                return 1
+    except (OSError, ReproError) as exc:
+        print(f"trend failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _add_registry_flags(parser, suppress: bool = False) -> None:
+    # The flags also hang off every registry-aware subcommand so they
+    # work on either side of the subcommand name; SUPPRESS keeps a
+    # subparser from clobbering a value the global parser already set.
+    default = argparse.SUPPRESS if suppress else None
+    parser.add_argument(
+        "--registry", metavar="DIR", default=default,
+        help="run-registry directory (default: "
+             "$REPRO_REGISTRY or results/registry)")
+    parser.add_argument(
+        "--no-registry", action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="do not record this run into the registry")
+
+
 def _add_observability_flags(subparser) -> None:
     subparser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -328,6 +555,12 @@ def _add_observability_flags(subparser) -> None:
         "--metrics", default=None, metavar="PATH",
         help="write a per-frame JSONL metrics log here "
              "(analyse with `python -m repro report PATH`)")
+    subparser.add_argument(
+        "--live", nargs="?", const="live.json", default=None,
+        metavar="PATH",
+        help="stream per-frame worker progress to a live status table "
+             "(stderr) and a heartbeat JSON at PATH (default live.json); "
+             "stalled workers are flagged before the supervisor timeout")
 
 
 def main(argv=None) -> int:
@@ -361,6 +594,7 @@ def main(argv=None) -> int:
                         metavar="ALIAS/TECH:FRAME:KIND[:TIMES]",
                         help="deterministically crash/error/hang the "
                              "matching cell (testing the recovery path)")
+    _add_registry_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list games, experiments and techniques")
@@ -381,6 +615,7 @@ def main(argv=None) -> int:
     run.add_argument("--manifest", default=None, metavar="PATH",
                      help="write a JSON run manifest here")
     _add_observability_flags(run)
+    _add_registry_flags(run, suppress=True)
     swp = sub.add_parser(
         "sweep", help="run one game across a grid of GpuConfig values"
     )
@@ -394,6 +629,7 @@ def main(argv=None) -> int:
                      help="metric column to tabulate "
                           "(default: total_cycles)")
     _add_observability_flags(swp)
+    _add_registry_flags(swp, suppress=True)
     report = sub.add_parser(
         "report", help="regenerate every figure into one markdown "
                        "report, or analyse a per-frame metrics log"
@@ -409,6 +645,47 @@ def main(argv=None) -> int:
     report.add_argument("--validate-trace", default=None, metavar="PATH",
                         help="strictly validate a Chrome trace-event "
                              "JSON file written by --trace")
+    runs = sub.add_parser(
+        "runs", help="list the run registry (recorded runs, sweep "
+                     "points and bench profiles)"
+    )
+    runs.add_argument("--kind", default=None,
+                      choices=("run", "sweep-point", "bench", "figure"),
+                      help="only entries of this kind")
+    runs.add_argument("--game", default=None,
+                      help="only entries for this game alias")
+    runs.add_argument("--technique", default=None,
+                      help="only entries for this technique")
+    _add_registry_flags(runs, suppress=True)
+    diff = sub.add_parser(
+        "diff", help="compare two registered runs (cycles, skips, "
+                     "traffic, counters, per-tile CRCs)"
+    )
+    diff.add_argument("run_a", help="run id (or unique prefix) of the "
+                                    "baseline side")
+    diff.add_argument("run_b", help="run id (or unique prefix) of the "
+                                    "candidate side")
+    diff.add_argument("--top", type=int, default=12,
+                      help="how many changed counters to list")
+    _add_registry_flags(diff, suppress=True)
+    trend = sub.add_parser(
+        "trend", help="performance trajectory over the registry's "
+                      "bench profiles"
+    )
+    trend.add_argument("--append", action="append", default=None,
+                       metavar="BENCH.json",
+                       help="record this bench profile into the registry "
+                            "first (repeatable)")
+    trend.add_argument("--check", action="store_true",
+                       help="exit 1 if the newest bench point regresses "
+                            "vs its predecessor")
+    trend.add_argument("--share-tolerance", type=float, default=0.10,
+                       help="allowed absolute drift per stage's share of "
+                            "stage time (default 0.10)")
+    trend.add_argument("--wall-tolerance", type=float, default=None,
+                       help="allowed fractional wall slowdown for --check "
+                            "(default: skip the wall comparison)")
+    _add_registry_flags(trend, suppress=True)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -417,6 +694,9 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
+        "runs": _cmd_runs,
+        "diff": _cmd_diff,
+        "trend": _cmd_trend,
     }
     return handlers[args.command](args)
 

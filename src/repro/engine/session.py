@@ -181,7 +181,7 @@ class RenderSession:
     def __init__(self, alias: str, technique: str = "baseline",
                  config: GpuConfig = None, num_frames: int = 50,
                  exact_signatures: bool = False, perf=None,
-                 tracer=None, metrics=None) -> None:
+                 tracer=None, metrics=None, live=None) -> None:
         self.alias = alias
         self.technique_name = technique
         self.config = config if config is not None else GpuConfig.benchmark()
@@ -196,7 +196,8 @@ class RenderSession:
         self.timing = TimingModel(self.config)
         self.energy_model = EnergyModel(self.config)
         self.metrics = None
-        self.attach_observability(tracer=tracer, metrics=metrics)
+        self.live = None
+        self.attach_observability(tracer=tracer, metrics=metrics, live=live)
 
         self.frames: list = []          # FrameMetrics, one per frame
         self.frame_stats: list = []     # FrameStats, one per frame
@@ -213,16 +214,19 @@ class RenderSession:
         return self.gpu.tracer
 
     def attach_observability(self, tracer=None, metrics=None,
-                             header_fields: dict = None) -> None:
-        """Install a :class:`~repro.obs.Tracer` and/or
-        :class:`~repro.obs.MetricsLog` on this session.
+                             header_fields: dict = None,
+                             live=None) -> None:
+        """Install a :class:`~repro.obs.Tracer`,
+        :class:`~repro.obs.MetricsLog` and/or live-telemetry sink
+        (:class:`~repro.obs.live.LiveSink`) on this session.
 
         The tracer receives the run's identity as trace metadata; the
         metrics log gets a header record describing the run (written
-        once per log).  ``header_fields`` adds caller context to both —
-        the supervisor stamps attempt/retry ids this way so journals,
-        traces and metrics logs correlate.  Passing ``None`` for either
-        sink leaves it unchanged.
+        once per log); the live sink receives a per-frame progress
+        callback (falsy sinks cost one truthiness check per frame).
+        ``header_fields`` adds caller context — the supervisor stamps
+        attempt/retry ids this way so journals, traces and metrics logs
+        correlate.  Passing ``None`` for any sink leaves it unchanged.
         """
         if tracer is not None:
             self.gpu.tracer = tracer or None
@@ -233,6 +237,8 @@ class RenderSession:
                     config_digest=self.config.digest(),
                     **(header_fields or {}),
                 )
+        if live is not None:
+            self.live = live or None
         if metrics is not None:
             self.metrics = metrics
             if metrics.header is None:
@@ -332,6 +338,14 @@ class RenderSession:
                 stats, cycles, energy,
                 self.gpu.stats_registry.delta(registry_before),
             ))
+        live = self.live
+        if live:
+            live.frame_done(
+                self.frames_rendered, self.num_frames,
+                tiles_skipped=stats.raster.tiles_skipped,
+                fragments_shaded=stats.fragment.fragments_shaded,
+                fragments_rasterized=stats.raster.fragments_rasterized,
+            )
 
     # Result views -------------------------------------------------------
     @property
@@ -402,7 +416,7 @@ class RenderSession:
     @classmethod
     def from_checkpoint(cls, source, config: GpuConfig = None,
                         perf=None, tracer=None,
-                        metrics=None) -> "RenderSession":
+                        metrics=None, live=None) -> "RenderSession":
         """Rebuild a session from a checkpoint file path or state dict.
 
         ``config`` defaults to the configuration stored in the
@@ -418,7 +432,7 @@ class RenderSession:
             meta["alias"], meta["technique"], config=config,
             num_frames=int(meta["num_frames"]),
             exact_signatures=bool(meta["exact_signatures"]), perf=perf,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, live=live,
         )
         session.restore(state)
         return session

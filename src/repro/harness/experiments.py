@@ -21,6 +21,7 @@ import typing
 import numpy as np
 
 from ..config import GpuConfig
+from ..errors import ReproError
 from ..harness import reporting
 from ..workloads.games import FIGURE_ORDER, PSEUDO_WORKLOADS, build_scene
 from .classify import classify_run, equal_tiles_fraction
@@ -50,15 +51,35 @@ class ExperimentResult:
 
 
 class RunCache:
-    """Memoizes :func:`run_workload` across experiments."""
+    """Memoizes :func:`run_workload` across experiments.
 
-    def __init__(self, config: GpuConfig = None, num_frames: int = 50) -> None:
+    ``registry`` optionally names a :class:`~repro.obs.store.RunRegistry`
+    (or its root directory): every cell the cache simulates is then also
+    recorded as a ``kind="figure"`` manifest, so figure regeneration
+    leaves a cross-run-diffable record beside its tables.
+    """
+
+    def __init__(self, config: GpuConfig = None, num_frames: int = 50,
+                 registry=None) -> None:
         self.config = config or GpuConfig.benchmark()
         self.num_frames = num_frames
         self._runs: dict = {}
+        if registry is not None and not hasattr(registry, "record_run"):
+            from ..obs.store import RunRegistry
+
+            registry = RunRegistry(registry)
+        self.registry = registry
 
     def _key(self, alias: str, technique: str) -> tuple:
         return (alias, technique, self.config.digest(), self.num_frames)
+
+    def _register(self, run: RunResult) -> None:
+        if self.registry is None:
+            return
+        try:
+            self.registry.record_run(run, kind="figure")
+        except (OSError, ReproError):    # registry is best-effort
+            pass
 
     def run(self, alias: str, technique: str) -> RunResult:
         key = self._key(alias, technique)
@@ -67,6 +88,7 @@ class RunCache:
                 alias, technique, config=self.config,
                 num_frames=self.num_frames,
             )
+            self._register(self._runs[key])
         return self._runs[key]
 
     def runs(self, technique: str, aliases: typing.Sequence = FIGURE_ORDER):
@@ -106,6 +128,7 @@ class RunCache:
         )
         for cell, run in results.items():
             self._runs[self._key(cell.alias, cell.technique)] = run
+            self._register(run)
         return len(missing)
 
 

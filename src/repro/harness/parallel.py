@@ -31,12 +31,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import os
+import re
 import typing
 
 import numpy as np
 
 from ..config import GpuConfig
-from ..errors import SupervisionError
+from ..errors import ReproError, SupervisionError
 from .runner import run_workload
 
 
@@ -47,6 +48,10 @@ class Cell:
     ``config`` optionally overrides the run-wide :class:`GpuConfig` for
     this cell alone (parameter sweeps fan out heterogeneous grids this
     way); ``None`` means "use the config the runner was given".
+    ``tag``, when set, names the cell's per-cell artifacts (trace /
+    metrics fan-out) instead of the positional ``-NN-alias-technique``
+    scheme — sweeps tag points with their parameter assignment so the
+    files stop being anonymous.
     """
 
     alias: str
@@ -54,6 +59,7 @@ class Cell:
     num_frames: int = 50
     exact_signatures: bool = False
     config: GpuConfig = None
+    tag: str = None
 
 
 def cell_seed(cell: Cell) -> int:
@@ -76,19 +82,56 @@ def cell_label(cell: Cell) -> str:
     return f"{cell.alias}/{cell.technique}"
 
 
+def sanitize_component(text) -> str:
+    """Filesystem-safe rendering of one artifact-name component.
+
+    Anything outside ``[A-Za-z0-9._=-]`` collapses to ``_``.  Distinct
+    inputs *can* sanitize to the same name — path-derivation call sites
+    guard with :func:`ensure_unique_paths` so a collision raises instead
+    of silently overwriting another cell's artifacts.
+    """
+    return re.sub(r"[^A-Za-z0-9._=-]", "_", str(text))
+
+
 def per_cell_path(base, cell: Cell, index: int, many: bool):
     """Derive a per-cell artifact path (trace/metrics) from a base path.
 
-    One cell uses the base path verbatim; a matrix suffixes the stem
-    with the cell's position and label (the index disambiguates sweep
-    points, which share alias/technique across configs)."""
+    One untagged cell uses the base path verbatim; a matrix suffixes the
+    stem with the cell's position and label (the index disambiguates
+    points that share alias/technique across configs).  A *tagged* cell
+    always uses its sanitized tag — sweeps name points after their
+    parameter assignment this way."""
     if base is None:
         return None
     base = os.fspath(base)
+    root, ext = os.path.splitext(base)
+    if cell.tag is not None:
+        return f"{root}-{sanitize_component(cell.tag)}{ext}"
     if not many:
         return base
-    root, ext = os.path.splitext(base)
-    return f"{root}-{index:02d}-{cell.alias}-{cell.technique}{ext}"
+    alias = sanitize_component(cell.alias)
+    technique = sanitize_component(cell.technique)
+    return f"{root}-{index:02d}-{alias}-{technique}{ext}"
+
+
+def ensure_unique_paths(paths: typing.Sequence, what: str = "artifact") -> None:
+    """Raise if any two derived artifact paths collide.
+
+    Fan-out writes one trace/metrics file per cell; two cells mapping to
+    the same path (sanitized tags or labels colliding) would silently
+    overwrite each other, so that is an error, not a warning.
+    """
+    seen: dict = {}
+    for path in paths:
+        if path is None:
+            continue
+        if path in seen:
+            raise ReproError(
+                f"{what} path collision: {path!r} is derived by more than "
+                "one cell (sanitized names collide); rename the colliding "
+                "points or write to distinct stems"
+            )
+        seen[path] = True
 
 
 def coerce_cells(cells: typing.Sequence) -> list:
@@ -97,6 +140,27 @@ def coerce_cells(cells: typing.Sequence) -> list:
     cell cannot silently drop work."""
     coerced = [c if isinstance(c, Cell) else Cell(*c) for c in cells]
     return list(dict.fromkeys(coerced))
+
+
+#: Telemetry queue a pool worker posts to; installed per worker process
+#: by :func:`_pool_live_init` (queues travel to pool workers through the
+#: initializer, not through pickled map payloads).
+_LIVE_CHANNEL = None
+
+
+def _pool_live_init(queue) -> None:
+    global _LIVE_CHANNEL
+    _LIVE_CHANNEL = queue
+
+
+def _live_sink(cell: Cell, channel=None):
+    """Worker-side live sink for a cell, or ``None`` when disabled."""
+    channel = channel if channel is not None else _LIVE_CHANNEL
+    if channel is None:
+        return None
+    from ..obs.live import ChannelLiveSink
+
+    return ChannelLiveSink(channel, cell_label(cell))
 
 
 def _run_cell(payload: tuple) -> tuple:
@@ -108,6 +172,7 @@ def _run_cell(payload: tuple) -> tuple:
         num_frames=cell.num_frames,
         exact_signatures=cell.exact_signatures,
         trace_path=trace_path, metrics_path=metrics_path,
+        live=_live_sink(cell),
     )
     return cell, result
 
@@ -115,7 +180,7 @@ def _run_cell(payload: tuple) -> tuple:
 def run_cells(cells: typing.Sequence, config: GpuConfig = None,
               processes: int = None, policy=None, journal_path=None,
               fault_spec=None, workdir=None, trace_path=None,
-              metrics_path=None) -> dict:
+              metrics_path=None, live=None) -> dict:
     """Run every cell, returning ``{cell: RunResult}``.
 
     ``processes`` > 1 fans cells across a process pool (capped at the
@@ -126,6 +191,13 @@ def run_cells(cells: typing.Sequence, config: GpuConfig = None,
     ``trace_path`` / ``metrics_path`` record per-run observability
     (:mod:`repro.obs`) for every cell; with more than one cell the
     paths are suffixed per cell, the same scheme the supervisor uses.
+    Derived paths are checked for collisions up front — two cells whose
+    sanitized names map to the same file raise instead of overwriting
+    each other.
+
+    ``live`` accepts a :class:`~repro.obs.live.LiveAggregator`: workers
+    stream per-frame progress/counters to it and it maintains the
+    status table + ``live.json`` heartbeat while the pool runs.
 
     Passing any of ``policy`` (a
     :class:`~repro.harness.supervisor.SupervisorPolicy`),
@@ -144,7 +216,7 @@ def run_cells(cells: typing.Sequence, config: GpuConfig = None,
             cells, config=config, policy=policy, processes=processes,
             journal_path=journal_path, fault_spec=fault_spec,
             workdir=workdir, trace_path=trace_path,
-            metrics_path=metrics_path,
+            metrics_path=metrics_path, live=live,
         )
         failed = supervised.failed
         if failed:
@@ -162,8 +234,21 @@ def run_cells(cells: typing.Sequence, config: GpuConfig = None,
          per_cell_path(metrics_path, cell, index, many))
         for index, cell in enumerate(cells)
     ]
+    ensure_unique_paths([p[2] for p in payloads], "trace")
+    ensure_unique_paths([p[3] for p in payloads], "metrics")
     if processes in (None, 0, 1) or len(cells) <= 1:
-        return dict(_run_cell(payload) for payload in payloads)
+        results = {}
+        for payload in payloads:
+            if live is not None:
+                # In-process: the sink posts straight to the aggregator.
+                sink = _live_sink(payload[0], channel=live)
+                cell, result = _run_cell_with_live(payload, sink)
+            else:
+                cell, result = _run_cell(payload)
+            results[cell] = result
+        if live is not None:
+            live.close()
+        return results
 
     import multiprocessing
 
@@ -171,8 +256,53 @@ def run_cells(cells: typing.Sequence, config: GpuConfig = None,
     # merely timeslices, and single-core machines can still exercise the
     # pool path.
     workers = min(int(processes), len(cells))
-    with multiprocessing.Pool(workers) as pool:
-        return dict(pool.map(_run_cell, payloads))
+    if live is None:
+        with multiprocessing.Pool(workers) as pool:
+            return dict(pool.map(_run_cell, payloads))
+
+    queue = multiprocessing.Queue()
+    try:
+        with multiprocessing.Pool(
+            workers, initializer=_pool_live_init, initargs=(queue,),
+        ) as pool:
+            async_result = pool.map_async(_run_cell, payloads)
+            while not async_result.ready():
+                _drain_live_queue(queue, live, timeout=0.1)
+                live.tick()
+            results = dict(async_result.get())
+        _drain_live_queue(queue, live, timeout=0.0)
+        return results
+    finally:
+        live.close()
+        queue.close()
+
+
+def _run_cell_with_live(payload: tuple, sink) -> tuple:
+    """Serial-path worker body with an in-process live sink attached."""
+    cell, config, trace_path, metrics_path = payload
+    np.random.seed(cell_seed(cell))
+    result = run_workload(
+        cell.alias, cell.technique, config=cell.config or config,
+        num_frames=cell.num_frames,
+        exact_signatures=cell.exact_signatures,
+        trace_path=trace_path, metrics_path=metrics_path,
+        live=sink,
+    )
+    return cell, result
+
+
+def _drain_live_queue(queue, live, timeout: float) -> None:
+    """Forward queued worker telemetry to the aggregator."""
+    import queue as queue_module
+
+    while True:
+        try:
+            message = queue.get(
+                timeout=timeout) if timeout else queue.get_nowait()
+        except (queue_module.Empty, OSError, EOFError):
+            return
+        live.update(message)
+        timeout = 0.0
 
 
 def run_matrix(aliases: typing.Sequence, techniques: typing.Sequence,

@@ -46,6 +46,11 @@ class RunResult:
     tile_input_sigs: np.ndarray = None     # (frames, tiles) uint32, RE only
     final_frame_crc: int = 0
     technique_stats: object = None
+    #: End-of-run cumulative value of every StatsRegistry counter
+    #: (``"raster.tiles_skipped"``...), the cross-run diffable view the
+    #: registry manifests record; ``None`` on results rebuilt from
+    #: sources that never sampled the registry.
+    counters: dict = None
     #: Frames that cannot match a reference signature: the Signature
     #: Buffer needs ``compare_distance`` complete banks of history before
     #: its first valid comparison, so that many leading frames always
@@ -152,6 +157,7 @@ def result_from_session(session: RenderSession) -> RunResult:
         tile_input_sigs=session.input_sigs,
         final_frame_crc=session.final_frame_crc,
         technique_stats=getattr(session.technique, "stats", None),
+        counters=dict(session.gpu.stats_registry.snapshot()),
         warmup_frames=session.config.signature_compare_distance,
     )
 
@@ -161,7 +167,8 @@ def run_workload(alias: str, technique: str = "baseline",
                  exact_signatures: bool = False, perf=None,
                  resume_from=None, checkpoint_at: int = None,
                  checkpoint_path=None, manifest_path=None,
-                 trace_path=None, metrics_path=None) -> RunResult:
+                 trace_path=None, metrics_path=None,
+                 live=None) -> RunResult:
     """Render ``num_frames`` of a benchmark under a technique.
 
     ``perf`` may be a :class:`repro.perf.PerfRecorder`; it then receives
@@ -176,6 +183,9 @@ def run_workload(alias: str, technique: str = "baseline",
     * ``metrics_path`` — sample every registry counter at each frame
       boundary into a JSONL per-frame metrics log there (the input to
       ``python -m repro report``).
+    * ``live`` — a :class:`~repro.obs.live.LiveSink` receiving a
+      per-frame progress callback (see :mod:`repro.obs.live`); falsy
+      sinks cost one truthiness check per frame.
 
     Checkpoint/resume:
 
@@ -199,14 +209,14 @@ def run_workload(alias: str, technique: str = "baseline",
     if resume_from is not None:
         session = RenderSession.from_checkpoint(
             resume_from, config=config, perf=perf,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, live=live,
         )
         resumed_at = session.frames_rendered
     else:
         session = RenderSession(
             alias, technique=technique, config=config,
             num_frames=num_frames, exact_signatures=exact_signatures,
-            perf=perf, tracer=tracer, metrics=metrics,
+            perf=perf, tracer=tracer, metrics=metrics, live=live,
         )
         resumed_at = 0
 
@@ -223,6 +233,8 @@ def run_workload(alias: str, technique: str = "baseline",
             tracer.write(trace_path)
         if metrics is not None:
             metrics.close()
+        if live:
+            live.finish(ok=session.frames_rendered >= session.num_frames)
 
     result = result_from_session(session)
     if manifest_path is not None:

@@ -59,7 +59,14 @@ from ..config import GpuConfig
 from ..engine.checkpoint import try_load_checkpoint
 from ..engine.session import RenderSession
 from ..errors import ReproError, SupervisionError
-from .parallel import Cell, cell_label, cell_seed, coerce_cells, per_cell_path
+from .parallel import (
+    Cell,
+    cell_label,
+    cell_seed,
+    coerce_cells,
+    ensure_unique_paths,
+    per_cell_path,
+)
 from .runner import RunResult, result_from_session
 
 __all__ = [
@@ -306,14 +313,17 @@ def _fire_fault(fault: FaultSpec) -> None:
 def _attempt_main(conn, cell: Cell, config: GpuConfig,
                   policy: SupervisorPolicy, attempt: int, ckpt_path,
                   fault: FaultSpec, trace_path=None,
-                  metrics_path=None) -> None:
+                  metrics_path=None, live_enabled: bool = False) -> None:
     """Child body: run (or resume) one cell, reporting over ``conn``.
 
     Messages: ``("progress", frames_rendered)`` after every stride
     boundary (its checkpoint, if any, is already on disk), then exactly
     one of ``("ok", RunResult, resumed_from_frame)`` or
     ``("error", description)``.  A crash sends nothing — the parent
-    reads the EOF and the exit code instead.
+    reads the EOF and the exit code instead.  With ``live_enabled`` the
+    same pipe also carries ``("telemetry", {...})`` records — one per
+    rendered frame — which the parent routes to its
+    :class:`~repro.obs.live.LiveAggregator`.
 
     Observability: ``trace_path`` records a Chrome trace for this
     attempt (rewritten per attempt, metadata stamped with the cell,
@@ -345,9 +355,16 @@ def _attempt_main(conn, cell: Cell, config: GpuConfig,
                 exact_signatures=cell.exact_signatures,
             )
             resumed_from = 0
-        if tracer is not None or metrics is not None:
+        live_sink = None
+        if live_enabled:
+            from ..obs.live import ChannelLiveSink
+
+            live_sink = ChannelLiveSink(
+                conn, cell_label(cell), attempt=attempt,
+            )
+        if tracer is not None or metrics is not None or live_sink is not None:
             session.attach_observability(
-                tracer=tracer, metrics=metrics,
+                tracer=tracer, metrics=metrics, live=live_sink,
                 header_fields={
                     "cell": cell_label(cell),
                     "attempt": attempt,
@@ -426,7 +443,7 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
                     policy: SupervisorPolicy = None, processes: int = None,
                     journal_path=None, fault_spec=None,
                     workdir=None, trace_path=None,
-                    metrics_path=None) -> SupervisedRun:
+                    metrics_path=None, live=None) -> SupervisedRun:
     """Run every cell under supervision; never raises for cell failures.
 
     ``processes`` bounds how many attempts run concurrently (default 1 —
@@ -450,6 +467,13 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
     Inspect :attr:`SupervisedRun.failed` (or call
     :meth:`SupervisedRun.raise_on_failure`) for cells that exhausted
     their retries.
+
+    ``live`` accepts a :class:`~repro.obs.live.LiveAggregator`: every
+    worker then streams per-frame progress and key counters back over
+    its result pipe, and the aggregator renders a periodic status table,
+    writes its ``live.json`` heartbeat, and flags stalled workers —
+    *before* the timeout kill fires, since its stall threshold is
+    independent of (and should be below) ``policy.timeout_s``.
     """
     cells = coerce_cells(cells)
     config = config or GpuConfig.benchmark()
@@ -469,6 +493,36 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
     if workdir is not None:
         os.makedirs(workdir, exist_ok=True)
 
+    many = len(cells) > 1
+    pending: list = []
+    try:
+        for index, cell in enumerate(cells):
+            cell_config = cell.config or config
+            ckpt_path = None
+            if workdir is not None and policy.checkpoint_stride > 0:
+                exact = "-exact" if cell.exact_signatures else ""
+                ckpt_path = os.path.join(
+                    workdir,
+                    f"{cell.alias}-{cell.technique}-f{cell.num_frames}{exact}"
+                    f"-{cell_config.digest()[:8]}.ckpt",
+                )
+            pending.append(_CellState(
+                cell, cell_config, ckpt_path,
+                trace_path=per_cell_path(trace_path, cell, index, many),
+                metrics_path=per_cell_path(metrics_path, cell, index, many),
+            ))
+        ensure_unique_paths([s.trace_path for s in pending], "trace")
+        ensure_unique_paths([s.metrics_path for s in pending], "metrics")
+        ensure_unique_paths([s.ckpt_path for s in pending], "checkpoint")
+    except ReproError:
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+        raise
+    for state in pending:
+        if state.metrics_path is not None:
+            # Attempts append; start each supervised run from a clean log.
+            open(state.metrics_path, "w", encoding="utf-8").close()
+
     ctx = _mp_context()
     journal = RunJournal(journal_path)
     journal.append(
@@ -477,28 +531,6 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
         policy=dataclasses.asdict(policy),
         fault=str(fault) if fault else None,
     )
-
-    many = len(cells) > 1
-    pending: list = []
-    for index, cell in enumerate(cells):
-        cell_config = cell.config or config
-        ckpt_path = None
-        if workdir is not None and policy.checkpoint_stride > 0:
-            exact = "-exact" if cell.exact_signatures else ""
-            ckpt_path = os.path.join(
-                workdir,
-                f"{cell.alias}-{cell.technique}-f{cell.num_frames}{exact}"
-                f"-{cell_config.digest()[:8]}.ckpt",
-            )
-        cell_metrics = per_cell_path(metrics_path, cell, index, many)
-        if cell_metrics is not None:
-            # Attempts append; start each supervised run from a clean log.
-            open(cell_metrics, "w", encoding="utf-8").close()
-        pending.append(_CellState(
-            cell, cell_config, ckpt_path,
-            trace_path=per_cell_path(trace_path, cell, index, many),
-            metrics_path=cell_metrics,
-        ))
 
     active: dict = {}      # id(_CellState) -> _Active
     outcomes: dict = {}    # Cell -> CellOutcome
@@ -510,7 +542,8 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
             target=_attempt_main,
             args=(child_conn, state.cell, state.config, policy,
                   state.attempt, state.ckpt_path, fault,
-                  state.trace_path, state.metrics_path),
+                  state.trace_path, state.metrics_path,
+                  live is not None),
             daemon=True,
         )
         process.start()
@@ -546,6 +579,12 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
             f"attempt_{kind}", cell=cell_label(state.cell),
             attempt=state.attempt, kind=kind, **fields,
         )
+        if live is not None:
+            live.mark_status(
+                cell_label(state.cell),
+                "retrying" if state.attempt <= policy.max_retries
+                else "failed",
+            )
         if state.attempt <= policy.max_retries:
             delay = policy.backoff(state.attempt)
             state.next_eligible = time.monotonic() + delay
@@ -570,6 +609,8 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
 
     def succeed(state: _CellState, result: RunResult,
                 resumed_from: int) -> None:
+        if live is not None:
+            live.mark_status(cell_label(state.cell), "done")
         outcomes[state.cell] = CellOutcome(
             state.cell, result=result, attempts=state.attempt,
             resumed_from_frame=resumed_from,
@@ -585,7 +626,8 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
 
     def drain(entry: _Active):
         """Pull queued messages; returns the final message, ``("eof",)``
-        on a dead pipe, or ``None`` while the attempt is still going."""
+        on a dead pipe, or ``None`` while the attempt is still going.
+        Telemetry records are routed to the live aggregator in passing."""
         while True:
             try:
                 if not entry.conn.poll():
@@ -593,6 +635,10 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
                 message = entry.conn.recv()
             except (EOFError, OSError):
                 return ("eof",)
+            if message[0] == "telemetry":
+                if live is not None:
+                    live.update(message)
+                continue
             if message[0] != "progress":
                 return message
             frames = int(message[1])
@@ -628,6 +674,8 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
             multiprocessing.connection.wait(
                 [a.conn for a in active.values()], timeout=wait_s
             )
+            if live is not None:
+                live.tick()
 
             for key in list(active):
                 entry = active[key]
@@ -664,6 +712,8 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
             entry.process.terminate()
             reap(entry)
         journal.close()
+        if live is not None:
+            live.close()
         if own_workdir:
             shutil.rmtree(workdir, ignore_errors=True)
 

@@ -46,20 +46,62 @@ class SweepPoint:
 
 def _sweep_point(payload: tuple) -> RunResult:
     """Worker body for parallel sweeps (module-level for pickling)."""
-    (alias, technique, config, num_frames, technique_params,
+    (label, alias, technique, config, num_frames, technique_params,
      trace_path, metrics_path) = payload
+    from . import parallel
+
+    live = None
+    if parallel._LIVE_CHANNEL is not None:
+        from ..obs.live import ChannelLiveSink
+
+        live = ChannelLiveSink(parallel._LIVE_CHANNEL, label)
     return run_workload(
         alias, technique, config=config, num_frames=num_frames,
-        trace_path=trace_path, metrics_path=metrics_path,
+        trace_path=trace_path, metrics_path=metrics_path, live=live,
         **(technique_params or {}),
     )
+
+
+def point_tag(alias: str, technique: str, assignment: dict) -> str:
+    """Human-readable identity of one sweep point, used to name its
+    per-point artifacts: ``cde-re-tile_size=8-ot_queue_entries=16``."""
+    parts = [f"{name}={value}" for name, value in assignment.items()]
+    return "-".join([alias, technique] + parts)
+
+
+def _check_assignments(alias: str, technique: str,
+                       assignments: typing.Sequence) -> list:
+    """Per-point tags, with duplicate / sanitized-collision detection.
+
+    Two parameter points that would fan out to the same artifact name —
+    literal duplicates in a ``--set`` list, or distinct values whose
+    sanitized forms coincide — would silently overwrite each other's
+    trace/metrics files (and collapse to one cell under the supervisor),
+    so both raise up front.
+    """
+    from .parallel import sanitize_component
+
+    tags = [point_tag(alias, technique, a) for a in assignments]
+    seen: dict = {}
+    for tag, assignment in zip(tags, assignments):
+        key = sanitize_component(tag)
+        if key in seen:
+            kind = ("duplicate parameter point"
+                    if seen[key] == assignment else
+                    "parameter points with colliding sanitized names")
+            raise ReproError(
+                f"{kind}: {seen[key]!r} vs {assignment!r} "
+                f"(both map to {key!r}); deduplicate the --set values"
+            )
+        seen[key] = assignment
+    return tags
 
 
 def sweep(alias: str, technique: str, parameters: dict,
           base_config: GpuConfig = None, num_frames: int = 8,
           technique_params: dict = None, processes: int = None,
           policy=None, journal_path=None, fault_spec=None,
-          trace_path=None, metrics_path=None) -> list:
+          trace_path=None, metrics_path=None, live=None) -> list:
     """Run ``alias`` under ``technique`` for every combination of
     ``parameters`` (a mapping of GpuConfig field name -> list of values).
 
@@ -75,8 +117,13 @@ def sweep(alias: str, technique: str, parameters: dict,
 
     ``trace_path`` / ``metrics_path`` record per-point observability
     (:mod:`repro.obs`): each grid point writes its own trace / metrics
-    log, the paths suffixed with the point's position and cell label
-    (single-point sweeps use the paths verbatim).
+    log, the paths suffixed with the point's parameter assignment
+    (``-tile_size=8-ot_queue_entries=16``); single-point sweeps use the
+    paths verbatim.  Duplicate parameter points, or points whose
+    sanitized names collide, raise up front instead of overwriting each
+    other's artifacts.  ``live`` accepts a
+    :class:`~repro.obs.live.LiveAggregator`: every point streams
+    per-frame progress to it while the grid runs.
 
     Large sweep matrices are exactly the runs worth leaving unattended,
     so ``policy`` / ``journal_path`` / ``fault_spec`` route the grid
@@ -99,6 +146,9 @@ def sweep(alias: str, technique: str, parameters: dict,
         assignments.append(assignment)
         configs.append(dataclasses.replace(base_config, **assignment))
 
+    tags = _check_assignments(alias, technique, assignments)
+    many = len(configs) > 1
+
     supervised = (
         policy is not None or journal_path is not None
         or fault_spec is not None
@@ -110,35 +160,77 @@ def sweep(alias: str, technique: str, parameters: dict,
             )
         from .parallel import Cell, run_cells
 
+        # Points are tagged with their parameter assignment so per-point
+        # artifacts carry the assignment instead of a bare index (a
+        # single point keeps the base paths verbatim), and so identical
+        # configs from duplicate --set values cannot collapse into one
+        # cell (Cell is hashable; _check_assignments raised already).
         cells = [
-            Cell(alias, technique, num_frames, config=config)
-            for config in configs
+            Cell(alias, technique, num_frames, config=config,
+                 tag=tag if many else None)
+            for config, tag in zip(configs, tags)
         ]
         results = run_cells(
             cells, config=base_config, processes=processes, policy=policy,
             journal_path=journal_path, fault_spec=fault_spec,
-            trace_path=trace_path, metrics_path=metrics_path,
+            trace_path=trace_path, metrics_path=metrics_path, live=live,
         )
         runs = [results[cell] for cell in cells]
     else:
-        from .parallel import Cell, per_cell_path
+        from .parallel import (
+            Cell,
+            _drain_live_queue,
+            _pool_live_init,
+            ensure_unique_paths,
+            per_cell_path,
+        )
 
-        many = len(configs) > 1
-        point = Cell(alias, technique, num_frames)
+        points = [
+            Cell(alias, technique, num_frames, tag=tag if many else None)
+            for tag in tags
+        ]
         payloads = [
-            (alias, technique, config, num_frames, technique_params,
+            (point.tag or f"{alias}/{technique}", alias, technique, config,
+             num_frames, technique_params,
              per_cell_path(trace_path, point, index, many),
              per_cell_path(metrics_path, point, index, many))
-            for index, config in enumerate(configs)
+            for index, (config, point) in enumerate(zip(configs, points))
         ]
+        ensure_unique_paths([p[6] for p in payloads], "trace")
+        ensure_unique_paths([p[7] for p in payloads], "metrics")
         if processes in (None, 0, 1) or len(payloads) <= 1:
-            runs = [_sweep_point(payload) for payload in payloads]
-        else:
+            if live is not None:
+                _pool_live_init(live)   # in-process: post straight to it
+            try:
+                runs = [_sweep_point(payload) for payload in payloads]
+            finally:
+                if live is not None:
+                    _pool_live_init(None)
+                    live.close()
+        elif live is None:
             import multiprocessing
 
             workers = min(int(processes), len(payloads))
             with multiprocessing.Pool(workers) as pool:
                 runs = pool.map(_sweep_point, payloads)
+        else:
+            import multiprocessing
+
+            workers = min(int(processes), len(payloads))
+            queue = multiprocessing.Queue()
+            try:
+                with multiprocessing.Pool(
+                    workers, initializer=_pool_live_init, initargs=(queue,),
+                ) as pool:
+                    async_result = pool.map_async(_sweep_point, payloads)
+                    while not async_result.ready():
+                        _drain_live_queue(queue, live, timeout=0.1)
+                        live.tick()
+                    runs = async_result.get()
+                _drain_live_queue(queue, live, timeout=0.0)
+            finally:
+                live.close()
+                queue.close()
 
     return [
         SweepPoint(parameters=assignment, run=run)

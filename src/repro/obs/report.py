@@ -22,7 +22,6 @@ are exact sums of the log's per-frame records, so they reconcile with
 
 from __future__ import annotations
 
-from ..errors import ReproError
 from ..harness.reporting import format_table
 from ..harness.timeline import sparkline
 from .metrics import MetricsLog
@@ -88,10 +87,32 @@ def hottest_tiles(log, top: int = 10) -> list:
 
 
 def render_report(log, top: int = 10, width: int = 60) -> str:
-    """Format the full analysis as text (the ``repro report`` output)."""
+    """Format the full analysis as text (the ``repro report`` output).
+
+    A log with no frame records (a run that died before its first frame
+    boundary, or an empty/truncated file) renders a short "no frames
+    recorded" notice instead of raising — every downstream aggregate
+    here divides by the frame count, and an empty fleet log is an
+    answerable question, not an error.
+    """
     log = _as_log(log)
     if log.num_frames == 0:
-        raise ReproError("metrics log contains no frame records")
+        header = log.header or {}
+        what = ""
+        if header:
+            what = (
+                f" ({header.get('alias', '?')} under "
+                f"{header.get('technique', '?')})"
+            )
+        return (
+            f"metrics report{what}: no frames recorded\n"
+            "the log has a header but no frame records — the run likely "
+            "ended before its first frame boundary; nothing to analyse"
+            if header else
+            "metrics report: no frames recorded\n"
+            "the log is empty — was the run started with --metrics, and "
+            "did it render at least one frame?"
+        )
     header = log.header or {}
     lines = []
     title = "metrics report"

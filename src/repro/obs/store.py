@@ -1,0 +1,405 @@
+"""Run registry: content-addressed manifests for cross-run analysis.
+
+The per-run observability layer (traces, metrics logs, reports) answers
+"what happened inside *this* run"; the paper's evaluation, however, is
+inherently *comparative* — every figure sets RE against baseline, TE and
+memoization across ten games.  The registry is the cross-run half: every
+run the harness executes can drop a **manifest** — what ran (alias,
+technique, frames, :meth:`~repro.config.GpuConfig.digest`), where it ran
+(git revision, command), what came out (the ``RunResult`` summary down
+to per-stage cycle parts and registry counters) and where the heavy
+artifacts live (trace, metrics log, checkpoint, journal) — into a
+content-addressed store with a queryable append-only index::
+
+    results/registry/
+        index.jsonl            # one line per recorded manifest
+        runs/<run_id>.json     # the full manifest, content-addressed
+        runs/<run_id>.crcs.json  # optional per-tile CRC matrix
+
+``run_id`` is the SHA-256 of the manifest's canonical JSON, so identical
+manifests dedupe and every id is stable across machines.  The index
+holds a light projection (id, kind, alias, technique, config digest,
+git rev, created_at, headline numbers) so queries never open manifests.
+
+Downstream consumers: ``python -m repro runs`` lists the index,
+``python -m repro diff`` compares two manifests
+(:mod:`repro.obs.diff`), ``python -m repro trend`` follows bench
+profiles over time (:mod:`repro.obs.trend`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import time
+
+from ..errors import ReproError
+
+__all__ = [
+    "RunRegistry",
+    "bench_manifest",
+    "git_revision",
+    "run_manifest",
+]
+
+#: Environment variable naming a registry root the CLI records into when
+#: no ``--registry`` flag is given.
+REGISTRY_ENV_VAR = "REPRO_REGISTRY"
+
+#: Manifest kinds the registry understands (free-form strings are
+#: accepted; these are the ones the harness emits).
+KINDS = ("run", "sweep-point", "bench", "figure")
+
+
+def git_revision(cwd=None) -> str:
+    """Current git commit (short hash), or ``None`` outside a checkout.
+
+    ``REPRO_GIT_REV`` overrides (CI can stamp the exact rev without a
+    work tree); failures of any kind degrade to ``None`` — a manifest
+    without provenance beats no manifest.
+    """
+    override = os.environ.get("REPRO_GIT_REV")
+    if override:
+        return override
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=5, cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def _aggregate_cycle_parts(frames) -> dict:
+    """Sum each stage part's cycles across a run's frames."""
+    parts = {"geometry": {}, "raster": {}}
+    for frame in frames:
+        for side, bucket in (("geometry", frame.cycles.geometry_parts),
+                             ("raster", frame.cycles.raster_parts)):
+            totals = parts[side]
+            for name, cycles in bucket.items():
+                totals[name] = totals.get(name, 0.0) + cycles
+    return parts
+
+
+def _aggregate_traffic(result) -> dict:
+    streams: dict = {}
+    for frame in result.frames:
+        for stream, nbytes in frame.traffic.items():
+            streams[stream] = streams.get(stream, 0) + int(nbytes)
+    return streams
+
+
+def run_manifest(result, kind: str = "run", artifacts: dict = None,
+                 extra: dict = None, git_rev: str = "auto",
+                 created_at: float = None) -> dict:
+    """Build a registry manifest from a :class:`~repro.harness.runner.RunResult`.
+
+    The summary section is an *exact* projection of the RunResult
+    aggregates — ``repro diff`` reports reconcile with the in-memory
+    result to the last cycle because they are the same sums.
+    """
+    if git_rev == "auto":
+        git_rev = git_revision()
+    manifest = {
+        "schema": "repro-run-manifest-v1",
+        "kind": kind,
+        "alias": result.alias,
+        "technique": result.technique,
+        "num_frames": result.num_frames,
+        "config_digest": result.config.digest(),
+        "config": result.config.to_dict(),
+        "git_rev": git_rev,
+        "created_at": time.time() if created_at is None else created_at,
+        "summary": {
+            "total_cycles": result.total_cycles,
+            "geometry_cycles": result.geometry_cycles,
+            "raster_cycles": result.raster_cycles,
+            "cycle_parts": _aggregate_cycle_parts(result.frames),
+            "total_energy_nj": result.total_energy_nj,
+            "gpu_energy_nj": result.gpu_energy_nj,
+            "dram_energy_nj": result.dram_energy_nj,
+            "fragments_rasterized": result.fragments_rasterized,
+            "fragments_shaded": result.fragments_shaded,
+            "tiles_skipped": result.tiles_skipped,
+            "skipped_fraction": result.skipped_fraction(),
+            "warmup_frames": result.warmup_frames,
+            "traffic": _aggregate_traffic(result),
+            "total_traffic_bytes": result.total_traffic_bytes,
+            "final_frame_crc": result.final_frame_crc,
+            "counters": (
+                dict(result.counters)
+                if getattr(result, "counters", None) else None
+            ),
+        },
+        "artifacts": {
+            key: str(value)
+            for key, value in (artifacts or {}).items() if value is not None
+        },
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def bench_manifest(payload: dict, source=None, git_rev: str = "auto",
+                   created_at: float = None) -> dict:
+    """Build a registry manifest from a ``BENCH_*.json`` bench payload.
+
+    ``payload`` is what :func:`repro.perf.write_bench` wrote (or its
+    bare ``profile`` snapshot).  The *bench key* — command, frames,
+    scale, game list — identifies comparable points, so the trend view
+    never compares a 6-frame smoke profile against a 50-frame one.
+    """
+    profile = payload.get("profile", payload)
+    if "counters" not in profile or "stage_seconds" not in profile:
+        raise ReproError(
+            "not a bench payload: expected 'counters' and 'stage_seconds'"
+        )
+    if git_rev == "auto":
+        git_rev = git_revision()
+    if created_at is None:
+        created_at = payload.get("generated_at")
+    if created_at is None and source is not None:
+        try:
+            created_at = os.path.getmtime(source)
+        except OSError:
+            created_at = None
+    key = {
+        "command": payload.get("command", "suite"),
+        "frames": payload.get("frames"),
+        "scale": payload.get("scale"),
+        "games": payload.get("games"),
+    }
+    return {
+        "schema": "repro-bench-manifest-v1",
+        "kind": "bench",
+        "bench_key": key,
+        "git_rev": git_rev,
+        "created_at": time.time() if created_at is None else created_at,
+        "source": str(source) if source is not None else None,
+        "profile": {
+            "wall_seconds": profile.get("wall_seconds"),
+            "stage_seconds": dict(profile.get("stage_seconds", {})),
+            "stage_calls": dict(profile.get("stage_calls", {})),
+            "counters": dict(profile.get("counters", {})),
+            "rates": dict(profile.get("rates", {})),
+        },
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class IndexEntry:
+    """One light row of the registry index."""
+
+    run_id: str
+    kind: str
+    alias: str = None
+    technique: str = None
+    num_frames: int = None
+    config_digest: str = None
+    git_rev: str = None
+    created_at: float = 0.0
+    summary: dict = None
+
+    @classmethod
+    def from_record(cls, record: dict) -> "IndexEntry":
+        return cls(**{
+            field.name: record.get(field.name)
+            for field in dataclasses.fields(cls)
+        })
+
+
+def _index_projection(run_id: str, manifest: dict) -> dict:
+    """The light per-manifest row appended to ``index.jsonl``."""
+    summary = {}
+    if manifest["kind"] == "bench":
+        profile = manifest.get("profile", {})
+        summary = {
+            "wall_seconds": profile.get("wall_seconds"),
+            "counters": profile.get("counters"),
+            "stage_seconds": profile.get("stage_seconds"),
+        }
+    else:
+        full = manifest.get("summary", {})
+        summary = {
+            key: full.get(key)
+            for key in ("total_cycles", "total_energy_nj",
+                        "total_traffic_bytes", "tiles_skipped",
+                        "skipped_fraction", "final_frame_crc")
+        }
+        if "parameters" in manifest:
+            summary["parameters"] = manifest["parameters"]
+    return {
+        "run_id": run_id,
+        "kind": manifest.get("kind"),
+        "alias": manifest.get("alias"),
+        "technique": manifest.get("technique"),
+        "num_frames": manifest.get("num_frames"),
+        "config_digest": manifest.get("config_digest"),
+        "git_rev": manifest.get("git_rev"),
+        "created_at": manifest.get("created_at"),
+        "summary": summary,
+    }
+
+
+class RunRegistry:
+    """Content-addressed manifest store rooted at one directory."""
+
+    def __init__(self, root) -> None:
+        self.root = os.fspath(root)
+        self.runs_dir = os.path.join(self.root, "runs")
+        self.index_path = os.path.join(self.root, "index.jsonl")
+
+    # Writing ------------------------------------------------------------
+    def record(self, manifest: dict, crcs=None) -> str:
+        """Store a manifest; returns its content-addressed ``run_id``.
+
+        ``crcs`` optionally attaches the run's per-tile CRC matrix
+        (``(frames, tiles)`` of uint32) as a sibling artifact —
+        ``repro diff`` uses it for tile-level divergence.  Re-recording
+        an identical manifest is a no-op for the store but still appends
+        an index row (the index is an event log; :meth:`entries` dedupes
+        by id keeping the latest row).
+        """
+        os.makedirs(self.runs_dir, exist_ok=True)
+        canonical = json.dumps(manifest, sort_keys=True, default=str)
+        run_id = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        path = os.path.join(self.runs_dir, f"{run_id}.json")
+        if not os.path.exists(path):
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True,
+                          default=str)
+                handle.write("\n")
+        if crcs is not None:
+            crcs_path = os.path.join(self.runs_dir, f"{run_id}.crcs.json")
+            with open(crcs_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"tile_color_crcs":
+                     [[int(v) for v in row] for row in crcs]},
+                    handle,
+                )
+                handle.write("\n")
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                _index_projection(run_id, manifest), sort_keys=True,
+            ) + "\n")
+        return run_id
+
+    def record_run(self, result, kind: str = "run", artifacts: dict = None,
+                   extra: dict = None, store_crcs: bool = True) -> str:
+        """Record a :class:`RunResult` (manifest + optional CRC matrix)."""
+        manifest = run_manifest(
+            result, kind=kind, artifacts=artifacts, extra=extra,
+        )
+        crcs = result.tile_color_crcs if store_crcs else None
+        if crcs is not None and getattr(crcs, "size", len(crcs)) == 0:
+            crcs = None
+        return self.record(manifest, crcs=crcs)
+
+    def record_bench(self, payload_or_path) -> str:
+        """Record a bench payload (dict, or path to a ``BENCH_*.json``)."""
+        if isinstance(payload_or_path, dict):
+            manifest = bench_manifest(payload_or_path)
+        else:
+            with open(payload_or_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            manifest = bench_manifest(payload, source=payload_or_path)
+        return self.record(manifest)
+
+    # Reading ------------------------------------------------------------
+    def entries(self) -> list:
+        """Index rows as :class:`IndexEntry`, oldest first, deduped by
+        run id (latest row wins), sorted by ``created_at`` then
+        append order so trends read chronologically."""
+        if not os.path.exists(self.index_path):
+            return []
+        rows: dict = {}
+        order: list = []
+        with open(self.index_path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"{self.index_path}:{lineno}: bad index row: {exc}"
+                    ) from None
+                run_id = record.get("run_id")
+                if run_id not in rows:
+                    order.append(run_id)
+                rows[run_id] = (lineno, record)
+        entries = [
+            IndexEntry.from_record(rows[run_id][1]) for run_id in order
+        ]
+        return sorted(
+            entries,
+            key=lambda e: (e.created_at or 0.0, rows[e.run_id][0]),
+        )
+
+    def query(self, kind: str = None, alias: str = None,
+              technique: str = None, config_digest: str = None,
+              git_rev: str = None) -> list:
+        """Index entries matching every given filter, oldest first."""
+        filters = {
+            "kind": kind, "alias": alias, "technique": technique,
+            "config_digest": config_digest, "git_rev": git_rev,
+        }
+        return [
+            entry for entry in self.entries()
+            if all(value is None or getattr(entry, name) == value
+                   for name, value in filters.items())
+        ]
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a full or prefix run id (or manifest path) to an id."""
+        ref = os.fspath(ref)
+        if os.path.sep in ref or ref.endswith(".json"):
+            # A manifest path: adopt its basename as the id if it lives
+            # in this registry, else record-free load via manifest().
+            stem = os.path.splitext(os.path.basename(ref))[0]
+            if os.path.exists(os.path.join(self.runs_dir, f"{stem}.json")):
+                return stem
+            raise ReproError(f"{ref!r} is not in registry {self.root}")
+        matches = sorted(
+            name[:-len(".json")]
+            for name in (os.listdir(self.runs_dir)
+                         if os.path.isdir(self.runs_dir) else [])
+            if name.endswith(".json") and not name.endswith(".crcs.json")
+            and name.startswith(ref)
+        )
+        if not matches:
+            raise ReproError(
+                f"no run {ref!r} in registry {self.root} "
+                f"(see `python -m repro runs`)"
+            )
+        if len(matches) > 1:
+            raise ReproError(
+                f"ambiguous run id {ref!r}: matches {matches[:6]}"
+            )
+        return matches[0]
+
+    def manifest(self, ref: str) -> dict:
+        """Load the full manifest for a run id (or unique prefix)."""
+        run_id = self.resolve(ref)
+        path = os.path.join(self.runs_dir, f"{run_id}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        manifest["run_id"] = run_id
+        return manifest
+
+    def crcs(self, ref: str):
+        """The per-tile CRC matrix recorded beside a manifest, or ``None``."""
+        run_id = self.resolve(ref)
+        path = os.path.join(self.runs_dir, f"{run_id}.crcs.json")
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)["tile_color_crcs"]

@@ -116,6 +116,10 @@ def main(argv=None) -> int:
                         help="allowed fractional wall slowdown, e.g. 0.02 "
                              "(default: skip the wall check — host "
                              "wall-clock is not portable across machines)")
+    parser.add_argument("--registry", default=None, metavar="DIR",
+                        help="also append the candidate profile to this "
+                             "run registry, so `python -m repro trend` "
+                             "accumulates CI history")
     args = parser.parse_args(argv)
     try:
         baseline = load_bench(args.baseline)
@@ -125,6 +129,14 @@ def main(argv=None) -> int:
             share_tolerance=args.share_tolerance,
             wall_tolerance=args.wall_tolerance,
         )
+        if args.registry:
+            from ..obs.store import RunRegistry
+
+            bench_id = RunRegistry(args.registry).record_bench(
+                args.candidate
+            )
+            print(f"recorded candidate profile as {bench_id} "
+                  f"in {args.registry}")
     except (OSError, ValueError, ReproError) as exc:
         print(f"bench guard error: {exc}", file=sys.stderr)
         return 2

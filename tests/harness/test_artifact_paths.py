@@ -1,0 +1,57 @@
+"""Per-cell artifact path derivation and collision safety."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.parallel import (
+    Cell,
+    ensure_unique_paths,
+    per_cell_path,
+    run_cells,
+    sanitize_component,
+)
+
+
+class TestSanitize:
+    def test_keeps_safe_characters(self):
+        assert sanitize_component("tile_size=8.5-x") == "tile_size=8.5-x"
+
+    def test_collapses_everything_else(self):
+        assert sanitize_component("a b/c:d") == "a_b_c_d"
+
+
+class TestPerCellPath:
+    def test_tagged_cell_always_uses_its_tag(self):
+        cell = Cell("cde", "re", 4, tag="cde-re-tile_size=8")
+        assert per_cell_path("out/run.json", cell, 0, many=False) \
+            == "out/run-cde-re-tile_size=8.json"
+        assert per_cell_path("out/run.json", cell, 3, many=True) \
+            == "out/run-cde-re-tile_size=8.json"
+
+    def test_untagged_matrix_keeps_positional_scheme(self):
+        cell = Cell("cde", "re", 4)
+        assert per_cell_path("run.json", cell, 1, many=True) \
+            == "run-01-cde-re.json"
+        assert per_cell_path("run.json", cell, 1, many=False) == "run.json"
+
+    def test_none_base_passes_through(self):
+        assert per_cell_path(None, Cell("cde"), 0, many=True) is None
+
+
+class TestEnsureUniquePaths:
+    def test_distinct_paths_pass(self):
+        ensure_unique_paths(["a.json", "b.json", None, None])
+
+    def test_collision_raises(self):
+        with pytest.raises(ReproError, match="path collision"):
+            ensure_unique_paths(["a.json", "a.json"], "trace")
+
+    def test_run_cells_rejects_colliding_tags(self, tmp_path):
+        # Distinct tags that sanitize to the same artifact name must
+        # refuse to run rather than silently overwrite one another.
+        cells = [
+            Cell("cde", "re", 2, tag="a b"),
+            Cell("cde", "re", 2, exact_signatures=False, tag="a_b"),
+        ]
+        with pytest.raises(ReproError, match="collision"):
+            run_cells(cells, trace_path=tmp_path / "grid.trace.json")

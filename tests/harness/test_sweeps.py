@@ -46,3 +46,38 @@ class TestSweep:
             fine.metric("skipped_fraction")
             >= coarse.metric("skipped_fraction") - 0.02
         )
+
+
+class TestSweepArtifactNaming:
+    def test_points_tagged_with_parameter_assignment(self, tmp_path):
+        trace = tmp_path / "grid.trace.json"
+        sweep("cde", "re", {"tile_size": [8, 16]}, num_frames=2,
+              trace_path=trace)
+        for value in (8, 16):
+            assert (tmp_path / f"grid.trace-cde-re-tile_size={value}.json"
+                    ).exists()
+
+    def test_single_point_uses_base_path_verbatim(self, tmp_path):
+        trace = tmp_path / "one.trace.json"
+        sweep("cde", "re", {"tile_size": [16]}, num_frames=2,
+              trace_path=trace)
+        assert trace.exists()
+
+
+class TestSweepCollisionSafety:
+    def test_duplicate_points_raise(self):
+        with pytest.raises(ReproError, match="duplicate parameter point"):
+            sweep("cde", "re", {"tile_size": [8, 8]}, num_frames=2)
+
+    def test_duplicates_raise_before_any_simulation(self):
+        # The check is up-front: an enormous frame count never runs.
+        with pytest.raises(ReproError):
+            sweep("cde", "re", {"tile_size": [16, 16]}, num_frames=10**6)
+
+    def test_supervised_duplicates_raise_too(self, tmp_path):
+        from repro.harness.supervisor import SupervisorPolicy
+
+        with pytest.raises(ReproError, match="duplicate parameter point"):
+            sweep("cde", "re", {"tile_size": [8, 8]}, num_frames=2,
+                  policy=SupervisorPolicy(),
+                  journal_path=tmp_path / "journal.jsonl")

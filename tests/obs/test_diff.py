@@ -1,0 +1,150 @@
+"""Run diffing: deltas reconcile exactly with RunResult aggregates."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.errors import ReproError
+from repro.harness.runner import run_workload
+from repro.obs.diff import (
+    diff_manifests,
+    diff_results,
+    diff_runs,
+    render_diff,
+)
+from repro.obs.store import RunRegistry
+
+CONFIG = GpuConfig.small()
+FRAMES = 4
+
+
+@pytest.fixture(scope="module")
+def pair():
+    baseline = run_workload("cde", "baseline", CONFIG, num_frames=FRAMES)
+    re_run = run_workload("cde", "re", CONFIG, num_frames=FRAMES)
+    return baseline, re_run
+
+
+class TestReconciliation:
+    """The acceptance bar: diff numbers ARE the RunResult numbers."""
+
+    def test_cycles_reconcile_exactly(self, pair):
+        baseline, re_run = pair
+        diff = diff_results(baseline, re_run)
+        assert diff["cycles"]["total"]["a"] == baseline.total_cycles
+        assert diff["cycles"]["total"]["b"] == re_run.total_cycles
+        assert diff["cycles"]["total"]["delta"] == \
+            re_run.total_cycles - baseline.total_cycles
+        assert diff["cycles"]["geometry"]["a"] == baseline.geometry_cycles
+        assert diff["cycles"]["raster"]["b"] == re_run.raster_cycles
+
+    def test_parts_match_each_side_exactly(self, pair):
+        # Parts overlap (stalls hide under compute in the stage model),
+        # so they don't SUM to stage cycles — but each part's A/B values
+        # must be the exact per-run cycle_parts the manifests carry.
+        from repro.obs.store import run_manifest
+
+        baseline, re_run = pair
+        diff = diff_results(baseline, re_run)
+        parts = diff["cycles"]["parts"]
+        assert any(name.startswith("geometry.") for name in parts)
+        assert any(name.startswith("raster.") for name in parts)
+        parts_a = run_manifest(baseline, git_rev=None)["summary"][
+            "cycle_parts"]
+        parts_b = run_manifest(re_run, git_rev=None)["summary"][
+            "cycle_parts"]
+        for name, entry in parts.items():
+            side, _, part = name.partition(".")
+            assert entry["a"] == parts_a[side].get(part, 0.0)
+            assert entry["b"] == parts_b[side].get(part, 0.0)
+            assert entry["delta"] == entry["b"] - entry["a"]
+
+    def test_skip_traffic_energy_reconcile(self, pair):
+        baseline, re_run = pair
+        diff = diff_results(baseline, re_run)
+        assert diff["skip"]["tiles_skipped"]["b"] == re_run.tiles_skipped
+        assert diff["skip"]["skipped_fraction"]["b"] == \
+            re_run.skipped_fraction()
+        assert diff["energy"]["total_nj"]["a"] == baseline.total_energy_nj
+        assert diff["traffic_total"]["a"] == baseline.total_traffic_bytes
+        assert diff["traffic_total"]["b"] == re_run.total_traffic_bytes
+        for stream in ("colors", "texels"):
+            assert diff["traffic"][stream]["a"] == \
+                baseline.traffic_bytes(stream)
+
+    def test_counters_cover_both_sides(self, pair):
+        baseline, re_run = pair
+        diff = diff_results(baseline, re_run)
+        counters = diff["counters"]
+        assert set(counters) >= set(baseline.counters)
+        assert set(counters) >= set(re_run.counters)
+        # Counters only RE drives show a zero baseline side, not a gap.
+        skipped = counters["raster.tiles_skipped"]
+        assert skipped["a"] == baseline.tiles_skipped == 0
+        assert skipped["b"] == re_run.tiles_skipped > 0
+        assert skipped["delta"] == re_run.tiles_skipped
+
+
+class TestCrcDivergence:
+    def test_self_diff_is_identical(self, pair):
+        baseline, _ = pair
+        diff = diff_results(baseline, baseline)
+        assert diff["crc"]["comparable"]
+        assert diff["crc"]["identical"]
+        assert diff["crc"]["divergent_tiles"] == 0
+        assert all(
+            entry["delta"] == 0 for entry in diff["counters"].values()
+        )
+
+    def test_cross_technique_divergence_localized(self, pair):
+        baseline, re_run = pair
+        diff = diff_results(baseline, re_run)
+        crc = diff["crc"]
+        assert crc["comparable"]
+        assert crc["frames_compared"] == FRAMES
+        # RE skips redundant tiles but must render the same pixels; any
+        # divergence the differ finds would be a correctness bug, which
+        # is exactly what this view exists to surface.
+        assert crc["identical"]
+
+    def test_incomparable_without_matrices(self, pair):
+        baseline, re_run = pair
+        from repro.obs.store import run_manifest
+
+        diff = diff_manifests(
+            run_manifest(baseline, git_rev=None),
+            run_manifest(re_run, git_rev=None),
+        )
+        assert not diff["crc"]["comparable"]
+
+
+class TestRegistryDiff:
+    def test_diff_by_id_matches_in_memory(self, pair, tmp_path):
+        baseline, re_run = pair
+        registry = RunRegistry(tmp_path / "registry")
+        id_a = registry.record_run(baseline)
+        id_b = registry.record_run(re_run)
+        by_id = diff_runs(registry, id_a[:10], id_b[:10])
+        in_memory = diff_results(baseline, re_run)
+        assert by_id["cycles"] == in_memory["cycles"]
+        assert by_id["traffic"] == in_memory["traffic"]
+        assert by_id["counters"] == in_memory["counters"]
+        assert by_id["crc"]["identical"] == in_memory["crc"]["identical"]
+
+    def test_bench_manifests_are_not_diffable(self, tmp_path):
+        registry = RunRegistry(tmp_path / "registry")
+        run_id = registry.record(
+            {"kind": "bench", "profile": {}, "created_at": 1.0}
+        )
+        with pytest.raises(ReproError):
+            diff_runs(registry, run_id, run_id)
+
+
+class TestRenderDiff:
+    def test_render_mentions_the_headlines(self, pair):
+        baseline, re_run = pair
+        text = render_diff(diff_results(baseline, re_run))
+        assert "cycles:" in text
+        assert "tiles skipped:" in text
+        assert "DRAM traffic" in text
+        assert "tile CRCs" in text
+        assert str(re_run.tiles_skipped) in text

@@ -1,0 +1,39 @@
+"""`repro report` hardening: empty and zero-frame metrics logs.
+
+A fleet worker that dies before its first frame boundary leaves a log
+with a header and no frame records (or nothing at all); the report must
+say so instead of dividing by zero or raising.
+"""
+
+from repro.obs.metrics import MetricsLog
+from repro.obs.report import render_report
+
+
+class TestZeroFrameLogs:
+    def test_header_only_log_reports_no_frames(self, tmp_path):
+        path = tmp_path / "empty.metrics.jsonl"
+        log = MetricsLog(path)
+        log.write_header(alias="cde", technique="re", attempt=1)
+        log.close()
+        text = render_report(path)
+        assert "no frames recorded" in text
+        assert "cde" in text and "re" in text
+
+    def test_completely_empty_file_reports_no_frames(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        text = render_report(path)
+        assert "no frames recorded" in text
+
+    def test_in_memory_empty_log(self):
+        assert "no frames recorded" in render_report(MetricsLog())
+
+    def test_cli_reports_cleanly(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "empty.jsonl"
+        log = MetricsLog(path)
+        log.write_header(alias="cde", technique="re")
+        log.close()
+        assert main(["report", str(path)]) == 0
+        assert "no frames recorded" in capsys.readouterr().out

@@ -1,8 +1,15 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+import pathlib
+import re
+
 import pytest
 
 from repro.__main__ import main
+
+BENCH_BASELINE = pathlib.Path(__file__).resolve().parents[1] \
+    / "BENCH_pipeline.json"
 
 
 class TestList:
@@ -135,6 +142,13 @@ class TestSweep:
         ]) == 2
         assert "unknown metric" in capsys.readouterr().err
 
+    def test_sweep_rejects_duplicate_points(self, tmp_path, capsys):
+        assert main([
+            "--frames", "2", "--registry", str(tmp_path / "reg"),
+            "sweep", "cde", "--set", "tile_size=8,8",
+        ]) == 2
+        assert "sweep failed" in capsys.readouterr().err
+
     def test_sweep_per_point_observability(self, tmp_path):
         trace = tmp_path / "sweep.trace.json"
         assert main([
@@ -143,7 +157,107 @@ class TestSweep:
         ]) == 0
         from repro.obs import validate_trace_file
 
-        for index in (0, 1):
+        # Per-point artifacts are named after the parameter assignment.
+        for value in (8, 16):
             validate_trace_file(
-                tmp_path / f"sweep.trace-{index:02d}-cde-re.json"
+                tmp_path / f"sweep.trace-cde-re-tile_size={value}.json"
             )
+
+
+def _registered_id(out: str) -> str:
+    match = re.search(r"registered as ([0-9a-f]{16})", out)
+    assert match, f"no run id in output:\n{out}"
+    return match.group(1)
+
+
+class TestRegistryCli:
+    def test_runs_on_an_empty_registry(self, tmp_path, capsys):
+        assert main([
+            "--registry", str(tmp_path / "reg"), "runs",
+        ]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_run_records_and_runs_lists_it(self, tmp_path, capsys):
+        reg = str(tmp_path / "reg")
+        assert main([
+            "--frames", "3", "--registry", reg,
+            "run", "cde", "--technique", "re",
+        ]) == 0
+        run_id = _registered_id(capsys.readouterr().out)
+        assert main(["--registry", reg, "runs"]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "cde" in out and "re" in out and "1 entries" in out
+
+    def test_no_registry_opts_out(self, tmp_path, capsys):
+        reg = str(tmp_path / "reg")
+        assert main([
+            "--frames", "3", "--registry", reg, "--no-registry",
+            "run", "cde",
+        ]) == 0
+        assert "registered as" not in capsys.readouterr().out
+        assert main(["--registry", reg, "runs"]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_diff_between_two_registered_runs(self, tmp_path, capsys):
+        reg = str(tmp_path / "reg")
+        ids = []
+        for technique in ("baseline", "re"):
+            assert main([
+                "--frames", "4", "--registry", reg,
+                "run", "cde", "--technique", technique,
+            ]) == 0
+            ids.append(_registered_id(capsys.readouterr().out))
+        assert main(["--registry", reg, "diff", ids[0], ids[1]]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "tiles skipped" in out
+        assert "counters" in out
+
+    def test_diff_unknown_id_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "--registry", str(tmp_path / "reg"),
+            "diff", "feedfeedfeedfeed", "deaddeaddeaddead",
+        ]) == 2
+        assert "diff failed" in capsys.readouterr().err
+
+    def test_trend_append_and_check(self, tmp_path, capsys):
+        reg = str(tmp_path / "reg")
+        assert main([
+            "--registry", reg,
+            "trend", "--append", str(BENCH_BASELINE), "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "appended" in out
+        assert "1 point(s)" in out
+
+    def test_trend_on_an_empty_registry(self, tmp_path, capsys):
+        assert main(["--registry", str(tmp_path / "reg"), "trend"]) == 0
+        assert "no bench points" in capsys.readouterr().out
+
+    def test_sweep_records_each_point(self, tmp_path, capsys):
+        reg = str(tmp_path / "reg")
+        assert main([
+            "--frames", "2", "--registry", reg,
+            "sweep", "cde", "--set", "tile_size=8,16",
+        ]) == 0
+        assert "registered 2 sweep point(s)" in capsys.readouterr().out
+        assert main(["--registry", reg, "runs",
+                     "--kind", "sweep-point"]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "tile_size=8" in out and "tile_size=16" in out
+
+
+class TestLiveCli:
+    def test_run_with_live_writes_a_heartbeat(self, tmp_path, capsys):
+        live = tmp_path / "live.json"
+        assert main([
+            "--frames", "3", "--registry", str(tmp_path / "reg"),
+            "run", "cde", "--live", str(live),
+        ]) == 0
+        capsys.readouterr()
+        heartbeat = json.loads(live.read_text())
+        worker = heartbeat["workers"]["cde/re"]
+        assert worker["frames"] == 3
+        assert worker["status"] == "done"
