@@ -71,7 +71,12 @@ def _config_from(args) -> GpuConfig:
         "benchmark": GpuConfig.benchmark,
         "mali450": GpuConfig.mali450,
     }
-    return presets[args.scale]()
+    config = presets[args.scale]()
+    if getattr(args, "occlusion_culling", False):
+        import dataclasses
+
+        config = dataclasses.replace(config, occlusion_culling=True)
+    return config
 
 
 def _supervision_requested(args) -> bool:
@@ -150,6 +155,10 @@ def _record_run(registry, result, kind: str, args, extra: dict = None):
             result, kind=kind, artifacts=_run_artifacts(args), extra=extra,
         )
     except (OSError, ReproError) as exc:
+        if isinstance(exc, ReproError):
+            # OSError is already routed through note_write_error inside
+            # RunRegistry.record; manifest-shape failures land here.
+            registry.note_write_error(exc)
         print(f"  (registry append failed: {exc})", file=sys.stderr)
         return None
 
@@ -448,9 +457,11 @@ def _cmd_runs(args) -> int:
     except ReproError as exc:
         print(f"runs failed: {exc.args[0]}", file=sys.stderr)
         return 2
+    write_errors = registry.write_errors()
     if not entries:
         print(f"registry {registry.root} is empty (run with --registry, "
               "or see `python -m repro run --help`)")
+        _print_write_errors(write_errors)
         return 0
     rows = []
     for entry in entries:
@@ -490,7 +501,16 @@ def _cmd_runs(args) -> int:
         ["run_id", "kind", "game", "technique", "frames", "git",
          "when", "summary"], rows,
     ))
+    _print_write_errors(write_errors)
     return 0
+
+
+def _print_write_errors(write_errors) -> None:
+    if not write_errors:
+        return
+    latest = write_errors[-1]
+    print(f"registry_write_errors: {len(write_errors)} "
+          f"(latest: {latest.get('error')})")
 
 
 def _cmd_diff(args) -> int:
@@ -574,6 +594,16 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="record per-stage simulator wall-clock and "
                              "event rates")
+    parser.add_argument("--occlusion-culling", action="store_true",
+                        help="truncate each tile's polygon list at the "
+                             "last full-cover opaque primitive during "
+                             "binning (bit-identical output; see DESIGN)")
+    parser.add_argument("--raster-backend", default=None,
+                        choices=("numpy", "compiled"),
+                        help="raster inner-loop kernels: numpy (default) "
+                             "or compiled (numba when importable, numpy "
+                             "fallback otherwise; bit-identical either "
+                             "way, recorded in run manifests)")
     parser.add_argument("--bench-out", default="BENCH_pipeline.json",
                         help="where --profile writes its JSON payload")
     parser.add_argument("--timeout", type=float, default=None,
@@ -593,7 +623,8 @@ def main(argv=None) -> int:
     parser.add_argument("--inject-fault", default=None,
                         metavar="ALIAS/TECH:FRAME:KIND[:TIMES]",
                         help="deterministically crash/error/hang the "
-                             "matching cell (testing the recovery path)")
+                             "matching cell (testing the recovery path); "
+                             "'*' matches any alias/technique")
     _add_registry_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -688,6 +719,12 @@ def main(argv=None) -> int:
     _add_registry_flags(trend, suppress=True)
 
     args = parser.parse_args(argv)
+    if args.raster_backend:
+        from .pipeline.kernels import set_raster_backend
+
+        # Also exported via REPRO_RASTER_BACKEND so --jobs workers and
+        # supervised attempts inherit the selection.
+        set_raster_backend(args.raster_backend)
     handlers = {
         "list": _cmd_list,
         "experiment": _cmd_experiment,

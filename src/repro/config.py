@@ -115,6 +115,13 @@ class GpuConfig:
     # of warm-up frames that cannot match (no reference bank yet).
     signature_compare_distance: int = 2
 
+    # Opaque-tile occlusion culling: truncate each tile's polygon list
+    # at the last full-cover opaque primitive during binning, so buried
+    # geometry is never rasterized, depth-tested or shaded.  Output is
+    # bit-identical either way (see DESIGN); off by default so the
+    # committed bench-guard counters keep their exact values.
+    occlusion_culling: bool = False
+
     # Transaction Elimination / Fragment Memoization models
     memo_lut_entries: int = 2048
     memo_lut_ways: int = 4

@@ -78,8 +78,13 @@ class RunCache:
             return
         try:
             self.registry.record_run(run, kind="figure")
-        except (OSError, ReproError):    # registry is best-effort
+        except OSError:
+            # Best-effort, but never silent: record() already routed the
+            # failure through RunRegistry.note_write_error (once-per-path
+            # warning + write_errors sidecar for `repro runs`).
             pass
+        except ReproError as exc:
+            self.registry.note_write_error(exc)
 
     def run(self, alias: str, technique: str) -> RunResult:
         key = self._key(alias, technique)

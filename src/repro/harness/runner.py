@@ -21,6 +21,7 @@ import numpy as np
 from ..config import GpuConfig
 from ..engine.factory import TECHNIQUES, make_technique
 from ..engine.session import FrameMetrics, RenderSession, tile_color_crcs
+from ..pipeline.kernels import backend_record
 
 __all__ = [
     "TECHNIQUES",
@@ -134,6 +135,7 @@ def _write_manifest(path, session: RenderSession, result: RunResult,
         "tiles_skipped": result.tiles_skipped,
         "skipped_fraction": result.skipped_fraction(),
         "config": session.config.to_dict(),
+        "raster_backend": backend_record(),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)

@@ -31,7 +31,9 @@ deterministic hook.  A spec string — from the ``REPRO_FAULT_SPEC``
 environment variable or the CLI's ``--inject-fault`` — of the form
 ``alias/technique:frame:kind[:times]`` makes the matching cell fail at
 the first checkpoint-stride boundary at or after ``frame``, on its
-first ``times`` attempts (default 1):
+first ``times`` attempts (default 1).  ``alias`` and/or ``technique``
+may be ``*`` to match every cell — e.g. ``*/*:1:hang`` hangs the whole
+fleet, exercising full-fleet stall detection:
 
 * ``crash`` — the worker hard-exits (``os._exit``), simulating a kill;
 * ``error`` — the worker raises an :class:`InjectedFault`;
@@ -139,7 +141,10 @@ class FaultSpec:
         return f"{self.alias}/{self.technique}:{self.frame}:{self.kind}:{self.times}"
 
     def matches(self, cell: Cell) -> bool:
-        return cell.alias == self.alias and cell.technique == self.technique
+        """``*`` for alias and/or technique matches every cell — used to
+        simulate fleet-wide faults (e.g. ``*/re:1:hang``)."""
+        return (self.alias in ("*", cell.alias)
+                and self.technique in ("*", cell.technique))
 
     def should_fire(self, attempt: int, frames_rendered: int) -> bool:
         """Fire at the first stride boundary at/after ``frame``, on the

@@ -34,9 +34,11 @@ import hashlib
 import json
 import os
 import subprocess
+import sys
 import time
 
 from ..errors import ReproError
+from ..pipeline.kernels import backend_record
 
 __all__ = [
     "RunRegistry",
@@ -114,6 +116,7 @@ def run_manifest(result, kind: str = "run", artifacts: dict = None,
         "num_frames": result.num_frames,
         "config_digest": result.config.digest(),
         "config": result.config.to_dict(),
+        "raster_backend": backend_record(),
         "git_rev": git_rev,
         "created_at": time.time() if created_at is None else created_at,
         "summary": {
@@ -248,6 +251,12 @@ def _index_projection(run_id: str, manifest: dict) -> dict:
     }
 
 
+#: Registry paths a write-failure warning has already been printed for in
+#: this process, so a sweep hammering a broken registry warns once, not
+#: once per cell.
+_WARNED_PATHS: set = set()
+
+
 class RunRegistry:
     """Content-addressed manifest store rooted at one directory."""
 
@@ -255,8 +264,48 @@ class RunRegistry:
         self.root = os.fspath(root)
         self.runs_dir = os.path.join(self.root, "runs")
         self.index_path = os.path.join(self.root, "index.jsonl")
+        self.errors_path = os.path.join(self.root, "write_errors.jsonl")
 
     # Writing ------------------------------------------------------------
+    def note_write_error(self, exc, path=None) -> None:
+        """Log a failed registry write instead of dropping it silently:
+        a once-per-path stderr warning plus a best-effort JSONL sidecar
+        whose count ``repro runs`` surfaces as ``registry_write_errors``.
+        """
+        target = os.fspath(path) if path is not None else self.root
+        if target not in _WARNED_PATHS:
+            _WARNED_PATHS.add(target)
+            print(
+                f"warning: registry write to {target} failed: {exc}",
+                file=sys.stderr,
+            )
+        record = {"ts": time.time(), "path": target, "error": str(exc)}
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            with open(self.errors_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record) + "\n")
+        except OSError:
+            # The registry itself is unreachable; the stderr warning
+            # above is all the signal left to give.
+            pass
+
+    def write_errors(self) -> list:
+        """Write failures recorded by :meth:`note_write_error`, oldest
+        first (empty when every write succeeded)."""
+        if not os.path.exists(self.errors_path):
+            return []
+        errors = []
+        with open(self.errors_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    errors.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return errors
+
     def record(self, manifest: dict, crcs=None) -> str:
         """Store a manifest; returns its content-addressed ``run_id``.
 
@@ -265,8 +314,16 @@ class RunRegistry:
         ``repro diff`` uses it for tile-level divergence.  Re-recording
         an identical manifest is a no-op for the store but still appends
         an index row (the index is an event log; :meth:`entries` dedupes
-        by id keeping the latest row).
+        by id keeping the latest row).  A failed write is logged via
+        :meth:`note_write_error` before the ``OSError`` propagates.
         """
+        try:
+            return self._record(manifest, crcs)
+        except OSError as exc:
+            self.note_write_error(exc)
+            raise
+
+    def _record(self, manifest: dict, crcs=None) -> str:
         os.makedirs(self.runs_dir, exist_ok=True)
         canonical = json.dumps(manifest, sort_keys=True, default=str)
         run_id = hashlib.sha256(canonical.encode()).hexdigest()[:16]

@@ -14,6 +14,7 @@ import dataclasses
 import numpy as np
 
 from ..engine.stage import Stage
+from .kernels import early_z_test
 
 
 @dataclasses.dataclass
@@ -48,10 +49,8 @@ class DepthStage(Stage):
             self.stats.fragments_passed += count
             return mask
 
-        stored = depth_tile[local_ys, local_xs]
-        mask = depth < stored
-        if depth_write and mask.any():
-            depth_tile[local_ys[mask], local_xs[mask]] = depth[mask]
+        mask = early_z_test(depth_tile, local_xs, local_ys, depth,
+                            depth_write)
         passed = int(mask.sum())
         self.stats.fragments_passed += passed
         self.stats.fragments_culled += count - passed

@@ -1,0 +1,243 @@
+"""Raster inner-loop kernels: numpy reference plus an optional compiled
+backend.
+
+The two hottest inner loops of the functional raster path — the
+edge-function coverage grid of :func:`repro.pipeline.rasterizer.rasterize`
+and the early-Z compare/update of
+:class:`repro.pipeline.depth.DepthStage` — are factored out here behind a
+backend switch:
+
+* ``numpy`` (default) — the vectorized reference implementations, the
+  exact expressions the pre-kernel pipeline evaluated;
+* ``compiled`` — numba ``njit`` loops when numba is importable, falling
+  back to the numpy implementations otherwise (the flag is always safe
+  to pass; environments without numba just keep the reference path).
+
+Both backends are required to be **bit-identical**: every arithmetic
+operation is elementwise IEEE float64/float32 in the same order, with no
+fastmath and no reassociation, so frame-buffer CRCs, fragment counts and
+every simulated counter are independent of the backend.  The selection
+is still recorded in run manifests (see
+:func:`backend_record` / :mod:`repro.obs.store`) so ``repro diff`` can
+warn rather than silently compare runs that exercised different code
+paths.
+
+Selection is process-wide.  :func:`set_raster_backend` also exports the
+choice through the ``REPRO_RASTER_BACKEND`` environment variable, so
+worker processes forked or spawned by the parallel harness and the
+supervisor inherit it; a fresh process reads the variable at import.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "HAVE_NUMBA",
+    "active_backend",
+    "available_backends",
+    "backend_record",
+    "early_z_test",
+    "edge_coverage",
+    "requested_backend",
+    "set_raster_backend",
+]
+
+#: Environment variable carrying the backend choice into worker processes.
+BACKEND_ENV_VAR = "REPRO_RASTER_BACKEND"
+
+#: Accepted ``--raster-backend`` values.
+BACKENDS = ("numpy", "compiled")
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+
+#: The requested backend; ``None`` until first resolved from the
+#: environment (or set explicitly via :func:`set_raster_backend`).
+_REQUESTED = None
+
+
+def available_backends() -> tuple:
+    """Backends :func:`set_raster_backend` accepts (both always valid:
+    ``compiled`` degrades to the numpy reference without numba)."""
+    return BACKENDS
+
+
+def set_raster_backend(name: str) -> str:
+    """Select the raster kernel backend for this process and (via the
+    environment) any worker processes it launches.  Returns the name."""
+    global _REQUESTED
+    if name not in BACKENDS:
+        raise ConfigError(
+            f"unknown raster backend {name!r}: choose from {BACKENDS}"
+        )
+    _REQUESTED = name
+    os.environ[BACKEND_ENV_VAR] = name
+    return name
+
+
+def requested_backend() -> str:
+    """The backend in effect: explicit selection, else the environment,
+    else ``numpy``.  An unknown environment value raises, loudly —
+    silently falling back would un-record the user's intent."""
+    global _REQUESTED
+    if _REQUESTED is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+        if name not in BACKENDS:
+            raise ConfigError(
+                f"{BACKEND_ENV_VAR}={name!r}: choose from {BACKENDS}"
+            )
+        _REQUESTED = name
+    return _REQUESTED
+
+
+def active_backend() -> str:
+    """What actually executes: ``"compiled"`` only when requested *and*
+    numba imported; otherwise ``"numpy"``."""
+    if requested_backend() == "compiled" and HAVE_NUMBA:
+        return "compiled"
+    return "numpy"
+
+
+def backend_record() -> dict:
+    """The backend provenance run manifests record: what was asked for
+    and whether the jit actually ran (`repro diff` compares this)."""
+    return {
+        "requested": requested_backend(),
+        "active": active_backend(),
+        "numba": HAVE_NUMBA,
+    }
+
+
+def _use_jit() -> bool:
+    return requested_backend() == "compiled" and HAVE_NUMBA
+
+
+# ----------------------------------------------------------------------
+# Edge-function coverage grid
+# ----------------------------------------------------------------------
+
+def _edge_coverage_numpy(v0x, v0y, v1x, v1y, v2x, v2y,
+                         x0, y0, x1, y1, t0, t1, t2):
+    # Open grids broadcast through the edge functions (cheaper than a
+    # full meshgrid materialization).
+    px = np.arange(x0, x1, dtype=np.float64)[None, :] + 0.5
+    py = np.arange(y0, y1, dtype=np.float64)[:, None] + 0.5
+
+    # w0 opposes v0 (edge v1->v2), w1 opposes v1, w2 opposes v2.
+    w0 = (v2x - v1x) * (py - v1y) - (v2y - v1y) * (px - v1x)
+    w1 = (v0x - v2x) * (py - v2y) - (v0y - v2y) * (px - v2x)
+    w2 = (v1x - v0x) * (py - v0y) - (v1y - v0y) * (px - v0x)
+
+    inside = np.ones_like(w0, dtype=bool)
+    for w, top_left in ((w0, t0), (w1, t1), (w2, t2)):
+        if top_left:
+            inside &= w >= 0
+        else:
+            inside &= w > 0
+    return w0, w1, w2, inside
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _edge_coverage_jit(v0x, v0y, v1x, v1y, v2x, v2y,
+                           x0, y0, x1, y1, t0, t1, t2):
+        height = y1 - y0
+        width = x1 - x0
+        w0 = np.empty((height, width), dtype=np.float64)
+        w1 = np.empty((height, width), dtype=np.float64)
+        w2 = np.empty((height, width), dtype=np.float64)
+        inside = np.empty((height, width), dtype=np.bool_)
+        for iy in range(height):
+            py = np.float64(y0 + iy) + 0.5
+            for ix in range(width):
+                px = np.float64(x0 + ix) + 0.5
+                a = (v2x - v1x) * (py - v1y) - (v2y - v1y) * (px - v1x)
+                b = (v0x - v2x) * (py - v2y) - (v0y - v2y) * (px - v2x)
+                c = (v1x - v0x) * (py - v0y) - (v1y - v0y) * (px - v0x)
+                w0[iy, ix] = a
+                w1[iy, ix] = b
+                w2[iy, ix] = c
+                ok = (a >= 0.0) if t0 else (a > 0.0)
+                if ok:
+                    ok = (b >= 0.0) if t1 else (b > 0.0)
+                if ok:
+                    ok = (c >= 0.0) if t2 else (c > 0.0)
+                inside[iy, ix] = ok
+        return w0, w1, w2, inside
+
+
+def edge_coverage(v0x, v0y, v1x, v1y, v2x, v2y,
+                  x0, y0, x1, y1, t0, t1, t2):
+    """Edge functions + fill-rule coverage over a pixel grid.
+
+    Vertices are a positively-oriented screen-space triangle; the grid
+    is the half-open pixel box ``[x0, x1) x [y0, y1)`` sampled at
+    half-integer centers.  ``t0``/``t1``/``t2`` say whether each
+    opposing edge is top-left (inclusive ``>= 0``) under the fill rule.
+    Returns ``(w0, w1, w2, inside)`` — float64 edge values and the
+    boolean coverage mask, identical between backends because both
+    evaluate the same elementwise float64 expressions.
+    """
+    if _use_jit():  # pragma: no cover - exercised only with numba
+        return _edge_coverage_jit(
+            v0x, v0y, v1x, v1y, v2x, v2y,
+            x0, y0, x1, y1, t0, t1, t2,
+        )
+    return _edge_coverage_numpy(
+        v0x, v0y, v1x, v1y, v2x, v2y, x0, y0, x1, y1, t0, t1, t2,
+    )
+
+
+# ----------------------------------------------------------------------
+# Early-Z compare/update
+# ----------------------------------------------------------------------
+
+def _early_z_numpy(depth_tile, local_xs, local_ys, depth, depth_write):
+    stored = depth_tile[local_ys, local_xs]
+    mask = depth < stored
+    if depth_write and mask.any():
+        depth_tile[local_ys[mask], local_xs[mask]] = depth[mask]
+    return mask
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _early_z_jit(depth_tile, local_xs, local_ys, depth, depth_write):
+        count = len(local_xs)
+        mask = np.empty(count, dtype=np.bool_)
+        for i in range(count):
+            passed = depth[i] < depth_tile[local_ys[i], local_xs[i]]
+            mask[i] = passed
+            if depth_write and passed:
+                depth_tile[local_ys[i], local_xs[i]] = depth[i]
+        return mask
+
+
+def early_z_test(depth_tile, local_xs, local_ys, depth, depth_write):
+    """LESS depth test over one fragment batch; returns the pass mask
+    and (with ``depth_write``) updates ``depth_tile`` in place.
+
+    A batch holds one primitive's fragments inside one tile, so under
+    the single-coverage fill rule no pixel repeats within it — the
+    vectorized compare-then-scatter and the sequential loop are
+    therefore the same function, bit for bit.
+    """
+    if _use_jit():  # pragma: no cover - exercised only with numba
+        return _early_z_jit(
+            depth_tile, local_xs, local_ys, depth, depth_write,
+        )
+    return _early_z_numpy(depth_tile, local_xs, local_ys, depth, depth_write)

@@ -17,6 +17,14 @@ import dataclasses
 import numpy as np
 
 from ..geometry.primitives import Primitive
+from .kernels import edge_coverage
+
+#: Strict margin for the full-tile coverage test: an edge function must
+#: clear every corner pixel center by at least this much before a
+#: primitive counts as covering the tile.  Coverage then holds at every
+#: interior center under *either* fill-rule inclusivity, so occlusion
+#: culling never depends on top-left tie-breaking.
+_COVER_EPS = 1e-6
 
 
 @dataclasses.dataclass
@@ -56,6 +64,100 @@ def _is_top_left(ax, ay, bx, by) -> bool:
     return dy < 0
 
 
+def iteration_bounds(prim: Primitive, rect: tuple):
+    """The half-open pixel box :func:`rasterize` iterates for ``prim``
+    inside ``rect``, or ``None`` when it is empty.
+
+    A pixel can only be covered when its center ``x + 0.5`` lies within
+    the triangle's coordinate range, so the box keeps exactly the pixels
+    with ``min <= x + 0.5 <= max`` per axis — every excluded pixel
+    center sits strictly outside the bounding box and would fail some
+    edge test strictly, making the tightening coverage-neutral.
+    """
+    v0x, v0y = float(prim.screen[0, 0]), float(prim.screen[0, 1])
+    v1x, v1y = float(prim.screen[1, 0]), float(prim.screen[1, 1])
+    v2x, v2y = float(prim.screen[2, 0]), float(prim.screen[2, 1])
+    x0 = max(rect[0], int(np.ceil(min(v0x, v1x, v2x) - 0.5)))
+    y0 = max(rect[1], int(np.ceil(min(v0y, v1y, v2y) - 0.5)))
+    x1 = min(rect[2], int(np.floor(max(v0x, v1x, v2x) - 0.5)) + 1)
+    y1 = min(rect[3], int(np.floor(max(v0y, v1y, v2y) - 0.5)) + 1)
+    if x1 <= x0 or y1 <= y0:
+        return None
+    return x0, y0, x1, y1
+
+
+def covers_rect(prim: Primitive, rect: tuple) -> bool:
+    """Whether ``prim`` covers every pixel center of the half-open pixel
+    box ``rect = (x0, y0, x1, y1)``.
+
+    Tests the three (positively-oriented) edge functions at the four
+    corner pixel centers only: edge functions are affine in screen
+    space, so their minimum over the rectangle of centers is attained at
+    a corner.  Requiring ``w >= _COVER_EPS`` at all corners therefore
+    guarantees strict interiority at every center, independent of the
+    top-left tie-breaking that :func:`rasterize` applies on ``w == 0``.
+    """
+    v0x, v0y = float(prim.screen[0, 0]), float(prim.screen[0, 1])
+    v1x, v1y = float(prim.screen[1, 0]), float(prim.screen[1, 1])
+    v2x, v2y = float(prim.screen[2, 0]), float(prim.screen[2, 1])
+    area2 = _edge(v0x, v0y, v1x, v1y, v2x, v2y)
+    if area2 < 0:
+        v1x, v1y, v2x, v2y = v2x, v2y, v1x, v1y
+        area2 = -area2
+    if area2 == 0:
+        return False
+    lox, loy = rect[0] + 0.5, rect[1] + 0.5
+    hix, hiy = rect[2] - 0.5, rect[3] - 0.5
+    if hix < lox or hiy < loy:
+        return False
+    for ax, ay, bx, by in (
+        (v1x, v1y, v2x, v2y),
+        (v2x, v2y, v0x, v0y),
+        (v0x, v0y, v1x, v1y),
+    ):
+        for px, py in ((lox, loy), (hix, loy), (lox, hiy), (hix, hiy)):
+            if _edge(ax, ay, bx, by, px, py) < _COVER_EPS:
+                return False
+    return True
+
+
+def coverage_mask(prim: Primitive, rect: tuple):
+    """Boolean coverage of ``rect``'s pixels by ``prim``, or ``None``
+    when it covers none of them.
+
+    Evaluates the *same* oriented edge functions and fill rule as
+    :func:`rasterize` at the same absolute pixel centers, so the mask is
+    bit-exact with the fragments the rasterizer would emit — the
+    occlusion pass ORs these masks across a tile to prove that a set of
+    tessellated opaque primitives jointly covers every pixel center.
+    """
+    v0x, v0y = float(prim.screen[0, 0]), float(prim.screen[0, 1])
+    v1x, v1y = float(prim.screen[1, 0]), float(prim.screen[1, 1])
+    v2x, v2y = float(prim.screen[2, 0]), float(prim.screen[2, 1])
+    area2 = _edge(v0x, v0y, v1x, v1y, v2x, v2y)
+    if area2 < 0:
+        v1x, v1y, v2x, v2y = v2x, v2y, v1x, v1y
+        area2 = -area2
+    if area2 == 0:
+        return None
+    bounds = iteration_bounds(prim, rect)
+    if bounds is None:
+        return None
+    x0, y0, x1, y1 = bounds
+    _, _, _, inside = edge_coverage(
+        v0x, v0y, v1x, v1y, v2x, v2y,
+        x0, y0, x1, y1,
+        _is_top_left(v1x, v1y, v2x, v2y),
+        _is_top_left(v2x, v2y, v0x, v0y),
+        _is_top_left(v0x, v0y, v1x, v1y),
+    )
+    if not inside.any():
+        return None
+    mask = np.zeros((rect[3] - rect[1], rect[2] - rect[0]), dtype=bool)
+    mask[y0 - rect[1]:y1 - rect[1], x0 - rect[0]:x1 - rect[0]] = inside
+    return mask
+
+
 def rasterize(prim: Primitive, rect: tuple) -> FragmentBatch:
     """Rasterize ``prim`` within ``rect = (x0, y0, x1, y1)`` (pixels,
     half-open).  Returns a possibly-empty :class:`FragmentBatch`."""
@@ -73,34 +175,21 @@ def rasterize(prim: Primitive, rect: tuple) -> FragmentBatch:
     if area2 == 0:
         return _empty_batch(prim)
 
-    # Clip the iteration region to the triangle's bounding box.
-    x0 = max(rect[0], int(np.floor(min(v0x, v1x, v2x))))
-    y0 = max(rect[1], int(np.floor(min(v0y, v1y, v2y))))
-    x1 = min(rect[2], int(np.ceil(max(v0x, v1x, v2x))) + 1)
-    y1 = min(rect[3], int(np.ceil(max(v0y, v1y, v2y))) + 1)
-    if x1 <= x0 or y1 <= y0:
+    # Clip the iteration region to the pixels whose centers can fall
+    # inside the triangle's bounding box.
+    bounds = iteration_bounds(prim, rect)
+    if bounds is None:
         return _empty_batch(prim)
-
-    # Open grids broadcast through the edge functions (cheaper than a
-    # full meshgrid materialization).
-    px = np.arange(x0, x1, dtype=np.float64)[None, :] + 0.5
-    py = np.arange(y0, y1, dtype=np.float64)[:, None] + 0.5
+    x0, y0, x1, y1 = bounds
 
     # w0 opposes v0 (edge v1->v2), w1 opposes v1, w2 opposes v2.
-    w0 = _edge(v1x, v1y, v2x, v2y, px, py)
-    w1 = _edge(v2x, v2y, v0x, v0y, px, py)
-    w2 = _edge(v0x, v0y, v1x, v1y, px, py)
-
-    inside = np.ones_like(w0, dtype=bool)
-    for w, (ax, ay, bx, by) in (
-        (w0, (v1x, v1y, v2x, v2y)),
-        (w1, (v2x, v2y, v0x, v0y)),
-        (w2, (v0x, v0y, v1x, v1y)),
-    ):
-        if _is_top_left(ax, ay, bx, by):
-            inside &= w >= 0
-        else:
-            inside &= w > 0
+    w0, w1, w2, inside = edge_coverage(
+        v0x, v0y, v1x, v1y, v2x, v2y,
+        x0, y0, x1, y1,
+        _is_top_left(v1x, v1y, v2x, v2y),
+        _is_top_left(v2x, v2y, v0x, v0y),
+        _is_top_left(v0x, v0y, v1x, v1y),
+    )
 
     if not inside.any():
         return _empty_batch(prim)
@@ -198,58 +287,105 @@ class TiledRaster:
         )
 
 
-class RasterMemo:
-    """Cross-frame raster memo, keyed by primitive *content*.
+class RasterMemoStore:
+    """Retained-fragment accounting shared by every :class:`RasterMemo`
+    bound to it.
 
-    Frame-coherent workloads resubmit geometrically identical primitives
-    every frame; their coverage and barycentrics are pure functions of
-    the screen-space positions and depths, so the rasterization can be
-    reused.  Bounded by total retained fragments with LRU eviction.
-    Purely an execution-speed cache: it changes no simulated state, and
-    the scalar reference path never consults it.
+    Entries from all bound memos live in one insertion-ordered dict, so
+    the fragment budget and its LRU eviction apply *globally*: a
+    long-lived process sweeping many screen geometries can no longer pin
+    one full-budget memo per configuration (the former unbounded
+    ``_SHARED_RASTER_MEMOS`` leak) — cold configurations age out as hot
+    ones insert.
     """
 
-    def __init__(self, tile_size: int, tiles_x: int,
-                 fragment_budget: int = 4_000_000) -> None:
-        self.tile_size = tile_size
-        self.tiles_x = tiles_x
+    def __init__(self, fragment_budget: int = 4_000_000) -> None:
         self.fragment_budget = fragment_budget
-        self._entries: "dict[bytes, TiledRaster]" = {}
+        self._entries: "dict[tuple, TiledRaster]" = {}
         self._retained_fragments = 0
-        self.hits = 0
-        self.misses = 0
+        self.evictions = 0
 
-    @staticmethod
-    def _key(prim: Primitive) -> bytes:
-        return prim.screen.tobytes() + prim.depth.tobytes()
+    @property
+    def retained_fragments(self) -> int:
+        return self._retained_fragments
 
-    def get(self, prim: Primitive, screen_rect: tuple) -> TiledRaster:
-        """The primitive's :class:`TiledRaster`, computed or reused."""
-        key = self._key(prim)
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple):
         entries = self._entries
         tiled = entries.get(key)
         if tiled is not None:
-            self.hits += 1
             # Re-insert to mark as most recently used.
             del entries[key]
             entries[key] = tiled
-            return tiled
-        self.misses += 1
-        tiled = TiledRaster(
-            rasterize(prim, screen_rect), self.tile_size, self.tiles_x
-        )
+        return tiled
+
+    def put(self, key: tuple, tiled: TiledRaster) -> None:
+        entries = self._entries
         self._retained_fragments += tiled.fragment_count
         entries[key] = tiled
         while (self._retained_fragments > self.fragment_budget
                and len(entries) > 1):
             evicted = entries.pop(next(iter(entries)))
             self._retained_fragments -= evicted.fragment_count
+            self.evictions += 1
+
+
+class RasterMemo:
+    """Cross-frame raster memo, keyed by primitive *content*.
+
+    Frame-coherent workloads resubmit geometrically identical primitives
+    every frame; their coverage and barycentrics are pure functions of
+    the screen-space positions and depths, so the rasterization can be
+    reused.  Entries live in a :class:`RasterMemoStore` (private unless
+    one is passed in) whose retained-fragment budget evicts LRU-first.
+    Purely an execution-speed cache: it changes no simulated state, and
+    the scalar reference path never consults it.
+    """
+
+    def __init__(self, tile_size: int, tiles_x: int,
+                 fragment_budget: int = 4_000_000,
+                 store: RasterMemoStore = None) -> None:
+        self.tile_size = tile_size
+        self.tiles_x = tiles_x
+        self.store = (store if store is not None
+                      else RasterMemoStore(fragment_budget))
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, prim: Primitive, screen_rect: tuple) -> tuple:
+        # The grid geometry and clip rect are part of the key: memos
+        # sharing one store must never hand each other fragments tiled
+        # for a different grid or clipped to a different screen.
+        return (self.tile_size, self.tiles_x, screen_rect,
+                prim.screen.tobytes() + prim.depth.tobytes())
+
+    def get(self, prim: Primitive, screen_rect: tuple) -> TiledRaster:
+        """The primitive's :class:`TiledRaster`, computed or reused."""
+        key = self._key(prim, screen_rect)
+        tiled = self.store.get(key)
+        if tiled is not None:
+            self.hits += 1
+            return tiled
+        self.misses += 1
+        tiled = TiledRaster(
+            rasterize(prim, screen_rect), self.tile_size, self.tiles_x
+        )
+        self.store.put(key, tiled)
         return tiled
 
 
+#: Process-wide fragment pool behind every shared memo: one budget, one
+#: LRU order, however many (tile grid, screen rect) configurations the
+#: process touches.
+_SHARED_RASTER_STORE = RasterMemoStore()
+
 #: Process-wide raster memos, one per (tile grid, screen rect): content
 #: keys make hits exact across independent Gpu instances of equal
-#: configuration.
+#: configuration.  All of them share ``_SHARED_RASTER_STORE``, so the
+#: per-config memo objects (cheap counters + a store reference) are the
+#: only thing retained per configuration.
 _SHARED_RASTER_MEMOS: dict = {}
 
 
@@ -259,6 +395,6 @@ def shared_raster_memo(tile_size: int, tiles_x: int,
     key = (tile_size, tiles_x, screen_rect)
     memo = _SHARED_RASTER_MEMOS.get(key)
     if memo is None:
-        memo = RasterMemo(tile_size, tiles_x)
+        memo = RasterMemo(tile_size, tiles_x, store=_SHARED_RASTER_STORE)
         _SHARED_RASTER_MEMOS[key] = memo
     return memo

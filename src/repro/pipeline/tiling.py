@@ -13,21 +13,48 @@ superset is the same function of the frame's geometry every frame.
 Listeners (the RE Signature Unit, or nothing for the baseline) receive
 ``on_draw_state(state)`` before a drawcall's primitives and
 ``on_primitive(prim, tile_ids)`` per binned primitive — the same events
-the paper's hardware taps.
+the paper's hardware taps.  Occlusion culling (below) truncates bins
+only *after* the listeners have observed a primitive, so signatures are
+computed over the identical (primitive, tiles) stream whether or not
+culling is enabled.
+
+When ``GpuConfig.occlusion_culling`` is set, the PLB additionally runs
+an opaque-tile occlusion pass per binned primitive: a primitive that
+(a) fully covers a tile's pixel centers (four-corner edge-function
+test, :func:`repro.pipeline.rasterizer.covers_rect`), (b) is opaque
+(no alpha blending) and depth-writing, and (c) is depth-safe —
+guaranteed to pass the LESS test at every covered pixel, either because
+it doesn't depth-test at all or because its maximum vertex depth clears
+the running minimum of everything written beneath it by a margin —
+replaces the whole tile bin.  Everything previously listed for the tile
+is unreachable behind it: the occluder rewrites every color (opaque =
+REPLACE blend) and every depth, so the tile's end state is bit-identical
+with or without the buried primitives (argued in full in DESIGN.md).
 """
 
 from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from ..config import GpuConfig
 from ..engine.stage import Stage
 from ..geometry.primitives import Primitive
 from ..memory.dram import Dram
+from .framebuffer import DEFAULT_CLEAR_DEPTH
+from .rasterizer import coverage_mask, covers_rect, iteration_bounds
 
 #: Bytes of the per-tile polygon-list pointer entry written per
 #: (primitive, tile) pair.
 TILE_POINTER_BYTES = 4
+
+#: Slack the occlusion pass demands between an occluder's maximum vertex
+#: depth and the running minimum written beneath it.  float32
+#: interpolation of depths in [0, 1] errs by ~1e-7 per fragment; a 1e-5
+#: margin makes the depth-safety proof immune to that rounding, at the
+#: cost of (only) forgoing culls between nearly coplanar layers.
+OCCLUSION_DEPTH_MARGIN = 1e-5
 
 
 @dataclasses.dataclass
@@ -36,6 +63,10 @@ class TilingStats:
     tile_entries: int = 0          # (primitive, tile) pairs
     parameter_bytes_written: int = 0
     stall_cycles: int = 0
+    # Occlusion-culling pass (zero unless GpuConfig.occlusion_culling)
+    tiles_fully_covered: int = 0   # distinct tiles per frame, summed
+    prims_occlusion_culled: int = 0
+    fragments_avoided: int = 0     # raster-iteration pixels not visited
 
 
 class ParameterBuffer:
@@ -62,6 +93,16 @@ class ParameterBuffer:
         """Tile ids that contain at least one primitive, in raster order."""
         return [i for i, bin_ in enumerate(self.bins) if bin_]
 
+    def truncate_bin(self, tile_id: int, keep_from: int) -> list:
+        """Drop the bin entries older than index ``keep_from`` (the
+        first primitive of the occluding set); returns the dropped
+        primitives, oldest first."""
+        bin_ = self.bins[tile_id]
+        dropped = bin_[:keep_from]
+        if dropped:
+            del bin_[:keep_from]
+        return dropped
+
     def clear(self) -> None:
         for bin_ in self.bins:
             bin_.clear()
@@ -79,6 +120,24 @@ class PolygonListBuilder(Stage):
         self.parameter_buffer = ParameterBuffer(config.num_tiles)
         self.stats = TilingStats()
         self._pb_cursor = 0
+        self.occlusion_culling = bool(
+            getattr(config, "occlusion_culling", False)
+        )
+        #: Per-tile, per-pixel lower bound on any depth the prims
+        #: inserted so far can have written there: the min over covering
+        #: depth-writing prims' minimum vertex depth, seeded with the
+        #: clear depth each frame.  Per-pixel (not a tile scalar) so
+        #: that coplanar tessellated layers — whose triangles are
+        #: disjoint and never depth-fight each other — can still
+        #: qualify as occluders.
+        self._depth_bounds: dict = {}
+        self._covered_tiles: set = set()
+        #: Per-tile accumulated coverage of the current occluding set:
+        #: tile_id -> (bin index of the set's first member, bool mask).
+        self._accum: dict = {}
+        #: (tile_id, prims_dropped, fragments_avoided) per truncation
+        #: this frame, for the tracer's instant events.
+        self.occlusion_events: list = []
 
     def overlapped_tiles(self, prim: Primitive) -> list:
         """Tile ids whose area intersects the primitive's bounding box,
@@ -118,7 +177,115 @@ class PolygonListBuilder(Stage):
             self.stats.parameter_bytes_written += nbytes
             for listener in self.listeners:
                 listener.on_primitive(prim, tile_ids)
+            if self.occlusion_culling:
+                self._occlusion_update(prim, tile_ids)
+
+    def _tile_rect(self, tile_id: int) -> tuple:
+        """Pixel rect (x0, y0, x1, y1) of a tile, clipped to the screen
+        (matches ``FrameBuffer.tile_rect``)."""
+        size = self.config.tile_size
+        tx = tile_id % self.config.tiles_x
+        ty = tile_id // self.config.tiles_x
+        x0, y0 = tx * size, ty * size
+        return (
+            x0, y0,
+            min(x0 + size, self.config.screen_width),
+            min(y0 + size, self.config.screen_height),
+        )
+
+    def _depth_bound(self, tile_id: int, rect: tuple) -> np.ndarray:
+        bound = self._depth_bounds.get(tile_id)
+        if bound is None:
+            bound = np.full(
+                (rect[3] - rect[1], rect[2] - rect[0]),
+                DEFAULT_CLEAR_DEPTH, dtype=np.float64,
+            )
+            self._depth_bounds[tile_id] = bound
+        return bound
+
+    def _occlusion_update(self, prim: Primitive, tile_ids) -> None:
+        """Fold the just-inserted primitive into each tile's occluding
+        set; truncate bins whose set now covers every pixel center, then
+        fold the primitive's depths into the per-tile depth bounds."""
+        state = prim.state
+        if not state.depth_write:
+            # Can neither occlude (must rewrite depth everywhere) nor
+            # lower any stored depth — invisible to this pass.
+            return
+        min_depth = float(prim.depth.min())
+        max_depth = float(prim.depth.max())
+        opaque = not state.shader.uses_alpha_blend
+        for tile_id in tile_ids:
+            rect = self._tile_rect(tile_id)
+            # Fast path: the four-corner edge test — full coverage
+            # without evaluating the per-pixel mask.
+            if covers_rect(prim, rect):
+                mask = np.ones(
+                    (rect[3] - rect[1], rect[2] - rect[0]), dtype=bool
+                )
+            else:
+                mask = coverage_mask(prim, rect)
+                if mask is None:
+                    continue
+            bound = self._depth_bound(tile_id, rect)
+            if opaque:
+                # Depth-safe: passes the LESS test at every pixel it
+                # covers — no test at all, or strictly above everything
+                # that can have been written beneath those pixels.
+                depth_safe = (not state.depth_test) or (
+                    max_depth + OCCLUSION_DEPTH_MARGIN
+                    < float(bound[mask].min())
+                )
+                if depth_safe:
+                    self._accumulate_occluder(prim, tile_id, rect, mask)
+            np.minimum(bound, min_depth, out=bound, where=mask)
+
+    def _accumulate_occluder(self, prim: Primitive, tile_id: int,
+                             rect: tuple, mask: np.ndarray) -> None:
+        """OR one qualifying opaque primitive's coverage into the tile's
+        occluding set and truncate the bin once the set is complete."""
+        bin_ = self.parameter_buffer.bins[tile_id]
+        if mask.all():
+            # A single full-cover primitive occludes on its own,
+            # irrespective of any set accumulated so far — truncate
+            # everything older than it.
+            self._accum.pop(tile_id, None)
+            self._complete_cover(tile_id, rect, len(bin_) - 1)
+            return
+        entry = self._accum.get(tile_id)
+        if entry is None:
+            # The set's first member is the primitive just appended.
+            self._accum[tile_id] = [len(bin_) - 1, mask.copy()]
+            return
+        entry[1] |= mask
+        if entry[1].all():
+            del self._accum[tile_id]
+            self._complete_cover(tile_id, rect, entry[0])
+
+    def _complete_cover(self, tile_id: int, rect: tuple,
+                        keep_from: int) -> None:
+        """Record a fully-covered tile and drop the buried prefix."""
+        if tile_id not in self._covered_tiles:
+            self._covered_tiles.add(tile_id)
+            self.stats.tiles_fully_covered += 1
+        dropped = self.parameter_buffer.truncate_bin(tile_id, keep_from)
+        if not dropped:
+            return
+        avoided = 0
+        for buried in dropped:
+            bounds = iteration_bounds(buried, rect)
+            if bounds is not None:
+                avoided += (
+                    (bounds[2] - bounds[0]) * (bounds[3] - bounds[1])
+                )
+        self.stats.prims_occlusion_culled += len(dropped)
+        self.stats.fragments_avoided += avoided
+        self.occlusion_events.append((tile_id, len(dropped), avoided))
 
     def begin_frame(self, ctx=None) -> None:
         self.parameter_buffer.clear()
         self._pb_cursor = 0
+        self._depth_bounds.clear()
+        self._covered_tiles.clear()
+        self._accum.clear()
+        self.occlusion_events.clear()

@@ -243,3 +243,20 @@ class TestFaultSpec:
         assert spec.matches(Cell("ccs", "re", FRAMES))
         assert not spec.matches(Cell("ccs", "baseline", FRAMES))
         assert not spec.matches(Cell("cde", "re", FRAMES))
+
+    def test_wildcard_alias_matches_any_game(self):
+        spec = FaultSpec.parse("*/re:1:hang")
+        assert spec.matches(Cell("ccs", "re", FRAMES))
+        assert spec.matches(Cell("cde", "re", FRAMES))
+        assert not spec.matches(Cell("ccs", "baseline", FRAMES))
+
+    def test_wildcard_technique_matches_any_technique(self):
+        spec = FaultSpec.parse("ccs/*:1:crash")
+        assert spec.matches(Cell("ccs", "re", FRAMES))
+        assert spec.matches(Cell("ccs", "te", FRAMES))
+        assert not spec.matches(Cell("cde", "re", FRAMES))
+
+    def test_double_wildcard_matches_everything(self):
+        spec = FaultSpec.parse("*/*:0:error")
+        assert spec.matches(Cell("ccs", "re", FRAMES))
+        assert spec.matches(Cell("tib", "baseline", FRAMES))

@@ -206,3 +206,46 @@ class TestStalledWorkerEndToEnd:
         assert any(e["event"] == "stall_flagged"
                    for e in heartbeat["events"])
         assert heartbeat["workers"]["cde/re"]["status"] == "done"
+
+    @pytest.mark.slow
+    def test_full_fleet_hang_flags_every_worker(self, tmp_path):
+        """When *every* worker hangs (wildcard fault), the poll loop must
+        flag them all before the supervisor's timeout starts killing —
+        stall detection cannot depend on progress from a healthy peer."""
+        live_path = tmp_path / "live.json"
+        journal_path = tmp_path / "journal.jsonl"
+        agg = LiveAggregator(path=live_path, stall_after_s=0.4,
+                             interval_s=0.0)
+        cells = [Cell("cde", "re", 4), Cell("ccs", "re", 4)]
+        policy = SupervisorPolicy(
+            timeout_s=2.5, max_retries=0, checkpoint_stride=1,
+            backoff_base_s=0.01,
+        )
+        supervised = supervise_cells(
+            cells, config=CONFIG, policy=policy, processes=2,
+            journal_path=journal_path, fault_spec="*/re:1:hang",
+            workdir=tmp_path / "work", live=agg,
+        )
+        # With zero retries every attempt dies on the timeout.
+        assert all(
+            not outcome.succeeded
+            for outcome in supervised.outcomes.values()
+        )
+
+        stall_events = [
+            e for e in agg.events if e["event"] == "stall_flagged"
+        ]
+        flagged = {e["worker"] for e in stall_events}
+        assert flagged == {"cde/re", "ccs/re"}, (
+            f"only {flagged} flagged during a full-fleet hang"
+        )
+        journal = [
+            json.loads(line)
+            for line in journal_path.read_text().splitlines()
+        ]
+        timeouts = [r for r in journal if r["event"] == "attempt_timeout"]
+        assert len(timeouts) == 2
+        # Every stall flag lands before the first kill: detection ran
+        # while zero workers were making progress.
+        assert max(e["ts"] for e in stall_events) \
+            < min(r["ts"] for r in timeouts)

@@ -169,3 +169,52 @@ class TestBenchManifest:
     def test_rejects_non_bench_payloads(self):
         with pytest.raises(ReproError):
             bench_manifest({"wall_seconds": 1.0})
+
+
+class TestWriteErrorLogging:
+    """Failed registry writes warn once and leave a countable trail."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_warned_paths(self):
+        import repro.obs.store as store_mod
+        saved = set(store_mod._WARNED_PATHS)
+        store_mod._WARNED_PATHS.clear()
+        yield
+        store_mod._WARNED_PATHS.clear()
+        store_mod._WARNED_PATHS.update(saved)
+
+    def test_unwritable_root_raises_and_warns_once(self, tmp_path, capsys,
+                                                   runs):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the registry dir should go")
+        broken = RunRegistry(blocker / "registry")
+        manifest = run_manifest(runs[0], git_rev=None, created_at=1.0)
+        with pytest.raises(OSError):
+            broken.record(manifest)
+        with pytest.raises(OSError):
+            broken.record(manifest)
+        err = capsys.readouterr().err
+        # Once per path, not once per failed write.
+        assert err.count("warning: registry write") == 1
+        assert str(broken.root) in err
+
+    def test_note_write_error_sidecar_round_trip(self, registry):
+        registry.note_write_error(OSError("disk full"))
+        registry.note_write_error(OSError("quota exceeded"))
+        errors = registry.write_errors()
+        assert [e["error"] for e in errors] == ["disk full",
+                                                "quota exceeded"]
+        assert all(e["path"] == registry.root for e in errors)
+
+    def test_write_errors_empty_without_failures(self, registry):
+        assert registry.write_errors() == []
+
+    def test_runs_command_surfaces_error_count(self, tmp_path, capsys):
+        from repro.__main__ import main
+        root = tmp_path / "registry"
+        RunRegistry(root).note_write_error(OSError("boom"))
+        capsys.readouterr()
+        assert main(["--registry", str(root), "runs"]) == 0
+        out = capsys.readouterr().out
+        assert "registry_write_errors: 1" in out
+        assert "boom" in out

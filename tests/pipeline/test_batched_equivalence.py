@@ -19,7 +19,13 @@ from repro.config import GpuConfig
 from repro.geometry import DrawState, Primitive, mat4
 from repro.harness.runner import make_technique
 from repro.pipeline import Gpu
-from repro.pipeline.rasterizer import RasterMemo, TiledRaster, rasterize
+from repro.pipeline.rasterizer import (
+    RasterMemo,
+    RasterMemoStore,
+    TiledRaster,
+    rasterize,
+    shared_raster_memo,
+)
 from repro.shaders import FLAT_COLOR, pack_constants
 from repro.workloads.games import build_scene
 
@@ -141,13 +147,59 @@ class TestTiledRasterProperty:
             screen = [[0.0, 0.0], [15.0 - seed * 0.25, 0.0],
                       [0.0, 15.0 - seed * 0.25]]
             memo.get(make_prim(screen, [0.5, 0.5, 0.5]), rect)
+        store = memo.store
         retained = sum(
-            entry.fragment_count for entry in memo._entries.values()
+            entry.fragment_count for entry in store._entries.values()
         )
-        assert retained == memo._retained_fragments
+        assert retained == store.retained_fragments
         # The budget may be exceeded only by the single newest entry.
-        assert len(memo._entries) >= 1
-        evicted_state = retained - memo._entries[
-            next(reversed(memo._entries))
+        assert len(store) >= 1
+        evicted_state = retained - store._entries[
+            next(reversed(store._entries))
         ].fragment_count
-        assert evicted_state <= memo.fragment_budget
+        assert evicted_state <= store.fragment_budget
+
+    def test_budget_is_global_across_memos_sharing_a_store(self):
+        # The former leak: per-configuration memos each retained a full
+        # budget.  A shared store evicts the *oldest entry of any memo*,
+        # so hot configurations age cold ones out.
+        store = RasterMemoStore(fragment_budget=200)
+        memo_a = RasterMemo(tile_size=8, tiles_x=2, store=store)
+        memo_b = RasterMemo(tile_size=8, tiles_x=4, store=store)
+        rect_a, rect_b = (0, 0, 16, 16), (0, 0, 32, 32)
+        memo_a.get(make_prim([[0, 0], [15, 0], [0, 15]], [0.5] * 3), rect_a)
+        assert len(store) == 1
+        for seed in range(8):
+            screen = [[0, 0], [31 - seed, 0], [0, 31 - seed]]
+            memo_b.get(make_prim(screen, [0.5] * 3), rect_b)
+        # memo_a's entry was the coldest and must have been evicted to
+        # make room for memo_b's large triangles.
+        assert store.evictions > 0
+        memo_a.get(make_prim([[0, 0], [15, 0], [0, 15]], [0.5] * 3), rect_a)
+        assert memo_a.misses == 2 and memo_a.hits == 0
+        # Invariant: everything but possibly the newest entry fits.
+        newest = store._entries[next(reversed(store._entries))]
+        assert (store.retained_fragments - newest.fragment_count
+                <= store.fragment_budget)
+
+    def test_lru_refresh_on_hit(self):
+        store = RasterMemoStore(fragment_budget=300)
+        memo = RasterMemo(tile_size=8, tiles_x=2, store=store)
+        rect = (0, 0, 16, 16)
+        hot = make_prim([[0, 0], [15, 0], [0, 15]], [0.5] * 3)
+        memo.get(hot, rect)
+        memo.get(make_prim([[0, 0], [12, 0], [0, 12]], [0.5] * 3), rect)
+        # Touch the older entry, making the 12px triangle the LRU one.
+        memo.get(make_prim([[0, 0], [15, 0], [0, 15]], [0.5] * 3), rect)
+        assert memo.hits == 1
+        memo.get(make_prim([[0, 0], [14, 0], [0, 14]], [0.5] * 3), rect)
+        if store.evictions:
+            # The refreshed hot entry survived the eviction.
+            memo.get(make_prim([[0, 0], [15, 0], [0, 15]], [0.5] * 3), rect)
+            assert memo.hits == 2
+
+    def test_shared_memos_bind_one_store(self):
+        memo_a = shared_raster_memo(8, 2, (0, 0, 16, 16))
+        memo_b = shared_raster_memo(8, 4, (0, 0, 32, 32))
+        assert memo_a.store is memo_b.store
+        assert shared_raster_memo(8, 2, (0, 0, 16, 16)) is memo_a

@@ -6,7 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry import DrawState, Primitive, mat4
-from repro.pipeline.rasterizer import rasterize
+from repro.pipeline.rasterizer import (
+    coverage_mask,
+    covers_rect,
+    iteration_bounds,
+    rasterize,
+)
 from repro.shaders import FLAT_COLOR, pack_constants
 
 STATE = DrawState(FLAT_COLOR, pack_constants(mat4.identity()))
@@ -89,6 +94,106 @@ class TestCoverage:
             assert batch.ys.max() <= min(16, y1)
             # Barycentric weights sum to 1.
             assert np.allclose(batch.bary.sum(axis=1), 1.0, atol=1e-4)
+
+
+class TestIterationBounds:
+    def test_tight_box_excludes_outside_row_and_column(self):
+        # Vertex coordinates land exactly on pixel boundaries: no pixel
+        # center at x == 16 (center 16.5) can be covered, so the box
+        # stops at 16 — the former ceil(max) + 1 bound iterated a
+        # guaranteed-empty extra column and row.
+        p = prim([[0, 0], [16, 0], [0, 16]])
+        assert iteration_bounds(p, (0, 0, 32, 32)) == (0, 0, 16, 16)
+
+    def test_box_clipped_to_rect(self):
+        p = prim([[0, 0], [16, 0], [0, 16]])
+        assert iteration_bounds(p, (4, 4, 8, 8)) == (4, 4, 8, 8)
+
+    def test_sliver_between_centers_is_none(self):
+        # Bounding box [0.6, 0.9] contains no half-integer center.
+        p = prim([[0.6, 0.6], [0.9, 0.6], [0.6, 0.9]])
+        assert iteration_bounds(p, (0, 0, 16, 16)) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-8, 24, allow_nan=False),
+                      st.floats(-8, 24, allow_nan=False)),
+            min_size=3, max_size=3, unique=True,
+        )
+    )
+    def test_all_fragments_fall_inside_bounds(self, points):
+        p = prim(points)
+        rect = (0, 0, 16, 16)
+        batch = rasterize(p, rect)
+        bounds = iteration_bounds(p, rect)
+        if batch.count:
+            assert bounds is not None
+            x0, y0, x1, y1 = bounds
+            assert batch.xs.min() >= x0 and batch.xs.max() < x1
+            assert batch.ys.min() >= y0 and batch.ys.max() < y1
+
+
+class TestCoversRect:
+    def test_enclosing_triangle_covers(self):
+        assert covers_rect(prim([[-1, -1], [40, -1], [-1, 40]]),
+                           (0, 0, 16, 16))
+
+    def test_winding_irrelevant(self):
+        assert covers_rect(prim([[-1, -1], [-1, 40], [40, -1]]),
+                           (0, 0, 16, 16))
+
+    def test_partial_triangle_does_not_cover(self):
+        assert not covers_rect(prim([[0, 0], [16, 0], [0, 16]]),
+                               (0, 0, 16, 16))
+
+    def test_degenerate_triangle_does_not_cover(self):
+        assert not covers_rect(prim([[0, 0], [8, 8], [16, 16]]),
+                               (0, 0, 16, 16))
+
+    def test_exact_rect_triangle_pair_each_fail_alone(self):
+        # Either half of a screen-aligned quad leaves the other half
+        # uncovered — only their union (coverage_mask accumulation)
+        # fills the tile.
+        assert not covers_rect(prim([[0, 0], [16, 0], [16, 16]]),
+                               (0, 0, 16, 16))
+        assert not covers_rect(prim([[0, 0], [16, 16], [0, 16]]),
+                               (0, 0, 16, 16))
+
+
+class TestCoverageMask:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-8, 24, allow_nan=False),
+                      st.floats(-8, 24, allow_nan=False)),
+            min_size=3, max_size=3, unique=True,
+        )
+    )
+    def test_mask_matches_rasterizer_emission(self, points):
+        p = prim(points)
+        rect = (0, 0, 16, 16)
+        batch = rasterize(p, rect)
+        mask = coverage_mask(p, rect)
+        scatter = np.zeros((16, 16), dtype=bool)
+        if batch.count:
+            scatter[batch.ys, batch.xs] = True
+        if mask is None:
+            assert not scatter.any()
+        else:
+            assert np.array_equal(mask, scatter)
+
+    def test_quad_halves_union_to_full_cover(self):
+        a = coverage_mask(prim([[0, 0], [16, 0], [16, 16]]), (0, 0, 16, 16))
+        b = coverage_mask(prim([[0, 0], [16, 16], [0, 16]]), (0, 0, 16, 16))
+        assert not a.all() and not b.all()
+        assert (a | b).all()
+        # The shared diagonal is emitted exactly once.
+        assert not (a & b).any()
+
+    def test_offscreen_is_none(self):
+        assert coverage_mask(prim([[100, 100], [110, 100], [100, 110]]),
+                             (0, 0, 16, 16)) is None
 
 
 class TestInterpolation:

@@ -1,14 +1,20 @@
-"""Polygon List Builder: binning, Parameter Buffer, listener events."""
+"""Polygon List Builder: binning, Parameter Buffer, listener events,
+opaque-tile occlusion culling."""
+
+import dataclasses
 
 import numpy as np
 
 from repro.config import GpuConfig
 from repro.geometry import DrawState, Primitive, mat4
 from repro.memory.dram import Dram
+from repro.pipeline import Gpu
 from repro.pipeline.tiling import TILE_POINTER_BYTES, PolygonListBuilder
-from repro.shaders import FLAT_COLOR, pack_constants
+from repro.shaders import ALPHA_TEXTURED, FLAT_COLOR, pack_constants
+from repro.workloads.games import build_scene
 
 CONFIG = GpuConfig.small()   # 6x4 tiles of 16px
+CULL_CONFIG = dataclasses.replace(CONFIG, occlusion_culling=True)
 
 
 def prim_at(x0, y0, x1, y1, state=None):
@@ -140,3 +146,163 @@ class TestBinning:
             p.parameter_buffer_bytes() + TILE_POINTER_BYTES for p in prims
         )
         assert plb.parameter_buffer.tile_bytes(0) == expected
+
+
+def tri(points, z, shader=FLAT_COLOR, depth_test=True, depth_write=True):
+    state = DrawState(
+        shader, pack_constants(mat4.ortho2d()),
+        depth_test=depth_test, depth_write=depth_write,
+    )
+    return Primitive(
+        screen=np.asarray(points, dtype=np.float32),
+        depth=np.full(3, z, np.float32),
+        clip=np.zeros((3, 4), np.float32),
+        varyings={},
+        state=state,
+    )
+
+
+#: Triangle enclosing tile 0's 16x16 rect entirely.
+FULL = [[-1, -1], [40, -1], [-1, 40]]
+#: The two halves of an exactly tile-0-sized quad.
+HALF_A = [[0, 0], [16, 0], [16, 16]]
+HALF_B = [[0, 0], [16, 16], [0, 16]]
+
+
+def make_cull_plb():
+    return PolygonListBuilder(CULL_CONFIG, Dram(CULL_CONFIG))
+
+
+def bin_all(plb, prims):
+    plb.begin_frame()
+    for prim in prims:
+        plb.bin_drawcall(prim.state, [prim])
+
+
+class TestOcclusionCulling:
+    def test_disabled_by_default(self):
+        plb = make_plb()
+        assert not plb.occlusion_culling
+        bin_all(plb, [prim_at(2, 2, 10, 10), tri(FULL, 0.2)])
+        assert len(plb.parameter_buffer.tile_primitives(0)) == 2
+        assert plb.stats.prims_occlusion_culled == 0
+
+    def test_full_cover_opaque_truncates_bin(self):
+        plb = make_cull_plb()
+        buried = prim_at(2, 2, 10, 10)      # depth 0.5
+        occluder = tri(FULL, 0.2)
+        bin_all(plb, [buried, occluder])
+        assert plb.parameter_buffer.tile_primitives(0) == [occluder]
+        assert plb.stats.prims_occlusion_culled == 1
+        assert plb.stats.tiles_fully_covered >= 1
+        assert plb.stats.fragments_avoided > 0
+        tiles = [event[0] for event in plb.occlusion_events]
+        assert 0 in tiles
+
+    def test_deeper_occluder_fails_depth_safety(self):
+        plb = make_cull_plb()
+        bin_all(plb, [prim_at(2, 2, 10, 10), tri(FULL, 0.9)])
+        assert len(plb.parameter_buffer.tile_primitives(0)) == 2
+        assert plb.stats.prims_occlusion_culled == 0
+
+    def test_no_depth_test_occludes_regardless_of_depth(self):
+        plb = make_cull_plb()
+        occluder = tri(FULL, 0.9, depth_test=False)
+        bin_all(plb, [prim_at(2, 2, 10, 10), occluder])
+        assert plb.parameter_buffer.tile_primitives(0) == [occluder]
+
+    def test_alpha_blend_never_occludes(self):
+        plb = make_cull_plb()
+        bin_all(plb, [prim_at(2, 2, 10, 10),
+                      tri(FULL, 0.1, shader=ALPHA_TEXTURED)])
+        assert len(plb.parameter_buffer.tile_primitives(0)) == 2
+        assert plb.stats.prims_occlusion_culled == 0
+
+    def test_depth_write_false_cannot_occlude_or_lower_bounds(self):
+        plb = make_cull_plb()
+        buried = prim_at(2, 2, 10, 10)
+        buried.depth[:] = 0.9
+        no_write = tri(FULL, 0.1, depth_write=False)
+        later = tri(FULL, 0.5)
+        bin_all(plb, [buried, no_write, later])
+        # ``no_write`` neither truncated anything nor polluted the depth
+        # bounds: ``later`` still sees the clear depth and occludes both.
+        assert plb.parameter_buffer.tile_primitives(0) == [later]
+        assert plb.stats.prims_occlusion_culled == 2
+
+    def test_partial_covers_accumulate_to_occluding_set(self):
+        plb = make_cull_plb()
+        # A translucent layer beneath the opaque quad: never a set
+        # member, and safely dropped once the set covers the tile.
+        buried = tri(FULL, 0.9, shader=ALPHA_TEXTURED)
+        half_a, half_b = tri(HALF_A, 0.5), tri(HALF_B, 0.5)
+        bin_all(plb, [buried, half_a, half_b])
+        # The coplanar disjoint halves jointly cover tile 0: per-pixel
+        # depth bounds let the second qualify even though the first
+        # already wrote the same depth elsewhere in the tile.
+        bin0 = plb.parameter_buffer.tile_primitives(0)
+        assert [id(p) for p in bin0] == [id(half_a), id(half_b)]
+        assert plb.stats.prims_occlusion_culled == 1
+        assert plb.stats.tiles_fully_covered == 1
+
+    def test_qualifying_prefix_completes_cover_without_drops(self):
+        # An opaque partial prim in front of the clear depth joins the
+        # set itself, so completing the cover finds nothing buried.
+        plb = make_cull_plb()
+        first = prim_at(2, 2, 10, 10)
+        first.depth[:] = 0.9
+        half_a, half_b = tri(HALF_A, 0.5), tri(HALF_B, 0.5)
+        bin_all(plb, [first, half_a, half_b])
+        assert len(plb.parameter_buffer.tile_primitives(0)) == 3
+        assert plb.stats.tiles_fully_covered == 1
+        assert plb.stats.prims_occlusion_culled == 0
+
+    def test_accumulation_does_not_fire_while_incomplete(self):
+        plb = make_cull_plb()
+        bin_all(plb, [prim_at(2, 2, 10, 10), tri(HALF_A, 0.2)])
+        assert len(plb.parameter_buffer.tile_primitives(0)) == 2
+        assert plb.stats.prims_occlusion_culled == 0
+
+    def test_begin_frame_resets_occlusion_state(self):
+        plb = make_cull_plb()
+        bin_all(plb, [prim_at(2, 2, 10, 10), tri(FULL, 0.2)])
+        assert plb.occlusion_events
+        plb.begin_frame()
+        assert plb.occlusion_events == []
+        # Fresh per-frame depth bounds: a 0.5-depth occluder qualifies
+        # against the clear depth even though last frame's bound ended
+        # at 0.2 on every pixel.
+        buried = prim_at(2, 2, 10, 10)
+        buried.depth[:] = 0.9
+        occluder = tri(FULL, 0.5)
+        bin_all(plb, [buried, occluder])
+        bin0 = plb.parameter_buffer.tile_primitives(0)
+        assert [id(p) for p in bin0] == [id(occluder)]
+
+
+class TestOcclusionEndToEnd:
+    """Culling must change counters, never pixels."""
+
+    def render(self, alias, config, frames=3):
+        gpu = Gpu(dataclasses.replace(config))
+        scene = build_scene(alias)
+        stats = [
+            gpu.render_frame(stream, clear_color=scene.clear_color)
+            for stream in scene.frames(frames)
+        ]
+        return stats
+
+    def test_bit_identical_frames_with_fewer_fragments(self):
+        for alias in ("ccs", "hop"):
+            base = self.render(alias, CONFIG)
+            culled = self.render(alias, CULL_CONFIG)
+            for frame, (a, b) in enumerate(zip(base, culled)):
+                assert np.array_equal(a.frame_colors, b.frame_colors), (
+                    f"{alias} frame {frame} diverged under culling"
+                )
+            assert sum(s.tiling.prims_occlusion_culled for s in culled) > 0
+            assert sum(s.tiling.prims_occlusion_culled for s in base) == 0
+            assert (
+                sum(s.raster.fragments_rasterized for s in culled)
+                < sum(s.raster.fragments_rasterized for s in base)
+            )
