@@ -21,6 +21,18 @@ Subcommands:
   registry's bench profiles; ``--check`` exits non-zero on regression
   (``--append BENCH.json`` records a profile first).
 * ``list``           — list the available games and experiments.
+* ``serve``          — run the warm engine-pool daemon behind a Unix
+  socket: persistent workers keep constructed engines resident, batch
+  config-compatible jobs, refuse overload with typed backpressure and
+  record each job under its tenant's registry namespace.
+* ``submit``         — send a render/sweep/experiment job to a running
+  daemon (``--wait`` blocks for the summaries).
+* ``status``         — a daemon's queue/worker/job table over the
+  socket, or — daemon gone — its last ``live.json`` heartbeat.
+
+Plain ``run`` executes through a *transient in-process service* (the
+same code path the daemon's workers run; ``--direct`` bypasses it) —
+outputs are bit-identical either way, down to per-tile CRCs.
 
 Cross-run registry: ``run`` and ``sweep`` record a manifest of every
 completed run (what ran, git revision, headline numbers, artifact
@@ -55,7 +67,9 @@ import os
 import sys
 
 from .config import GpuConfig
+from .errors import ServiceError
 from .harness.experiments import (
+    EXPERIMENT_TECHNIQUES,
     EXPERIMENTS,
     RunCache,
     hash_quality,
@@ -104,12 +118,21 @@ def _registry_root(args) -> str:
 
 
 def _registry_from(args):
-    """The registry this invocation records into, or ``None`` (opt-out)."""
+    """The registry this invocation records into, or ``None`` (opt-out).
+
+    With ``--tenant`` the run lands in that tenant's namespace
+    (``<root>/<tenant>/``), the same layout the service daemon records
+    under — so CLI runs and service jobs of one tenant share a history.
+    """
     if args.no_registry:
         return None
     from .obs.store import RunRegistry
 
-    return RunRegistry(_registry_root(args))
+    registry = RunRegistry(_registry_root(args))
+    tenant = getattr(args, "tenant", None)
+    if tenant:
+        registry = registry.for_tenant(tenant)
+    return registry
 
 
 def _reader_registry(args):
@@ -174,22 +197,6 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-#: Techniques each experiment pulls from the run cache, so ``--jobs``
-#: can prefetch its cells in parallel before the (serial) tabulation.
-_EXPERIMENT_TECHNIQUES = {
-    "fig01": ("baseline",),
-    "fig02": ("re",),
-    "fig14a": ("baseline", "re"),
-    "fig14b": ("baseline", "re"),
-    "fig15a": ("re",),
-    "fig15b": ("baseline", "re"),
-    "fig16": ("baseline", "re", "memo"),
-    "fig17a": ("baseline", "te", "re"),
-    "fig17b": ("baseline", "te", "re"),
-    "re_overheads": ("baseline", "re"),
-}
-
-
 def _cmd_experiment(args) -> int:
     if args.id == "table1":
         print(table1_parameters().table())
@@ -212,7 +219,7 @@ def _cmd_experiment(args) -> int:
         supervised = _supervision_requested(args)
         try:
             cache.prefetch(
-                _EXPERIMENT_TECHNIQUES.get(args.id, ("baseline", "re")),
+                EXPERIMENT_TECHNIQUES.get(args.id, ("baseline", "re")),
                 processes=args.jobs,
                 policy=_policy_from(args) if supervised else None,
                 journal_path=args.journal,
@@ -288,6 +295,30 @@ def _print_observability_paths(args) -> None:
               f"(analyse with `python -m repro report {args.metrics}`)")
 
 
+def _service_spec_from(args):
+    """The :class:`~repro.service.jobs.JobSpec` a ``run`` maps to."""
+    from .service import JobSpec
+
+    overrides = {}
+    if getattr(args, "occlusion_culling", False):
+        overrides["occlusion_culling"] = True
+    return JobSpec(
+        args.game, technique=args.technique, num_frames=args.frames,
+        scale=args.scale, overrides=tuple(sorted(overrides.items())),
+        tenant=getattr(args, "tenant", None) or "default",
+    )
+
+
+def _run_needs_direct_path(args) -> bool:
+    """Features the in-process service path does not carry: checkpoint
+    plumbing, run manifests and the per-stage profiler stay on the
+    original :func:`run_workload` call."""
+    return bool(
+        args.direct or args.resume or args.checkpoint_at
+        or args.checkpoint_out or args.manifest or args.profile
+    )
+
+
 def _cmd_run(args) -> int:
     if _supervision_requested(args):
         return _cmd_run_supervised(args)
@@ -303,18 +334,35 @@ def _cmd_run(args) -> int:
 
         live_sink = ChannelLiveSink(live, f"{args.game}/{args.technique}")
     try:
-        run = run_workload(
-            args.game, args.technique, _config_from(args),
-            num_frames=args.frames,
-            perf=perf,
-            resume_from=args.resume,
-            checkpoint_at=args.checkpoint_at,
-            checkpoint_path=args.checkpoint_out,
-            manifest_path=args.manifest,
-            trace_path=args.trace,
-            metrics_path=args.metrics,
-            live=live_sink,
-        )
+        if _run_needs_direct_path(args):
+            run = run_workload(
+                args.game, args.technique, _config_from(args),
+                num_frames=args.frames,
+                perf=perf,
+                resume_from=args.resume,
+                checkpoint_at=args.checkpoint_at,
+                checkpoint_path=args.checkpoint_out,
+                manifest_path=args.manifest,
+                trace_path=args.trace,
+                metrics_path=args.metrics,
+                live=live_sink,
+            )
+        else:
+            # Default path: a transient in-process service — the exact
+            # code the daemon's workers run, bit-identical to the
+            # direct call above (tests/service/test_cli.py pins this).
+            from .service import run_job_inprocess
+
+            run = run_job_inprocess(
+                _service_spec_from(args),
+                trace_path=args.trace,
+                metrics_path=args.metrics,
+                live=live_sink,
+            )
+    except ServiceError as exc:
+        # Typed refusal (bad spec / tenant id), raised before rendering.
+        print(f"run failed: {exc.args[0]}", file=sys.stderr)
+        return 2
     finally:
         if live is not None:
             live.close()
@@ -351,6 +399,166 @@ def _cmd_run(args) -> int:
             bench_id = registry.record_bench(payload)
             print(f"  registered bench {bench_id} (follow with "
                   f"`python -m repro trend`)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the engine-pool daemon behind a Unix socket until shutdown."""
+    from .service import EngineDaemon, ServiceConfig, ServiceServer
+
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        tenant_max_pending=args.tenant_cap,
+        batch_max=args.batch_max,
+        max_engines=args.max_engines,
+        max_retries=args.retries if args.retries is not None else 1,
+        job_timeout_s=args.timeout,
+        live_path=getattr(args, "live", None),
+    )
+    daemon = EngineDaemon(config, registry=_registry_from(args))
+    server = ServiceServer(daemon, args.socket)
+    daemon.start()
+    print(f"serving on {args.socket} "
+          f"(workers={config.workers}, queue<={config.max_queue}, "
+          f"batch<={config.batch_max}, warm engines/worker="
+          f"{config.max_engines})")
+    print("submit with `python -m repro submit GAME "
+          f"--socket {args.socket}`; stop with `--shutdown` or Ctrl-C")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.close()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .errors import ServiceError
+    from .service import ServiceClient
+
+    payload = {
+        "kind": args.kind,
+        "technique": args.technique,
+        "num_frames": args.frames,
+        "scale": args.scale,
+        "tenant": args.tenant or "default",
+    }
+    if args.kind == "experiment":
+        payload["id"] = args.what
+    else:
+        payload["game"] = args.what
+    if args.occlusion_culling:
+        payload["overrides"] = {"occlusion_culling": True}
+    if args.set:
+        parameters = {}
+        for spec in args.set:
+            name, _, values = spec.partition("=")
+            if not values:
+                print(f"bad --set {spec!r}: expected name=v1,v2,...",
+                      file=sys.stderr)
+                return 2
+            parameters[name] = [
+                _coerce_sweep_value(v) for v in values.split(",")
+            ]
+        payload["kind"] = "sweep"
+        payload["parameters"] = parameters
+    try:
+        with ServiceClient(args.socket) as client:
+            if args.shutdown:
+                client.shutdown()
+                print("daemon asked to shut down")
+                return 0
+            jobs = client.submit(payload)
+            print(f"submitted {len(jobs)} job(s): "
+                  + ", ".join(job["job_id"] for job in jobs))
+            if not args.wait:
+                return 0
+            failed = 0
+            for submitted in jobs:
+                job = client.wait(
+                    submitted["job_id"], timeout=args.wait_timeout,
+                )
+                if job["state"] != "done":
+                    failed += 1
+                    print(f"  {job['job_id']} {job['game']}/"
+                          f"{job['technique']} FAILED: {job['error']}")
+                    continue
+                summary = job["summary"] or {}
+                warmth = "warm" if job["warm"] else "cold"
+                print(f"  {job['job_id']} {job['game']}/"
+                      f"{job['technique']} done ({warmth}, "
+                      f"attempt {job['attempts']}): "
+                      f"cycles={summary.get('total_cycles', 0) / 1e6:.2f}M "
+                      f"skip={100 * (summary.get('skipped_fraction') or 0):.1f}%"
+                      + (f" run={job['run_id']}" if job.get("run_id")
+                         else ""))
+            return 1 if failed else 0
+    except ServiceError as exc:
+        print(f"submit failed: {exc.args[0]}", file=sys.stderr)
+        return 1
+
+
+def _cmd_status(args) -> int:
+    from .errors import ServiceError
+    from .harness.reporting import format_table
+    from .service import ServiceClient
+
+    try:
+        with ServiceClient(args.socket, timeout=10.0) as client:
+            status = client.status()
+    except ServiceError as exc:
+        # No live daemon: fall back to the heartbeat file its
+        # aggregator wrote (atomic snapshots; safe to read any time).
+        from .obs.live import read_heartbeat
+
+        heartbeat = read_heartbeat(args.heartbeat)
+        if heartbeat is None:
+            print(f"status failed: {exc.args[0]} (and no heartbeat at "
+                  f"{args.heartbeat})", file=sys.stderr)
+            return 1
+        print(f"daemon unreachable; last heartbeat "
+              f"(owner {heartbeat.get('owner') or 'unknown'}):")
+        rows = [
+            [worker, f"{state['frames']}/{state['total'] or '?'}",
+             "STALLED" if state["stalled"] else state["status"]]
+            for worker, state in sorted(heartbeat["workers"].items())
+        ]
+        print(format_table(["worker", "frames", "status"], rows))
+        return 0
+    stats = status["stats"]
+    print(f"daemon pid {status['pid']}: "
+          f"{'running' if status['running'] else 'stopped'}, "
+          f"{len(status['workers'])} worker(s), "
+          f"queue depth {status['queue_depth']}")
+    print(f"  jobs: {stats['submitted']} submitted / "
+          f"{stats['completed']} done / {stats['failed']} failed / "
+          f"{stats['retried']} retried "
+          f"({stats['warm_jobs']} warm, {stats['cold_jobs']} cold)")
+    print(f"  admission: {stats['rejected_backpressure']} backpressure "
+          f"+ {stats['rejected_tenant']} tenant-cap refusals; "
+          f"batching: {stats['jobs_batched']} jobs shared "
+          f"{stats['batches_dispatched']} dispatches")
+    if stats["worker_crashes"]:
+        print(f"  workers: {stats['worker_crashes']} crash(es), "
+              f"{stats['worker_restarts']} restart(s)")
+    recent = status["jobs"][-args.top:]
+    if recent:
+        rows = [
+            [job["job_id"], job["tenant"],
+             f"{job['game']}/{job['technique']}", job["state"],
+             job["attempts"],
+             {True: "warm", False: "cold", None: "-"}[job["warm"]],
+             job["run_id"] or "-"]
+            for job in recent
+        ]
+        print(format_table(
+            ["job", "tenant", "cell", "state", "att", "engine", "run_id"],
+            rows,
+        ))
+    if status.get("live_path"):
+        print(f"  heartbeat: {status['live_path']}")
     return 0
 
 
@@ -450,6 +658,8 @@ def _cmd_runs(args) -> int:
     from .harness.reporting import format_table
 
     registry = _reader_registry(args)
+    if getattr(args, "tenant", None):
+        registry = registry.for_tenant(args.tenant)
     try:
         entries = registry.query(
             kind=args.kind, alias=args.game, technique=args.technique,
@@ -462,6 +672,7 @@ def _cmd_runs(args) -> int:
         print(f"registry {registry.root} is empty (run with --registry, "
               "or see `python -m repro run --help`)")
         _print_write_errors(write_errors)
+        _print_tenant_summary(registry, args)
         return 0
     rows = []
     for entry in entries:
@@ -502,6 +713,7 @@ def _cmd_runs(args) -> int:
          "when", "summary"], rows,
     ))
     _print_write_errors(write_errors)
+    _print_tenant_summary(registry, args)
     return 0
 
 
@@ -511,6 +723,24 @@ def _print_write_errors(write_errors) -> None:
     latest = write_errors[-1]
     print(f"registry_write_errors: {len(write_errors)} "
           f"(latest: {latest.get('error')})")
+
+
+def _print_tenant_summary(registry, args) -> None:
+    """Tenant namespaces under the root, with per-tenant write errors.
+
+    Only on an unscoped listing — a ``--tenant`` query already *is* a
+    namespace, and its errors print through
+    :func:`_print_write_errors`."""
+    if getattr(args, "tenant", None):
+        return
+    tenants = registry.tenants()
+    if tenants:
+        print(f"tenants: {', '.join(tenants)} "
+              "(list one with `python -m repro runs --tenant NAME`)")
+    for tenant, records in sorted(
+            registry.tenant_write_errors().items()):
+        print(f"registry_write_errors[{tenant}]: {len(records)} "
+              f"(latest: {records[-1].get('error')})")
 
 
 def _cmd_diff(args) -> int:
@@ -645,6 +875,13 @@ def main(argv=None) -> int:
                      help="where --checkpoint-at writes the checkpoint")
     run.add_argument("--manifest", default=None, metavar="PATH",
                      help="write a JSON run manifest here")
+    run.add_argument("--tenant", default=None,
+                     help="record this run under a tenant namespace of "
+                          "the registry (the service daemon's layout)")
+    run.add_argument("--direct", action="store_true",
+                     help="bypass the in-process service path and call "
+                          "the runner directly (bit-identical output; "
+                          "exists for differential testing)")
     _add_observability_flags(run)
     _add_registry_flags(run, suppress=True)
     swp = sub.add_parser(
@@ -687,6 +924,9 @@ def main(argv=None) -> int:
                       help="only entries for this game alias")
     runs.add_argument("--technique", default=None,
                       help="only entries for this technique")
+    runs.add_argument("--tenant", default=None,
+                      help="list one tenant's namespace instead of the "
+                           "registry root")
     _add_registry_flags(runs, suppress=True)
     diff = sub.add_parser(
         "diff", help="compare two registered runs (cycles, skips, "
@@ -717,6 +957,72 @@ def main(argv=None) -> int:
                        help="allowed fractional wall slowdown for --check "
                             "(default: skip the wall comparison)")
     _add_registry_flags(trend, suppress=True)
+    serve = sub.add_parser(
+        "serve", help="run the warm engine-pool daemon behind a Unix "
+                      "socket (render-as-a-service)"
+    )
+    serve.add_argument("--socket", default="repro.sock",
+                       help="Unix socket path to bind (default "
+                            "repro.sock)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="persistent worker processes, each with its "
+                            "own warm engine pool (default 1)")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="bounded job queue; submits beyond this are "
+                            "refused with backpressure (default 16)")
+    serve.add_argument("--tenant-cap", type=int, default=8,
+                       help="max queued+running jobs per tenant "
+                            "(default 8)")
+    serve.add_argument("--batch-max", type=int, default=4,
+                       help="max config-compatible jobs dispatched to a "
+                            "worker as one batch (default 4)")
+    serve.add_argument("--max-engines", type=int, default=4,
+                       help="warm engines each worker keeps resident "
+                            "(default 4)")
+    serve.add_argument("--live", nargs="?", const="live.json",
+                       default=None, metavar="PATH",
+                       help="write the daemon's heartbeat JSON here "
+                            "(read it with `python -m repro status`)")
+    _add_registry_flags(serve, suppress=True)
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running `repro serve` daemon"
+    )
+    submit.add_argument("what", nargs="?", default="ccs",
+                        help="game alias (render/sweep) or experiment "
+                             "id (--kind experiment)")
+    submit.add_argument("--kind", default="render",
+                        choices=("render", "sweep", "experiment"))
+    submit.add_argument("--technique", choices=TECHNIQUES, default="re")
+    submit.add_argument("--tenant", default=None,
+                        help="tenant namespace the result is recorded "
+                             "under (default 'default')")
+    submit.add_argument("--set", action="append", default=None,
+                        metavar="NAME=V1,V2,...",
+                        help="sweep a GpuConfig field (implies "
+                             "--kind sweep; repeatable)")
+    submit.add_argument("--socket", default="repro.sock",
+                        help="daemon socket (default repro.sock)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the submitted job(s) finish "
+                             "and print their summaries")
+    submit.add_argument("--wait-timeout", type=float, default=300.0,
+                        help="per-job --wait limit in seconds "
+                             "(default 300)")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon to shut down instead of "
+                             "submitting")
+    status = sub.add_parser(
+        "status", help="show a running daemon's queue/worker/tenant "
+                       "state (falls back to the heartbeat file)"
+    )
+    status.add_argument("--socket", default="repro.sock",
+                        help="daemon socket (default repro.sock)")
+    status.add_argument("--heartbeat", default="live.json",
+                        metavar="PATH",
+                        help="heartbeat JSON to read when the socket "
+                             "is unreachable (default live.json)")
+    status.add_argument("--top", type=int, default=12,
+                        help="how many recent jobs to list")
 
     args = parser.parse_args(argv)
     if args.raster_backend:
@@ -734,6 +1040,9 @@ def main(argv=None) -> int:
         "runs": _cmd_runs,
         "diff": _cmd_diff,
         "trend": _cmd_trend,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
     }
     return handlers[args.command](args)
 

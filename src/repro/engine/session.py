@@ -253,6 +253,41 @@ class RenderSession:
                     **(header_fields or {}),
                 )
 
+    # Warm reuse ---------------------------------------------------------
+    def reset(self, num_frames: int = None) -> None:
+        """Return this session to its just-constructed state so a warm
+        engine pool (:mod:`repro.service.pool`) can reuse it for the
+        next request instead of paying construction again.
+
+        The contract — enforced by ``tests/engine/test_session_reuse.py``
+        — is that a reset session renders *bit-identically* to a freshly
+        constructed one: same per-tile frame CRCs, same golden skip
+        counts, same end-of-run :class:`StatsRegistry` snapshot.  The
+        GPU restores its pristine cross-frame state and zeroes stage
+        counters (:meth:`~repro.pipeline.Gpu.reset`); the scene and the
+        expensive constructions (stage graph, signature buffers, shared
+        memos) stay warm.  Observability sinks are detached — each
+        request attaches its own via :meth:`attach_observability`.
+
+        ``num_frames`` optionally retargets the run length (the session
+        identity — alias, technique, config — is fixed; the pool keys on
+        it).
+        """
+        self.gpu.reset()
+        self.gpu.perf = None
+        self.gpu.tracer = None
+        self.metrics = None
+        self.live = None
+        if num_frames is not None:
+            self.num_frames = int(num_frames)
+        self.frames = []
+        self.frame_stats = []
+        self._color_crcs = []
+        if self._track_sigs:
+            self._input_sigs = []
+        self._events_before = technique_event_counts(self.technique)
+        self.final_frame_crc = 0
+
     # Frame loop ---------------------------------------------------------
     @property
     def frames_rendered(self) -> int:

@@ -37,3 +37,22 @@ class CheckpointError(ReproError):
 class SupervisionError(ReproError):
     """A supervised harness run had cells fail after exhausting retries,
     or a fault-injection / supervision policy spec was invalid."""
+
+
+class ServiceError(ReproError):
+    """A render-service failure: malformed job spec, dead daemon,
+    protocol violation, or a job that exhausted its retries."""
+
+
+class AdmissionError(ServiceError):
+    """A job the service *refused to accept* — backpressure, not a
+    crash.  Subclasses say which admission-control limit tripped; the
+    job was never queued and retrying later is legitimate."""
+
+
+class BackpressureError(AdmissionError):
+    """The daemon's bounded job queue is full; resubmit later."""
+
+
+class TenantError(AdmissionError):
+    """An invalid tenant id, or a tenant over its concurrency cap."""

@@ -588,3 +588,20 @@ EXPERIMENTS = {
     "fig17b": fig17b_te_energy,
     "re_overheads": re_overheads,
 }
+
+#: Techniques each experiment pulls from the run cache.  The CLI uses
+#: this to prefetch an experiment's cells in parallel before the
+#: (serial) tabulation; the render service uses it to expand an
+#: ``experiment`` job into its per-(game, technique) render jobs.
+EXPERIMENT_TECHNIQUES = {
+    "fig01": ("baseline",),
+    "fig02": ("re",),
+    "fig14a": ("baseline", "re"),
+    "fig14b": ("baseline", "re"),
+    "fig15a": ("re",),
+    "fig15b": ("baseline", "re"),
+    "fig16": ("baseline", "re", "memo"),
+    "fig17a": ("baseline", "te", "re"),
+    "fig17b": ("baseline", "te", "re"),
+    "re_overheads": ("baseline", "re"),
+}

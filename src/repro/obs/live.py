@@ -35,6 +35,7 @@ __all__ = [
     "LiveSink",
     "NULL_LIVE",
     "TELEMETRY_TAG",
+    "read_heartbeat",
 ]
 
 #: First element of the tuple a :class:`ChannelLiveSink` sends over a
@@ -139,11 +140,21 @@ class LiveAggregator:
     worker done) with wall-clock timestamps, and the heartbeat embeds
     the trailing events, so "was the hang flagged before the timeout
     killed it" is answerable after the run from ``live.json`` alone.
+
+    Heartbeat ownership: exactly one process may own (write) a given
+    ``path`` — the foreground aggregator of a ``--live`` run, or the
+    service daemon (:mod:`repro.service.daemon`), which attaches one
+    aggregator for its whole lifetime and routes every worker's
+    telemetry through it.  Readers (``repro status``, dashboards) use
+    :func:`read_heartbeat`, which only ever sees complete snapshots
+    because the write is an atomic ``os.replace``.  ``owner`` stamps the
+    writing process's identity into the heartbeat so a reader can tell a
+    daemon's ``live.json`` from a foreground run's.
     """
 
     def __init__(self, path="live.json", stall_after_s: float = 5.0,
                  interval_s: float = 1.0, stream=None,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic, owner: str = None) -> None:
         self.path = path
         self.stall_after_s = stall_after_s
         self.interval_s = interval_s
@@ -152,6 +163,7 @@ class LiveAggregator:
         self._clock = clock
         self._last_tick = -1e18
         self.started_at = time.time()
+        self.owner = owner
         self.workers: dict = {}     # worker label -> state dict
         self.events: list = []
 
@@ -254,6 +266,7 @@ class LiveAggregator:
         return {
             "ts": time.time(),
             "started_at": self.started_at,
+            "owner": self.owner,
             "workers": {
                 worker: {
                     "frames": state["frames"],
@@ -316,3 +329,21 @@ class LiveAggregator:
     def close(self) -> None:
         """Final forced tick so the heartbeat reflects terminal state."""
         self.tick(force=True)
+
+
+def read_heartbeat(path):
+    """Read a ``live.json`` heartbeat written by a :class:`LiveAggregator`.
+
+    The read-side half of the heartbeat contract: the aggregator writes
+    atomically (``os.replace``), so a reader either sees a complete
+    snapshot or the previous one — never a torn file.  ``repro status``
+    reads the daemon's heartbeat through this instead of attaching a
+    second (racing) writer.  Returns the snapshot dict, or ``None`` when
+    the file is missing or not yet valid JSON (a heartbeat that never
+    got its first tick).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -45,6 +45,7 @@ __all__ = [
     "bench_manifest",
     "git_revision",
     "run_manifest",
+    "validate_tenant",
 ]
 
 #: Environment variable naming a registry root the CLI records into when
@@ -54,6 +55,48 @@ REGISTRY_ENV_VAR = "REPRO_REGISTRY"
 #: Manifest kinds the registry understands (free-form strings are
 #: accepted; these are the ones the harness emits).
 KINDS = ("run", "sweep-point", "bench", "figure")
+
+#: Registry-root names a tenant namespace may not shadow: the store's
+#: own layout lives there.
+RESERVED_TENANTS = frozenset({"runs", "index.jsonl", "write_errors.jsonl"})
+
+
+def validate_tenant(tenant) -> str:
+    """Validate a tenant id for use as a registry namespace directory.
+
+    Tenant ids come in over the service socket from clients, so they are
+    hostile input the same way sweep point-tags are: an id that
+    traverses out of the registry (``../../etc``), collides with the
+    store's own layout (``runs``), or differs from its own sanitized
+    form (two tenants silently sharing one directory) is rejected up
+    front with a :class:`~repro.errors.TenantError` rather than
+    surprising anyone at write time.  Returns the validated id.
+    """
+    from ..errors import TenantError
+    from ..harness.parallel import sanitize_component
+
+    if not isinstance(tenant, str) or not tenant:
+        raise TenantError(
+            f"tenant id must be a non-empty string, got {tenant!r}"
+        )
+    if len(tenant) > 64:
+        raise TenantError(
+            f"tenant id too long ({len(tenant)} > 64 chars): {tenant[:32]!r}..."
+        )
+    if tenant in RESERVED_TENANTS or tenant in (".", ".."):
+        raise TenantError(
+            f"tenant id {tenant!r} shadows the registry's own layout"
+        )
+    if os.sep in tenant or "/" in tenant or "\\" in tenant:
+        raise TenantError(
+            f"tenant id {tenant!r} contains a path separator"
+        )
+    if sanitize_component(tenant) != tenant:
+        raise TenantError(
+            f"tenant id {tenant!r} is not filesystem-safe; use only "
+            "letters, digits, '.', '_', '=' and '-'"
+        )
+    return tenant
 
 
 def git_revision(cwd=None) -> str:
@@ -265,6 +308,48 @@ class RunRegistry:
         self.runs_dir = os.path.join(self.root, "runs")
         self.index_path = os.path.join(self.root, "index.jsonl")
         self.errors_path = os.path.join(self.root, "write_errors.jsonl")
+
+    # Tenancy ------------------------------------------------------------
+    def for_tenant(self, tenant: str) -> "RunRegistry":
+        """The per-tenant namespace registry ``<root>/<tenant>/``.
+
+        The service daemon records each tenant's runs into its own
+        namespace so tenants never contend on one ``index.jsonl`` and a
+        tenant's history can be shipped/aged independently.  The tenant
+        id is validated (:func:`validate_tenant`) — traversal and
+        layout-shadowing ids raise :class:`~repro.errors.TenantError`.
+        """
+        return RunRegistry(os.path.join(self.root, validate_tenant(tenant)))
+
+    def tenants(self) -> list:
+        """Tenant namespaces present under this registry root (names of
+        subdirectories that are themselves registries), sorted."""
+        if not os.path.isdir(self.root):
+            return []
+        found = []
+        for name in sorted(os.listdir(self.root)):
+            if name in RESERVED_TENANTS:
+                continue
+            sub = os.path.join(self.root, name)
+            if not os.path.isdir(sub):
+                continue
+            if (os.path.exists(os.path.join(sub, "index.jsonl"))
+                    or os.path.exists(os.path.join(sub, "runs"))
+                    or os.path.exists(
+                        os.path.join(sub, "write_errors.jsonl"))):
+                found.append(name)
+        return found
+
+    def tenant_write_errors(self) -> dict:
+        """``{tenant: [error records]}`` across every tenant namespace
+        (tenants with no recorded write failures are omitted).  The root
+        namespace's own failures are under :meth:`write_errors`."""
+        errors = {}
+        for tenant in self.tenants():
+            records = self.for_tenant(tenant).write_errors()
+            if records:
+                errors[tenant] = records
+        return errors
 
     # Writing ------------------------------------------------------------
     def note_write_error(self, exc, path=None) -> None:

@@ -22,6 +22,7 @@ tiles are skipped (Rendering Elimination), which flushes are suppressed
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 
 import numpy as np
@@ -207,6 +208,12 @@ class Gpu:
         # keeps the hot path at one truthiness check per decision.
         self.tracer = None
         self.technique.attach(self)
+
+        # Pristine cross-frame state, captured once so :meth:`reset` can
+        # return a used engine to its just-constructed state (the warm
+        # engine pool in :mod:`repro.service` rests on this).  Deep-copied
+        # on capture and on restore so no render ever aliases into it.
+        self._pristine_state = copy.deepcopy(self.state_dict())
 
     # ------------------------------------------------------------------
     def render_frame(self, commands: CommandStream,
@@ -409,3 +416,31 @@ class Gpu:
         for name, cache in self.caches.items():
             cache.load_state_dict(state["caches"][name])
         self.technique.load_state_dict(state["technique"])
+
+    # ------------------------------------------------------------------
+    # Warm reuse (see repro.service.pool.WarmEnginePool)
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return this engine to its just-constructed state.
+
+        The reuse contract the warm engine pool depends on: a reset
+        engine must render *bit-identically* to a freshly constructed
+        one — same frame CRCs, same skip decisions, same StatsRegistry
+        snapshots (regression-tested in
+        ``tests/engine/test_session_reuse.py``).  Two halves:
+
+        * :meth:`load_state_dict` with the pristine capture restores
+          every piece of cross-frame state (framebuffer banks, DRAM
+          pressure, traffic/cache totals, technique signature history);
+        * :meth:`~repro.engine.stage.Stage.reset` zeroes each stage's
+          cumulative counters, which are deliberately outside
+          :meth:`state_dict` (per-frame stats are snapshot-deltas) but
+          *are* visible in end-of-run registry snapshots.
+
+        The shared raster/shade/tile memos are left warm on purpose:
+        they are content-keyed, so hits change wall-clock only, never
+        output — that cross-request warmth is the service's payoff.
+        """
+        self.load_state_dict(copy.deepcopy(self._pristine_state))
+        for stage in self.stages:
+            stage.reset()

@@ -144,6 +144,13 @@ class RasterPipeline(Stage):
         self.depth_stage.register_metrics(registry)
         self.blend_stage.register_metrics(registry)
 
+    def reset(self) -> None:
+        """Counter reset cascades to the owned depth/blend stages, the
+        same ownership :meth:`register_metrics` declares."""
+        super().reset()
+        self.depth_stage.reset()
+        self.blend_stage.reset()
+
     def begin_frame(self, ctx=None) -> None:
         """Drop the per-frame ``id()``-keyed memo dicts.  Fresh dicts,
         not ``.clear()``: entries are keyed by primitive/state object

@@ -1,0 +1,128 @@
+"""Client side of the render service.
+
+:class:`ServiceClient` is the synchronous socket client behind
+``repro submit`` / ``repro status``: it speaks the newline-JSON
+protocol of :mod:`repro.service.server` and rebuilds typed refusals
+(``kind`` → :class:`~repro.errors.BackpressureError` /
+:class:`~repro.errors.TenantError` / ...) so callers handle a remote
+"queue full" exactly like a local one.
+
+:func:`run_job_inprocess` is the no-daemon mode: the CLI's plain
+``repro run`` routes through it, executing the same
+:func:`~repro.service.pool.execute_job` path the daemon's workers run —
+one code path, so direct runs and service runs cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from ..errors import (
+    AdmissionError,
+    BackpressureError,
+    ServiceError,
+    TenantError,
+)
+from .jobs import JobSpec
+from .pool import WarmEnginePool, execute_job
+
+__all__ = ["ServiceClient", "run_job_inprocess"]
+
+#: Wire ``kind`` back to the exception the daemon raised.
+_ERROR_KINDS = {
+    "backpressure": BackpressureError,
+    "tenant": TenantError,
+    "admission": AdmissionError,
+}
+
+
+class ServiceClient:
+    """One synchronous connection to a ``repro serve`` daemon."""
+
+    def __init__(self, socket_path, timeout: float = 60.0) -> None:
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(str(socket_path))
+        except OSError as exc:
+            self._sock.close()
+            raise ServiceError(
+                f"cannot reach service socket {socket_path}: {exc} "
+                "(is `repro serve` running?)"
+            ) from None
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, op: str, **fields) -> dict:
+        """One request/response round trip; raises typed refusals."""
+        payload = {"op": op}
+        payload.update(fields)
+        try:
+            self._file.write(json.dumps(payload).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceError(
+                f"service connection lost during {op!r}: {exc}"
+            ) from None
+        if not line:
+            raise ServiceError(
+                f"service closed the connection during {op!r}"
+            )
+        response = json.loads(line)
+        if not response.get("ok"):
+            error_cls = _ERROR_KINDS.get(
+                response.get("kind"), ServiceError
+            )
+            raise error_cls(response.get("error", "service error"))
+        return response
+
+    # Ops ----------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(self, payload: dict) -> list:
+        """Submit one payload; returns the admitted jobs' projections."""
+        return self.request("submit", job=payload)["jobs"]
+
+    def wait(self, job_id: str, timeout: float = None) -> dict:
+        return self.request("wait", job_id=job_id, timeout=timeout)["job"]
+
+    def status(self) -> dict:
+        return self.request("status")["status"]
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    # Lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def run_job_inprocess(spec: JobSpec, pool: WarmEnginePool = None,
+                      trace_path=None, metrics_path=None, live=None):
+    """Run one job through a transient in-process service.
+
+    The CLI's default ``repro run`` path: validates the spec, executes
+    it via the exact worker code path (:func:`execute_job` — including
+    the per-cell reseed), and returns the :class:`RunResult`.  With a
+    ``pool`` the engine stays warm for the caller's next job (the warm
+    benchmark and batched CLI futures use this); without one the
+    behaviour — and the output, bit for bit — matches the pre-service
+    direct :func:`~repro.harness.runner.run_workload` call.
+    """
+    result, _info = execute_job(
+        spec.validated(), pool=pool,
+        trace_path=trace_path, metrics_path=metrics_path, live=live,
+    )
+    return result

@@ -1,0 +1,176 @@
+"""Asyncio socket front-end over an :class:`EngineDaemon`.
+
+``repro serve`` binds a Unix-domain socket and speaks a newline-framed
+JSON protocol: one request object per line, one response object per
+line.  Requests are ``{"op": ..., ...}``; responses are
+``{"ok": true, ...}`` or ``{"ok": false, "error": msg, "kind": k}``
+where ``kind`` names the typed refusal (``backpressure`` / ``tenant`` /
+``admission`` / ``service`` / ``protocol``) so clients can rebuild the
+exception without parsing prose.
+
+Ops:
+
+* ``ping``     — liveness; returns the daemon pid.
+* ``submit``   — ``{"op": "submit", "job": {payload}}`` admits one
+  payload (render / sweep / experiment expansion happens daemon-side);
+  returns the admitted jobs' public projections.
+* ``status``   — the daemon's status snapshot.
+* ``wait``     — ``{"op": "wait", "job_id": j, "timeout": s}`` blocks
+  (in an executor — the event loop stays responsive) until terminal.
+* ``shutdown`` — stop serving; ``repro serve`` then closes the daemon.
+
+The event loop only ever does bookkeeping — rendering happens in the
+daemon's worker processes — so one slow job never blocks another
+client's submit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+
+from ..errors import (
+    AdmissionError,
+    BackpressureError,
+    ServiceError,
+    TenantError,
+)
+from .daemon import EngineDaemon
+
+__all__ = ["ServiceServer", "error_kind"]
+
+
+def error_kind(exc: ServiceError) -> str:
+    """The wire ``kind`` a typed service refusal travels as."""
+    if isinstance(exc, BackpressureError):
+        return "backpressure"
+    if isinstance(exc, TenantError):
+        return "tenant"
+    if isinstance(exc, AdmissionError):
+        return "admission"
+    return "service"
+
+
+class ServiceServer:
+    """Newline-JSON Unix-socket server for one daemon.
+
+    ``serve_forever`` blocks the calling thread (the CLI's mode);
+    ``start_in_thread`` runs the loop on a background thread and
+    returns once the socket is accepting (the tests' mode).
+    """
+
+    def __init__(self, daemon: EngineDaemon, socket_path) -> None:
+        self.daemon = daemon
+        self.socket_path = os.fspath(socket_path)
+        self._loop = None
+        self._stop_event = None
+        self._thread = None
+
+    # Protocol -----------------------------------------------------------
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pid": os.getpid()}
+            if op == "status":
+                return {"ok": True, "status": self.daemon.status()}
+            if op == "submit":
+                payload = request.get("job")
+                if not isinstance(payload, dict):
+                    raise ServiceError(
+                        "submit needs a 'job' object payload"
+                    )
+                jobs = await asyncio.get_running_loop().run_in_executor(
+                    None, self.daemon.submit_payload, payload,
+                )
+                return {"ok": True, "jobs": [job.public() for job in jobs]}
+            if op == "wait":
+                job_id = request.get("job_id")
+                timeout = request.get("timeout")
+                job = await asyncio.get_running_loop().run_in_executor(
+                    None, self.daemon.wait, job_id, timeout,
+                )
+                return {"ok": True, "job": job.public()}
+            if op == "shutdown":
+                self._stop_event.set()
+                return {"ok": True, "stopping": True}
+            return {
+                "ok": False, "kind": "protocol",
+                "error": f"unknown op {op!r} "
+                         "(ping/submit/status/wait/shutdown)",
+            }
+        except ServiceError as exc:
+            return {"ok": False, "kind": error_kind(exc),
+                    "error": str(exc)}
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be an object")
+                except ValueError as exc:
+                    response = {"ok": False, "kind": "protocol",
+                                "error": f"bad request line: {exc}"}
+                else:
+                    response = await self._dispatch(request)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            return      # loop shutdown cancelled us mid-readline; quiet
+        finally:
+            writer.close()
+
+    # Lifecycle ----------------------------------------------------------
+    async def _main(self, ready: threading.Event = None) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)     # stale socket from a kill
+        server = await asyncio.start_unix_server(
+            self._handle_client, path=self.socket_path,
+        )
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def serve_forever(self, ready: threading.Event = None) -> None:
+        """Run the server on this thread until ``shutdown`` arrives."""
+        asyncio.run(self._main(ready))
+
+    def start_in_thread(self) -> "ServiceServer":
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self.serve_forever, kwargs={"ready": ready},
+            name="repro-service-server", daemon=True,
+        )
+        self._thread.start()
+        if not ready.wait(timeout=10.0):
+            raise ServiceError(
+                f"service socket {self.socket_path} did not come up"
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass        # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)

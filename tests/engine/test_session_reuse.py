@@ -1,0 +1,126 @@
+"""Engine-reuse contract: a reset session is bit-identical to a fresh one.
+
+The warm engine pool (:mod:`repro.service.pool`) keeps constructed
+:class:`~repro.engine.session.RenderSession` engines resident across
+service requests and calls :meth:`RenderSession.reset` between them.
+That is only sound if reuse is undetectable from the outside — a run on
+a reused engine must produce exactly what a run on a freshly constructed
+engine produces:
+
+* the same per-frame per-tile **color CRCs** (functional output),
+* the same **golden skip counts** per frame and final-frame CRC (the
+  technique's skip decisions depend on signature history, which must not
+  leak across requests),
+* the same end-of-run **StatsRegistry snapshot** (cumulative counters
+  must restart from zero, not accumulate across requests).
+
+These tests pin that invariant for baseline, RE and RE+TE — everything
+the service layer's warm pool rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.engine import RenderSession
+
+CONFIG = GpuConfig.small()
+NUM_FRAMES = 6
+
+TECHNIQUES = ["baseline", "re", "re+te"]
+
+
+def run_fingerprint(session):
+    """Everything observable about a completed run, as plain data."""
+    return {
+        "color_crcs": session.color_crcs.copy(),
+        "final_frame_crc": session.final_frame_crc,
+        "skips_per_frame": [m.tiles_skipped for m in session.frames],
+        "flushes_suppressed": [m.flushes_suppressed for m in session.frames],
+        "registry": dict(session.gpu.stats_registry.snapshot()),
+        "cycles": [m.cycles.total_cycles for m in session.frames],
+        "energy": [m.energy.total_nj for m in session.frames],
+        "input_sigs": (
+            session.input_sigs.copy()
+            if session.input_sigs is not None else None
+        ),
+    }
+
+
+def assert_identical(fresh: dict, reused: dict) -> None:
+    np.testing.assert_array_equal(fresh["color_crcs"], reused["color_crcs"])
+    assert fresh["final_frame_crc"] == reused["final_frame_crc"]
+    assert fresh["skips_per_frame"] == reused["skips_per_frame"]
+    assert fresh["flushes_suppressed"] == reused["flushes_suppressed"]
+    assert fresh["registry"] == reused["registry"]
+    assert fresh["cycles"] == reused["cycles"]
+    assert fresh["energy"] == reused["energy"]
+    if fresh["input_sigs"] is None:
+        assert reused["input_sigs"] is None
+    else:
+        np.testing.assert_array_equal(
+            fresh["input_sigs"], reused["input_sigs"]
+        )
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+class TestEngineReuse:
+    def test_reset_run_matches_fresh_run(self, technique):
+        fresh = RenderSession(
+            "ccs", technique, config=CONFIG, num_frames=NUM_FRAMES
+        )
+        fresh.run()
+        expected = run_fingerprint(fresh)
+
+        reused = RenderSession(
+            "ccs", technique, config=CONFIG, num_frames=NUM_FRAMES
+        )
+        reused.run()          # dirty the engine with a full first run
+        reused.reset()
+        assert reused.frames_rendered == 0
+        assert reused.frames == []
+        reused.run()          # second request on the warm engine
+        assert_identical(expected, run_fingerprint(reused))
+
+    def test_double_reset_is_stable(self, technique):
+        session = RenderSession(
+            "ccs", technique, config=CONFIG, num_frames=NUM_FRAMES
+        )
+        session.run()
+        expected = run_fingerprint(session)
+        for _ in range(2):
+            session.reset()
+            session.run()
+            assert_identical(expected, run_fingerprint(session))
+
+    def test_reset_retargets_num_frames(self, technique):
+        session = RenderSession(
+            "ccs", technique, config=CONFIG, num_frames=3
+        )
+        session.run()
+        session.reset(num_frames=NUM_FRAMES)
+        session.run()
+        assert session.frames_rendered == NUM_FRAMES
+
+        fresh = RenderSession(
+            "ccs", technique, config=CONFIG, num_frames=NUM_FRAMES
+        )
+        fresh.run()
+        assert_identical(run_fingerprint(fresh), run_fingerprint(session))
+
+
+class TestResetDetachesObservability:
+    def test_sinks_cleared_on_reset(self):
+        from repro.obs import MetricsLog, TraceRecorder
+
+        session = RenderSession(
+            "ccs", "re", config=CONFIG, num_frames=2
+        )
+        recorder = TraceRecorder()
+        log = MetricsLog(None)
+        session.attach_observability(tracer=recorder, metrics=log)
+        session.run()
+        session.reset()
+        assert session.gpu.tracer is None
+        assert session.metrics is None
+        assert session.live is None

@@ -1,0 +1,101 @@
+"""CLI surface of the service layer.
+
+``test_service_path_output_identical_to_direct`` pins the ISSUE's
+acceptance criterion at the outermost layer: ``repro run`` (which now
+routes through the transient in-process service) prints byte-for-byte
+what ``repro run --direct`` (the pre-service path) prints.
+"""
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.live import LiveAggregator
+from repro.service.daemon import EngineDaemon, ServiceConfig
+from repro.service.server import ServiceServer
+
+FRAMES = 2
+
+
+class TestRunRoutesThroughService:
+    def test_service_path_output_identical_to_direct(self, capsys):
+        assert main(["--frames", "3", "run", "ccs",
+                     "--no-registry"]) == 0
+        service_out = capsys.readouterr().out
+        assert main(["--frames", "3", "run", "ccs",
+                     "--no-registry", "--direct"]) == 0
+        direct_out = capsys.readouterr().out
+        assert service_out == direct_out
+        assert "ccs under re" in service_out
+
+    def test_run_rejects_bad_tenant_before_rendering(self, capsys):
+        assert main(["--frames", "2", "run", "ccs",
+                     "--tenant", "a/b"]) == 2
+        assert "tenant" in capsys.readouterr().err
+
+    def test_run_records_into_tenant_namespace(self, tmp_path, capsys):
+        registry = str(tmp_path / "reg")
+        assert main(["--frames", "2", "run", "ccs",
+                     "--registry", registry, "--tenant", "alice"]) == 0
+        assert "registered as" in capsys.readouterr().out
+        assert main(["runs", "--registry", registry]) == 0
+        out = capsys.readouterr().out
+        assert "tenants: alice" in out
+        assert main(["runs", "--registry", registry,
+                     "--tenant", "alice"]) == 0
+        assert "ccs" in capsys.readouterr().out
+
+
+class TestSubmitAndStatus:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        sock = str(tmp_path / "repro.sock")
+        daemon = EngineDaemon(ServiceConfig(workers=1)).start()
+        server = ServiceServer(daemon, sock).start_in_thread()
+        try:
+            yield sock
+        finally:
+            server.stop()
+            daemon.close()
+
+    def test_submit_wait_then_status(self, served, capsys):
+        assert main(["--frames", str(FRAMES), "submit", "ccs",
+                     "--socket", served, "--wait"]) == 0
+        out = capsys.readouterr().out
+        assert "submitted 1 job(s)" in out
+        assert "ccs/re done (cold" in out
+        assert main(["status", "--socket", served]) == 0
+        out = capsys.readouterr().out
+        assert "daemon pid" in out
+        assert "1 submitted / 1 done" in out
+
+    def test_submit_sweep_batches(self, served, capsys):
+        assert main(["--frames", str(FRAMES), "submit", "ccs",
+                     "--socket", served,
+                     "--set", "tile_size=8,16", "--wait"]) == 0
+        out = capsys.readouterr().out
+        assert "submitted 2 job(s)" in out
+
+    def test_submit_unreachable_socket_fails_cleanly(self, tmp_path,
+                                                     capsys):
+        missing = str(tmp_path / "nope.sock")
+        assert main(["submit", "ccs", "--socket", missing]) == 1
+        assert "cannot reach service socket" in capsys.readouterr().err
+
+
+class TestStatusHeartbeatFallback:
+    def test_falls_back_to_heartbeat_file(self, tmp_path, capsys):
+        heartbeat = tmp_path / "live.json"
+        live = LiveAggregator(path=str(heartbeat), stream=None,
+                              owner="repro-serve:12345")
+        live.tick(force=True)
+        live.close()
+        assert main(["status", "--socket", str(tmp_path / "nope.sock"),
+                     "--heartbeat", str(heartbeat)]) == 0
+        out = capsys.readouterr().out
+        assert "daemon unreachable" in out
+        assert "repro-serve:12345" in out
+
+    def test_no_daemon_and_no_heartbeat_fails(self, tmp_path, capsys):
+        assert main(["status", "--socket", str(tmp_path / "nope.sock"),
+                     "--heartbeat", str(tmp_path / "none.json")]) == 1
+        assert "status failed" in capsys.readouterr().err

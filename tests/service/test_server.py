@@ -1,0 +1,134 @@
+"""Socket protocol smoke: ServiceServer + ServiceClient end to end.
+
+One module-scoped server (a real daemon with one worker) backs the
+happy-path tests; admission refusals get their own zero-capacity daemon
+so the typed-error mapping over the wire is deterministic.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    BackpressureError,
+    ServiceError,
+    TenantError,
+)
+from repro.service.client import ServiceClient
+from repro.service.daemon import EngineDaemon, ServiceConfig
+from repro.service.server import ServiceServer, error_kind
+
+FRAMES = 2
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    sock = str(tmp_path_factory.mktemp("svc") / "repro.sock")
+    daemon = EngineDaemon(ServiceConfig(workers=1, max_engines=2)).start()
+    server = ServiceServer(daemon, sock).start_in_thread()
+    try:
+        yield sock
+    finally:
+        server.stop()
+        daemon.close()
+
+
+class TestErrorKinds:
+    def test_mapping(self):
+        assert error_kind(BackpressureError("x")) == "backpressure"
+        assert error_kind(TenantError("x")) == "tenant"
+        assert error_kind(AdmissionError("x")) == "admission"
+        assert error_kind(ServiceError("x")) == "service"
+
+
+class TestProtocol:
+    def test_ping(self, served):
+        with ServiceClient(served) as client:
+            assert client.ping()["ok"] is True
+
+    def test_submit_wait_status(self, served):
+        with ServiceClient(served) as client:
+            jobs = client.submit({"game": "ccs", "num_frames": FRAMES})
+            assert len(jobs) == 1
+            job = client.wait(jobs[0]["job_id"], timeout=120)
+            assert job["state"] == "done"
+            assert job["summary"]["final_frame_crc"] != 0
+            status = client.status()
+            assert status["stats"]["completed"] >= 1
+            assert any(
+                row["job_id"] == job["job_id"] for row in status["jobs"]
+            )
+
+    def test_second_identical_submit_is_warm(self, served):
+        with ServiceClient(served) as client:
+            [first] = client.submit({"game": "cde",
+                                     "num_frames": FRAMES})
+            client.wait(first["job_id"], timeout=120)
+            [second] = client.submit({"game": "cde",
+                                      "num_frames": FRAMES})
+            job = client.wait(second["job_id"], timeout=120)
+            assert job["warm"] is True
+
+    def test_unknown_op_is_protocol_error(self, served):
+        with ServiceClient(served) as client:
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.request("dance")
+
+    def test_bad_json_line_is_protocol_error(self, served):
+        with socket.socket(socket.AF_UNIX) as raw:
+            raw.connect(served)
+            raw.sendall(b"this is not json\n")
+            response = json.loads(raw.makefile().readline())
+        assert response["ok"] is False
+        assert response["kind"] == "protocol"
+
+    def test_wait_unknown_job_raises(self, served):
+        with ServiceClient(served) as client:
+            with pytest.raises(ServiceError, match="unknown job"):
+                client.wait("j9999", timeout=5)
+
+
+class TestTypedRefusalsOverTheWire:
+    def test_backpressure_round_trips(self, tmp_path):
+        sock = str(tmp_path / "full.sock")
+        daemon = EngineDaemon(ServiceConfig(workers=1, max_queue=0))
+        daemon.start()
+        server = ServiceServer(daemon, sock).start_in_thread()
+        try:
+            with ServiceClient(sock) as client:
+                with pytest.raises(BackpressureError):
+                    client.submit({"game": "ccs",
+                                   "num_frames": FRAMES})
+        finally:
+            server.stop()
+            daemon.close()
+
+    def test_tenant_error_round_trips(self, served):
+        with ServiceClient(served) as client:
+            with pytest.raises(TenantError):
+                client.submit({"game": "ccs", "num_frames": FRAMES,
+                               "tenant": "a/b"})
+
+    def test_refused_payload_admits_nothing(self, served):
+        with ServiceClient(served) as client:
+            before = client.status()["stats"]["submitted"]
+            with pytest.raises(ServiceError):
+                client.submit({"game": "no-such-game"})
+            assert client.status()["stats"]["submitted"] == before
+
+
+class TestShutdown:
+    def test_shutdown_op_stops_the_server(self, tmp_path):
+        sock = str(tmp_path / "down.sock")
+        daemon = EngineDaemon(ServiceConfig(workers=1)).start()
+        server = ServiceServer(daemon, sock).start_in_thread()
+        try:
+            with ServiceClient(sock) as client:
+                assert client.shutdown()["stopping"] is True
+            server._thread.join(timeout=10)
+            assert not server._thread.is_alive()
+        finally:
+            server.stop()
+            daemon.close()
