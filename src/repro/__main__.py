@@ -29,6 +29,14 @@ Subcommands:
   daemon (``--wait`` blocks for the summaries).
 * ``status``         — a daemon's queue/worker/job table over the
   socket, or — daemon gone — its last ``live.json`` heartbeat.
+* ``workloads``      — the declarative workload DSL: ``list`` the
+  discovered scene files, ``validate`` documents (line-precise typed
+  errors), ``add`` a file to ``./workloads``, ``show`` a canonical
+  defaults-filled document.  ``run``'s ``--workload-file`` runs a scene
+  file directly; ``--native`` applies its native defaults.
+* ``goldens``        — ``record``/``check`` the registry-pinned golden
+  conformance baselines (per-tile CRC matrices + RE skip counts) under
+  ``results/goldens``; ``check`` exits non-zero on any output drift.
 
 Plain ``run`` executes through a *transient in-process service* (the
 same code path the daemon's workers run; ``--direct`` bypasses it) —
@@ -76,7 +84,12 @@ from .harness.experiments import (
     table1_parameters,
 )
 from .harness.runner import TECHNIQUES, run_workload
-from .workloads.games import BENCHMARKS, PSEUDO_WORKLOADS
+from .workloads.games import (
+    BENCHMARKS,
+    PSEUDO_WORKLOADS,
+    all_workload_aliases,
+    unknown_workload_message,
+)
 
 
 def _config_from(args) -> GpuConfig:
@@ -86,10 +99,13 @@ def _config_from(args) -> GpuConfig:
         "mali450": GpuConfig.mali450,
     }
     config = presets[args.scale]()
+    overrides = dict(getattr(args, "native_overrides", None) or {})
     if getattr(args, "occlusion_culling", False):
+        overrides["occlusion_culling"] = True
+    if overrides:
         import dataclasses
 
-        config = dataclasses.replace(config, occlusion_culling=True)
+        config = dataclasses.replace(config, **overrides)
     return config
 
 
@@ -191,6 +207,12 @@ def _cmd_list(_args) -> int:
     for info in BENCHMARKS:
         print(f"  {info.alias:4s} {info.name} ({info.genre}, {info.type})")
     print("pseudo-workloads:", ", ".join(PSEUDO_WORKLOADS))
+    from .workloads.dsl import registry as dsl_registry
+
+    dsl = dsl_registry.discover()
+    if dsl:
+        print("DSL workloads (see `python -m repro workloads list`):",
+              ", ".join(sorted(dsl)))
     print("experiments:", ", ".join(sorted(EXPERIMENTS)),
           "+ hash_quality, table1")
     print("techniques:", ", ".join(TECHNIQUES))
@@ -299,7 +321,7 @@ def _service_spec_from(args):
     """The :class:`~repro.service.jobs.JobSpec` a ``run`` maps to."""
     from .service import JobSpec
 
-    overrides = {}
+    overrides = dict(getattr(args, "native_overrides", None) or {})
     if getattr(args, "occlusion_culling", False):
         overrides["occlusion_culling"] = True
     return JobSpec(
@@ -319,7 +341,81 @@ def _run_needs_direct_path(args) -> bool:
     )
 
 
+def _resolve_run_workload(args) -> int:
+    """Resolve ``--workload-file``/``--native`` and validate the alias.
+
+    Runs before any rendering path (direct, service, supervised), so a
+    typo'd alias fails at parse time with a did-you-mean instead of
+    deep inside a worker.  Returns 0, or the exit code to fail with.
+    """
+    from .errors import WorkloadError
+
+    if getattr(args, "workload_file", None):
+        from .workloads.dsl import load_path
+        from .workloads.dsl import registry as dsl_registry
+
+        try:
+            document = load_path(args.workload_file)
+            stem = os.path.splitext(
+                os.path.basename(args.workload_file))[0]
+            if stem != document.name:
+                print(
+                    f"run failed: workload file {args.workload_file!r} "
+                    f"declares name {document.name!r}; rename the file "
+                    f"to {document.name}{os.path.splitext(args.workload_file)[1]} "
+                    f"so discovery and the document agree",
+                    file=sys.stderr,
+                )
+                return 2
+            dsl_registry.register_search_dir(
+                os.path.dirname(os.path.abspath(args.workload_file)))
+        except WorkloadError as exc:
+            print(f"run failed: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if args.game and args.game != document.name:
+            print(
+                f"run failed: both a game alias ({args.game!r}) and "
+                f"--workload-file (name {document.name!r}) were given "
+                "and they disagree; drop one",
+                file=sys.stderr,
+            )
+            return 2
+        args.game = document.name
+    if not args.game:
+        print("run failed: give a game alias or --workload-file SCENE",
+              file=sys.stderr)
+        return 2
+    if args.game not in all_workload_aliases():
+        print(f"run failed: {unknown_workload_message(args.game)}",
+              file=sys.stderr)
+        return 2
+    if getattr(args, "native", False):
+        from .workloads.dsl import registry as dsl_registry
+
+        if not dsl_registry.is_dsl_alias(args.game):
+            print(
+                f"run failed: --native reads a DSL document's defaults; "
+                f"{args.game!r} is a builtin workload without one",
+                file=sys.stderr,
+            )
+            return 2
+        defaults = dsl_registry.load_dsl_workload(args.game).defaults
+        overrides = {}
+        if "screen" in defaults:
+            overrides["screen_width"] = defaults["screen"][0]
+            overrides["screen_height"] = defaults["screen"][1]
+        if "tile_size" in defaults:
+            overrides["tile_size"] = defaults["tile_size"]
+        args.native_overrides = overrides
+        if defaults.get("frames"):
+            args.frames = defaults["frames"]
+    return 0
+
+
 def _cmd_run(args) -> int:
+    failed = _resolve_run_workload(args)
+    if failed:
+        return failed
     if _supervision_requested(args):
         return _cmd_run_supervised(args)
     perf = None
@@ -438,6 +534,13 @@ def _cmd_submit(args) -> int:
     from .errors import ServiceError
     from .service import ServiceClient
 
+    if args.kind != "experiment" and not args.shutdown \
+            and args.what not in all_workload_aliases():
+        # Fail the typo client-side with a did-you-mean; the daemon
+        # would refuse it anyway, but only after a socket round-trip.
+        print(f"submit failed: {unknown_workload_message(args.what)}",
+              file=sys.stderr)
+        return 2
     payload = {
         "kind": args.kind,
         "technique": args.technique,
@@ -577,6 +680,10 @@ def _cmd_sweep(args) -> int:
     from .harness.reporting import format_table
     from .harness.sweeps import sweep, tabulate
 
+    if args.game not in all_workload_aliases():
+        print(f"sweep failed: {unknown_workload_message(args.game)}",
+              file=sys.stderr)
+        return 2
     parameters = {}
     for spec in args.set:
         name, _, values = spec.partition("=")
@@ -781,6 +888,126 @@ def _cmd_trend(args) -> int:
     return 0
 
 
+def _cmd_workloads(args) -> int:
+    from .errors import WorkloadError
+    from .harness.reporting import format_table
+    from .workloads.dsl import load_path
+    from .workloads.dsl import registry as dsl_registry
+
+    if args.action == "list":
+        entries = dsl_registry.discover()
+        if not entries:
+            print("no DSL workloads on the search path "
+                  f"({os.pathsep.join(dsl_registry.search_dirs())})")
+            return 0
+        rows = []
+        for alias in sorted(entries):
+            entry = entries[alias]
+            try:
+                document = dsl_registry.load_dsl_workload(alias)
+                defaults = document.defaults
+                detail = " ".join(
+                    f"{key}={value}" for key, value in sorted(
+                        defaults.items())
+                ) or "-"
+                description = (document.data.get("description") or
+                               "").strip().split("\n")[0]
+            except WorkloadError as exc:
+                detail = "INVALID"
+                description = exc.args[0]
+            rows.append([alias, entry.origin, detail, description])
+        print(format_table(
+            ["alias", "origin", "native defaults", "description"], rows,
+        ))
+        return 0
+    if args.action == "validate":
+        if not args.paths:
+            print("workloads validate needs one or more scene files",
+                  file=sys.stderr)
+            return 2
+        failures = 0
+        for path in args.paths:
+            try:
+                document = load_path(path)
+            except (WorkloadError, OSError) as exc:
+                failures += 1
+                message = exc.args[0] if exc.args else str(exc)
+                print(f"FAIL {path}: {message}")
+                continue
+            print(f"ok   {path}: {document.name} "
+                  f"({len(document.data['nodes'])} nodes)")
+        return 1 if failures else 0
+    if args.action == "add":
+        if not args.paths:
+            print("workloads add needs one or more scene files",
+                  file=sys.stderr)
+            return 2
+        try:
+            for path in args.paths:
+                installed = dsl_registry.add_workload_file(
+                    path, dest_dir=args.dest)
+                print(f"installed {load_path(installed).name} "
+                      f"-> {installed}")
+        except (WorkloadError, OSError) as exc:
+            print(f"workloads add failed: "
+                  f"{exc.args[0] if exc.args else exc}", file=sys.stderr)
+            return 2
+        return 0
+    # show: the canonical (defaults-filled) form of one alias
+    if not args.paths:
+        print("workloads show needs an alias", file=sys.stderr)
+        return 2
+    for alias in args.paths:
+        try:
+            document = dsl_registry.load_dsl_workload(alias)
+        except WorkloadError as exc:
+            print(f"workloads show failed: {exc.args[0]}",
+                  file=sys.stderr)
+            return 2
+        print(document.dump(), end="")
+    return 0
+
+
+def _cmd_goldens(args) -> int:
+    from .errors import ReproError
+    from .harness.goldens import check_goldens, record_goldens
+    from .obs.store import RunRegistry
+
+    registry = RunRegistry(args.goldens)
+    aliases = args.game or None
+    if aliases:
+        for alias in aliases:
+            if alias not in all_workload_aliases():
+                print(f"goldens failed: {unknown_workload_message(alias)}",
+                      file=sys.stderr)
+                return 2
+    progress = (lambda line: print(f"  {line}")) if args.verbose else None
+    try:
+        if args.action == "record":
+            recorded = record_goldens(
+                registry, aliases, config=_config_from(args),
+                num_frames=args.golden_frames, progress=progress,
+            )
+            print(f"recorded {len(recorded)} golden(s) into "
+                  f"{registry.root}")
+            return 0
+        report = check_goldens(
+            registry, aliases, config=_config_from(args),
+            num_frames=args.golden_frames, progress=progress,
+        )
+    except ReproError as exc:
+        print(f"goldens {args.action} failed: {exc.args[0]}",
+              file=sys.stderr)
+        return 1
+    print(report.summary())
+    if not report.ok:
+        print(f"\n{len(report.failures)} point(s) drifted; if the new "
+              "output is intended, refresh with "
+              "`python -m repro goldens record`", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_registry_flags(parser, suppress: bool = False) -> None:
     # The flags also hang off every registry-aware subcommand so they
     # work on either side of the subcommand name; SUPPRESS keeps a
@@ -862,8 +1089,18 @@ def main(argv=None) -> int:
     exp = sub.add_parser("experiment", help="regenerate a paper figure")
     exp.add_argument("id")
     run = sub.add_parser("run", help="run one game under one technique")
-    run.add_argument("game")
+    run.add_argument("game", nargs="?", default=None,
+                     help="workload alias (builtin or DSL-registered); "
+                          "optional when --workload-file is given")
     run.add_argument("--technique", choices=TECHNIQUES, default="re")
+    run.add_argument("--workload-file", default=None, metavar="SCENE",
+                     help="run a DSL scene file directly: validate it, "
+                          "register its directory on the workload search "
+                          "path and use its document name as the alias")
+    run.add_argument("--native", action="store_true",
+                     help="apply the DSL document's native defaults "
+                          "(screen resolution, tile size, frame count) "
+                          "instead of the --scale preset values")
     run.add_argument("--resume", default=None, metavar="CHECKPOINT",
                      help="resume a run from a checkpoint file written "
                           "by --checkpoint-at/--checkpoint-out")
@@ -918,7 +1155,8 @@ def main(argv=None) -> int:
                      "points and bench profiles)"
     )
     runs.add_argument("--kind", default=None,
-                      choices=("run", "sweep-point", "bench", "figure"),
+                      choices=("run", "sweep-point", "bench", "figure",
+                               "golden"),
                       help="only entries of this kind")
     runs.add_argument("--game", default=None,
                       help="only entries for this game alias")
@@ -1011,6 +1249,36 @@ def main(argv=None) -> int:
     submit.add_argument("--shutdown", action="store_true",
                         help="ask the daemon to shut down instead of "
                              "submitting")
+    workloads = sub.add_parser(
+        "workloads", help="list/validate/add/show declarative DSL "
+                          "workloads (data-file scenes)"
+    )
+    workloads.add_argument("action",
+                           choices=("list", "validate", "add", "show"))
+    workloads.add_argument("paths", nargs="*",
+                           help="scene files (validate/add) or workload "
+                                "aliases (show)")
+    workloads.add_argument("--dest", default=None, metavar="DIR",
+                           help="directory `add` installs into "
+                                "(default ./workloads)")
+    goldens = sub.add_parser(
+        "goldens", help="record or check the registry-pinned golden "
+                        "CRC/skip conformance baselines"
+    )
+    goldens.add_argument("action", choices=("record", "check"))
+    goldens.add_argument("--goldens", metavar="DIR",
+                         default=os.path.join("results", "goldens"),
+                         help="golden registry directory "
+                              "(default results/goldens — the committed "
+                              "conformance baseline)")
+    goldens.add_argument("--game", action="append", default=None,
+                         help="only these aliases (repeatable; default "
+                              "every builtin and DSL workload)")
+    goldens.add_argument("--golden-frames", type=int, default=None,
+                         metavar="N",
+                         help="frames per golden point (default 8)")
+    goldens.add_argument("--verbose", action="store_true",
+                         help="print per-alias progress")
     status = sub.add_parser(
         "status", help="show a running daemon's queue/worker/tenant "
                        "state (falls back to the heartbeat file)"
@@ -1043,6 +1311,8 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,
+        "workloads": _cmd_workloads,
+        "goldens": _cmd_goldens,
     }
     return handlers[args.command](args)
 

@@ -34,6 +34,35 @@ class CheckpointError(ReproError):
     """A render-session checkpoint could not be serialized or restored."""
 
 
+class WorkloadError(ReproError):
+    """A declarative workload (DSL scene file) could not be used:
+    unknown alias, unreadable file, or a registry collision."""
+
+
+class WorkloadValidationError(WorkloadError):
+    """A DSL scene document failed schema validation.
+
+    Carries the offending key path (``nodes[2].rect``), the 1-based
+    line in the source document when the parser could attribute one,
+    and the source path — all three also baked into ``str(exc)`` so a
+    bare print is actionable.
+    """
+
+    def __init__(self, message: str, path: str = None, line: int = None,
+                 source=None) -> None:
+        self.key_path = path
+        self.line = line
+        self.source = str(source) if source is not None else None
+        where = ""
+        if self.source is not None:
+            where = self.source
+        if line is not None:
+            where = f"{where or '<document>'}:{line}"
+        prefix = f"{where}: " if where else ""
+        keypart = f"{path}: " if path else ""
+        super().__init__(f"{prefix}{keypart}{message}")
+
+
 class SupervisionError(ReproError):
     """A supervised harness run had cells fail after exhausting retries,
     or a fault-injection / supervision policy spec was invalid."""

@@ -1,0 +1,242 @@
+"""Golden conformance baselines: registry-pinned CRC/skip references.
+
+A *golden* is a registry manifest (``kind="golden"``) plus its per-tile
+CRC matrix, recorded for one ``(alias, technique, config, num_frames)``
+point.  ``record_goldens`` renders those points and pins them;
+``check_goldens`` re-renders and compares bit-for-bit — any drift in
+rendered output (a changed CRC anywhere in the frames x tiles matrix)
+or in RE's skip counts fails the check with a diff naming the first
+divergent frames and tiles.
+
+The committed registry at ``results/goldens`` is the conformance
+baseline CI runs against (``tests/workloads/test_conformance.py``);
+``repro goldens record`` refreshes it after an intentional output
+change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..config import GpuConfig
+from ..errors import ReproError
+from ..obs.store import RunRegistry
+from ..workloads import all_workload_aliases
+from .runner import run_workload
+
+__all__ = [
+    "GOLDEN_FRAMES",
+    "GOLDEN_TECHNIQUES",
+    "GoldenCheck",
+    "GoldenReport",
+    "check_goldens",
+    "golden_config",
+    "record_goldens",
+]
+
+#: Frames per golden run: past RE's warm-up (signature compare distance
+#: is 1) and covering a full blink/pulse period of every pack scene's
+#: dirty regions, while keeping a 17-alias x 2-technique sweep under
+#: ~20 s of pure-Python rendering.
+GOLDEN_FRAMES = 8
+
+#: Techniques pinned per alias.  baseline is the reference image;
+#: re must match it bit-for-bit (the paper's lossless-ness claim) and
+#: additionally pins its skip counts.
+GOLDEN_TECHNIQUES = ("baseline", "re")
+
+
+def golden_config() -> GpuConfig:
+    """The scale goldens are recorded at (the tier-1 ``small`` scale)."""
+    return GpuConfig.small()
+
+
+@dataclasses.dataclass
+class GoldenCheck:
+    """Outcome of checking one (alias, technique) point."""
+
+    alias: str
+    technique: str
+    status: str  # "ok" | "missing" | "crc-drift" | "skip-drift"
+    golden_id: str = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclasses.dataclass
+class GoldenReport:
+    """All checks of one ``check_goldens`` sweep."""
+
+    checks: list
+    config_digest: str
+    num_frames: int
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def failures(self) -> list:
+        return [check for check in self.checks if not check.ok]
+
+    def summary(self) -> str:
+        lines = [
+            f"golden conformance: {len(self.checks)} points "
+            f"@ config {self.config_digest} x {self.num_frames} frames",
+        ]
+        for check in self.checks:
+            mark = "ok  " if check.ok else check.status
+            line = f"  [{mark}] {check.alias}/{check.technique}"
+            if check.detail:
+                line += f": {check.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _crc_diff_detail(golden, fresh, max_sites: int = 4) -> str:
+    """Human-readable first-divergence description of two CRC matrices."""
+    golden = np.asarray(golden, dtype=np.uint32)
+    fresh = np.asarray(fresh, dtype=np.uint32)
+    if golden.shape != fresh.shape:
+        return (
+            f"matrix shape changed: golden {golden.shape} "
+            f"vs fresh {fresh.shape}"
+        )
+    frames, tiles = np.nonzero(golden != fresh)
+    if frames.size == 0:
+        return ""
+    sites = ", ".join(
+        f"frame {f} tile {t} ({g:#010x} -> {n:#010x})"
+        for f, t, g, n in zip(
+            frames[:max_sites], tiles[:max_sites],
+            golden[frames[:max_sites], tiles[:max_sites]],
+            fresh[frames[:max_sites], tiles[:max_sites]],
+        )
+    )
+    more = "" if frames.size <= max_sites else f" (+{frames.size - max_sites} more)"
+    return (
+        f"{frames.size}/{golden.size} tile CRCs diverge across "
+        f"{len(set(frames.tolist()))} frames: {sites}{more}"
+    )
+
+
+def _run_points(aliases, config, num_frames, techniques):
+    for alias in aliases:
+        results = {}
+        for technique in techniques:
+            results[technique] = run_workload(
+                alias, technique, config=config, num_frames=num_frames,
+            )
+        yield alias, results
+
+
+def record_goldens(registry: RunRegistry, aliases=None,
+                   config: GpuConfig = None, num_frames: int = None,
+                   techniques=GOLDEN_TECHNIQUES, progress=None) -> list:
+    """Render and pin golden manifests; returns the recorded run ids.
+
+    Before recording anything the baseline-vs-RE CRC matrices are
+    cross-checked — a golden refresh can never pin a state where RE is
+    not bit-identical to baseline.
+    """
+    aliases = list(aliases) if aliases else all_workload_aliases()
+    config = config or golden_config()
+    num_frames = num_frames or GOLDEN_FRAMES
+    recorded = []
+    for alias, results in _run_points(aliases, config, num_frames,
+                                      techniques):
+        if "baseline" in results and "re" in results:
+            detail = _crc_diff_detail(
+                results["baseline"].tile_color_crcs,
+                results["re"].tile_color_crcs,
+            )
+            if detail:
+                raise ReproError(
+                    f"refusing to record goldens: re is not bit-identical "
+                    f"to baseline for {alias!r}: {detail}"
+                )
+        for technique, result in results.items():
+            run_id = registry.record_run(result, kind="golden")
+            recorded.append(run_id)
+            if progress:
+                progress(f"golden {alias}/{technique} -> {run_id}")
+    return recorded
+
+
+def check_goldens(registry: RunRegistry, aliases=None,
+                  config: GpuConfig = None, num_frames: int = None,
+                  techniques=GOLDEN_TECHNIQUES,
+                  progress=None) -> GoldenReport:
+    """Re-render every golden point and compare against the registry.
+
+    Each point is checked for (1) a recorded golden existing at this
+    exact (alias, technique, config digest, frame count), (2) the fresh
+    per-tile CRC matrix matching the pinned one bit-for-bit, and (3)
+    for RE, the pinned skip count.  Cross-technique bit-identity
+    (baseline vs re) is asserted on the *fresh* results too, so the
+    check catches a lossy regression even before goldens are consulted.
+    """
+    aliases = list(aliases) if aliases else all_workload_aliases()
+    config = config or golden_config()
+    num_frames = num_frames or GOLDEN_FRAMES
+    digest = config.digest()
+    checks = []
+    for alias, results in _run_points(aliases, config, num_frames,
+                                      techniques):
+        if "baseline" in results and "re" in results:
+            detail = _crc_diff_detail(
+                results["baseline"].tile_color_crcs,
+                results["re"].tile_color_crcs,
+            )
+            if detail:
+                checks.append(GoldenCheck(
+                    alias, "re", "crc-drift",
+                    detail=f"re not bit-identical to baseline: {detail}",
+                ))
+        for technique, result in results.items():
+            entry = registry.find_golden(alias, technique, digest,
+                                         num_frames)
+            if entry is None:
+                checks.append(GoldenCheck(
+                    alias, technique, "missing",
+                    detail=(
+                        f"no golden for config {digest} x {num_frames} "
+                        f"frames (run `repro goldens record`)"
+                    ),
+                ))
+                continue
+            golden_crcs = registry.crcs(entry.run_id)
+            if golden_crcs is None:
+                checks.append(GoldenCheck(
+                    alias, technique, "missing", golden_id=entry.run_id,
+                    detail="golden manifest has no CRC matrix",
+                ))
+                continue
+            detail = _crc_diff_detail(golden_crcs, result.tile_color_crcs)
+            if detail:
+                checks.append(GoldenCheck(
+                    alias, technique, "crc-drift", golden_id=entry.run_id,
+                    detail=detail,
+                ))
+                continue
+            pinned_skips = (entry.summary or {}).get("tiles_skipped")
+            if pinned_skips is not None and \
+                    pinned_skips != result.tiles_skipped:
+                checks.append(GoldenCheck(
+                    alias, technique, "skip-drift", golden_id=entry.run_id,
+                    detail=(
+                        f"tiles_skipped {result.tiles_skipped} != "
+                        f"golden {pinned_skips}"
+                    ),
+                ))
+                continue
+            checks.append(GoldenCheck(alias, technique, "ok",
+                                      golden_id=entry.run_id))
+        if progress:
+            progress(f"checked {alias}")
+    return GoldenReport(checks, digest, num_frames)

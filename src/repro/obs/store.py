@@ -54,7 +54,7 @@ REGISTRY_ENV_VAR = "REPRO_REGISTRY"
 
 #: Manifest kinds the registry understands (free-form strings are
 #: accepted; these are the ones the harness emits).
-KINDS = ("run", "sweep-point", "bench", "figure")
+KINDS = ("run", "sweep-point", "bench", "figure", "golden")
 
 #: Registry-root names a tenant namespace may not shadow: the store's
 #: own layout lives there.
@@ -545,3 +545,21 @@ class RunRegistry:
             return None
         with open(path, "r", encoding="utf-8") as handle:
             return json.load(handle)["tile_color_crcs"]
+
+    def find_golden(self, alias: str, technique: str, config_digest: str,
+                    num_frames: int = None):
+        """Latest ``kind="golden"`` entry pinning this exact point.
+
+        A golden only binds when alias, technique and config digest all
+        match — a golden recorded at one tile size never masks drift at
+        another.  Returns the :class:`IndexEntry`, or ``None`` if this
+        point has no recorded golden.
+        """
+        matches = [
+            entry for entry in self.query(
+                kind="golden", alias=alias, technique=technique,
+                config_digest=config_digest,
+            )
+            if num_frames is None or entry.num_frames == num_frames
+        ]
+        return matches[-1] if matches else None

@@ -36,6 +36,7 @@ __all__ = [
     "SCALES",
     "JobSpec",
     "expand_payload",
+    "known_aliases",
 ]
 
 #: Tenant a spec that does not name one records under.
@@ -47,8 +48,22 @@ JOB_KINDS = ("render", "sweep", "experiment")
 #: Config presets a spec may name (mirrors the CLI's ``--scale``).
 SCALES = ("small", "benchmark", "mali450")
 
-#: Every renderable workload alias.
+#: The hard-coded workload aliases (games + pseudo-workloads).  Kept as
+#: a constant for compatibility; admission control validates against
+#: :func:`known_aliases`, which also sees DSL-registered workloads.
 KNOWN_ALIASES = tuple(info.alias for info in BENCHMARKS) + PSEUDO_WORKLOADS
+
+
+def known_aliases() -> tuple:
+    """Every renderable alias right now: builtins plus DSL workloads.
+
+    Computed per call because DSL workloads are file-registered — a
+    scene dropped into ``$REPRO_WORKLOAD_PATH`` while the daemon runs
+    is admissible without a restart.
+    """
+    from ..workloads.games import all_workload_aliases
+
+    return all_workload_aliases()
 
 
 def _preset(scale: str) -> GpuConfig:
@@ -88,11 +103,10 @@ class JobSpec:
         admission error — the id is attacker-controlled wire input);
         everything else raises :class:`~repro.errors.ServiceError`.
         """
-        if self.alias not in KNOWN_ALIASES:
-            raise ServiceError(
-                f"unknown game alias {self.alias!r} "
-                f"(choose from {', '.join(KNOWN_ALIASES)})"
-            )
+        if self.alias not in known_aliases():
+            from ..workloads.games import unknown_workload_message
+
+            raise ServiceError(unknown_workload_message(self.alias))
         if self.technique not in TECHNIQUES:
             raise ServiceError(
                 f"unknown technique {self.technique!r} "

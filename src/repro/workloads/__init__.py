@@ -14,8 +14,12 @@ from .games import (
     PSEUDO_WORKLOADS,
     BenchmarkInfo,
     all_game_aliases,
+    all_workload_aliases,
     benchmark_info,
     build_scene,
+    builtin_aliases,
+    suggest_aliases,
+    unknown_workload_message,
 )
 from .scene import QuadNode, Scene
 from .scene3d import CameraPath3D, MeshNode, Scene3D, corridor_scene
@@ -36,8 +40,12 @@ __all__ = [
     "PSEUDO_WORKLOADS",
     "BenchmarkInfo",
     "all_game_aliases",
+    "all_workload_aliases",
     "benchmark_info",
     "build_scene",
+    "builtin_aliases",
+    "suggest_aliases",
+    "unknown_workload_message",
     "QuadNode",
     "Scene",
 ]

@@ -1,0 +1,62 @@
+"""Declarative workload DSL: data-driven scene + camera scripts.
+
+A workload is a JSON or YAML document (see :mod:`.schema` for the
+versioned schema) describing a 2D scene — nodes, textures, a camera and
+animation hooks — that expands deterministically into the same
+:class:`~repro.workloads.scene.Scene` command streams the hard-coded
+Table II games compile to.  New benchmark scenarios are therefore data
+files dropped into a search path (:mod:`.registry`), not code in
+``games.py``.
+
+Layers:
+
+* :mod:`.loader` — parse JSON/YAML with per-key line attribution, so
+  validation errors carry ``file:line`` plus the offending key path;
+* :mod:`.schema` — typed validation + normalization to the canonical
+  document form (the form :func:`dumps` round-trips);
+* :mod:`.expand` — canonical document → :class:`Scene` (pure function
+  of the document: expansion is deterministic across processes);
+* :mod:`.registry` — alias → scene-file discovery over the committed
+  pack directory, ``./workloads`` and ``$REPRO_WORKLOAD_PATH``.
+"""
+
+from .expand import expand_scene
+from .loader import WorkloadDoc, dumps, load_document, load_path, loads
+from .registry import (
+    DEFAULT_USER_DIR,
+    PACK_DIR,
+    WORKLOAD_PATH_ENV,
+    add_workload_file,
+    build_dsl_scene,
+    discover,
+    dsl_aliases,
+    is_dsl_alias,
+    load_dsl_workload,
+    register_search_dir,
+    workload_native_config,
+    workload_native_frames,
+)
+from .schema import SCHEMA_VERSION, validate_document
+
+__all__ = [
+    "DEFAULT_USER_DIR",
+    "PACK_DIR",
+    "SCHEMA_VERSION",
+    "WORKLOAD_PATH_ENV",
+    "WorkloadDoc",
+    "add_workload_file",
+    "build_dsl_scene",
+    "discover",
+    "dsl_aliases",
+    "dumps",
+    "expand_scene",
+    "is_dsl_alias",
+    "load_document",
+    "load_dsl_workload",
+    "load_path",
+    "loads",
+    "register_search_dir",
+    "validate_document",
+    "workload_native_config",
+    "workload_native_frames",
+]

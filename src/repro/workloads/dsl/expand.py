@@ -1,0 +1,174 @@
+"""Expand a canonical workload document into a :class:`Scene`.
+
+Expansion is a pure function of the canonical document: animation hooks
+are closures over the document's numbers only, textures are procedural
+with ids derived from a stable hash of the workload name (keeping every
+DSL workload's simulated texture address space disjoint from the
+builtin suite and from other DSL workloads), and nodes are emitted in
+document order.  Two processes expanding the same document therefore
+produce bit-identical command streams — the cross-process determinism
+property test pins this down to per-tile CRCs.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+from ...textures import (
+    checker_texture,
+    flat_texture,
+    gradient_texture,
+    noise_texture,
+)
+from ..camera import (
+    ContinuousCamera,
+    EpisodicCamera,
+    ShakeCamera,
+    StaticCamera,
+)
+from ..scene import QuadNode, Scene
+
+__all__ = ["dsl_texture_base_id", "expand_scene"]
+
+#: DSL texture ids start far above the builtin suite's strided ranges
+#: (12 builtins x stride 64) so address spaces never collide.
+_DSL_TEXTURE_ID_FLOOR = 1 << 20
+#: Per-workload stride: up to this many textures per document.
+_DSL_TEXTURE_ID_STRIDE = 64
+
+
+def dsl_texture_base_id(name: str) -> int:
+    """Deterministic texture-id base for a workload name."""
+    return (_DSL_TEXTURE_ID_FLOOR
+            + (zlib.crc32(name.encode("utf-8")) & 0xFFFF)
+            * _DSL_TEXTURE_ID_STRIDE)
+
+
+# ----------------------------------------------------------------------
+# Animation closures (the same math as games.py's private helpers, kept
+# local so the data-driven layer never imports the hard-coded suite)
+# ----------------------------------------------------------------------
+
+def _make_position_fn(spec):
+    kind = spec["type"]
+    if kind == "orbit":
+        cx, cy = spec["cx"], spec["cy"]
+        radius, period = spec["radius"], spec["period"]
+
+        def position_fn(frame):
+            angle = 2.0 * math.pi * frame / period
+            return (cx + radius * math.cos(angle),
+                    cy + radius * math.sin(angle))
+        return position_fn
+    if kind == "sweep":
+        speed, span, axis = spec["speed"], spec["span"], spec["axis"]
+
+        def position_fn(frame):
+            t = (frame * speed) % (2.0 * span)
+            offset = t if t <= span else 2.0 * span - t
+            return (offset, 0.0) if axis == "x" else (0.0, offset)
+        return position_fn
+    # swing
+    amplitude, period = spec["amplitude"], spec["period"]
+
+    def position_fn(frame):
+        angle = amplitude * math.sin(2.0 * math.pi * frame / period)
+        return (angle, abs(angle) * 0.4)
+    return position_fn
+
+
+def _make_tint_fn(spec):
+    period, delta = spec["period"], spec["delta"]
+    base = tuple(spec["base"])
+
+    def tint_fn(frame):
+        level = delta * math.sin(2.0 * math.pi * frame / period)
+        return (base[0] + level, base[1] + level, base[2], base[3])
+    return tint_fn
+
+
+def _make_active_fn(spec):
+    period, duty = spec["period"], spec["duty"]
+
+    def active_fn(frame):
+        return frame % period < duty
+    return active_fn
+
+
+def _build_textures(document) -> dict:
+    base = dsl_texture_base_id(document["name"])
+    textures = {}
+    for index, spec in enumerate(document["textures"]):
+        texture_id = base + index + 1
+        kind = spec["type"]
+        if kind == "flat":
+            texture = flat_texture(tuple(spec["color"]), texture_id)
+        elif kind == "checker":
+            texture = checker_texture(
+                tuple(spec["colors"][0]), tuple(spec["colors"][1]),
+                texture_id, size=spec["size"], cells=spec["cells"],
+            )
+        elif kind == "gradient":
+            texture = gradient_texture(
+                tuple(spec["colors"][0]), tuple(spec["colors"][1]),
+                texture_id, size=spec["size"],
+            )
+        else:  # noise
+            texture = noise_texture(
+                texture_id, size=spec["size"], seed=spec["seed"],
+                base_color=tuple(spec["base"]), amplitude=spec["amplitude"],
+            )
+        textures[spec["name"]] = texture
+    return textures
+
+
+def _build_camera(spec):
+    kind = spec["type"]
+    if kind == "static":
+        return StaticCamera()
+    if kind == "continuous":
+        return ContinuousCamera(
+            speed=spec["speed"], yaw_amplitude=spec["yaw_amplitude"],
+            yaw_period=spec["yaw_period"],
+        )
+    if kind == "shake":
+        return ShakeCamera(
+            period=spec["period"], magnitude=spec["magnitude"],
+            burst=spec["burst"],
+        )
+    return EpisodicCamera([tuple(episode) for episode in spec["episodes"]])
+
+
+def expand_scene(document) -> Scene:
+    """Canonical document → a fresh :class:`Scene` (new node/texture
+    state every call, matching the builtin builders' contract)."""
+    data = getattr(document, "data", document)
+    textures = _build_textures(data)
+    nodes = []
+    for spec in data["nodes"]:
+        animate = spec["animate"]
+        nodes.append(QuadNode(
+            spec["name"],
+            tuple(spec["rect"]),
+            z=spec["z"],
+            shader=spec["shader"],
+            texture=textures[spec["texture"]] if spec.get("texture") else None,
+            tint=tuple(spec["tint"]),
+            uv_scale=spec["uv_scale"],
+            subdivide=spec["subdivide"],
+            camera_affected=spec["camera_affected"],
+            camera_uv=spec["camera_uv"],
+            depth_test=spec["depth_test"],
+            depth_write=spec["depth_write"],
+            position_fn=_make_position_fn(animate["position"])
+            if "position" in animate else None,
+            tint_fn=_make_tint_fn(animate["tint"])
+            if "tint" in animate else None,
+            active_fn=_make_active_fn(animate["active"])
+            if "active" in animate else None,
+        ))
+    return Scene(
+        nodes, _build_camera(data["camera"]),
+        clear_color=tuple(data["clear_color"]),
+    )

@@ -1,0 +1,212 @@
+"""Parse workload documents with per-key line attribution.
+
+JSON is a subset of YAML, so both formats go through one mark-recording
+YAML pass when PyYAML is importable: every mapping/sequence in the
+parsed tree is a :class:`LinedMap`/:class:`LinedList` carrying the
+1-based source line of the node and of each key/item, which is what
+lets :mod:`.schema` raise errors naming the exact ``file:line``.
+Without PyYAML (the dependency is optional) JSON documents still load
+through the stdlib parser — lines degrade to ``None`` for semantic
+errors but stay precise for syntax errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+from ...errors import WorkloadValidationError
+
+try:  # optional dependency; JSON workloads work without it
+    import yaml
+except ImportError:  # pragma: no cover - exercised only on bare images
+    yaml = None
+
+__all__ = [
+    "LinedList",
+    "LinedMap",
+    "WorkloadDoc",
+    "dumps",
+    "load_document",
+    "load_path",
+    "loads",
+]
+
+
+class LinedMap(dict):
+    """A dict remembering the source line of itself and each key."""
+
+    __slots__ = ("line", "key_lines")
+
+    def __init__(self, line=None) -> None:
+        super().__init__()
+        self.line = line
+        self.key_lines = {}
+
+    def line_of(self, key):
+        return self.key_lines.get(key, self.line)
+
+
+class LinedList(list):
+    """A list remembering the source line of itself and each item."""
+
+    __slots__ = ("line", "item_lines")
+
+    def __init__(self, line=None) -> None:
+        super().__init__()
+        self.line = line
+        self.item_lines = []
+
+    def line_of(self, index):
+        if 0 <= index < len(self.item_lines):
+            return self.item_lines[index]
+        return self.line
+
+
+def _convert_node(loader, node, source):
+    if yaml is not None and isinstance(node, yaml.MappingNode):
+        mapping = LinedMap(line=node.start_mark.line + 1)
+        for key_node, value_node in node.value:
+            key = loader.construct_object(key_node, deep=True)
+            if not isinstance(key, str):
+                raise WorkloadValidationError(
+                    f"mapping keys must be strings, got {key!r}",
+                    line=key_node.start_mark.line + 1, source=source,
+                )
+            if key in mapping:
+                raise WorkloadValidationError(
+                    f"duplicate key {key!r} (first defined at line "
+                    f"{mapping.key_lines[key]})",
+                    line=key_node.start_mark.line + 1, source=source,
+                )
+            mapping[key] = _convert_node(loader, value_node, source)
+            mapping.key_lines[key] = key_node.start_mark.line + 1
+        return mapping
+    if yaml is not None and isinstance(node, yaml.SequenceNode):
+        sequence = LinedList(line=node.start_mark.line + 1)
+        for item_node in node.value:
+            sequence.append(_convert_node(loader, item_node, source))
+            sequence.item_lines.append(item_node.start_mark.line + 1)
+        return sequence
+    return loader.construct_object(node, deep=True)
+
+
+def _parse_yaml(text: str, source):
+    loader = yaml.SafeLoader(text)
+    try:
+        node = loader.get_single_node()
+    except yaml.YAMLError as exc:
+        mark = getattr(exc, "problem_mark", None)
+        raise WorkloadValidationError(
+            f"syntax error: {getattr(exc, 'problem', exc)}",
+            line=(mark.line + 1) if mark is not None else None,
+            source=source,
+        ) from None
+    finally:
+        loader.dispose()
+    if node is None:
+        raise WorkloadValidationError("empty document", source=source)
+    return _convert_node(loader, node, source)
+
+
+def _parse_json(text: str, source):
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadValidationError(
+            f"syntax error: {exc.msg}", line=exc.lineno, source=source,
+        ) from None
+
+
+def parse_text(text: str, source=None):
+    """Parse a JSON/YAML document into (lined) python structures."""
+    if yaml is not None:
+        return _parse_yaml(text, source)
+    return _parse_json(text, source)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadDoc:
+    """A validated workload: its canonical document plus provenance.
+
+    ``data`` is the *normalized* document — every optional field filled
+    with its default, every number coerced to its schema type — which is
+    the form :func:`dumps` serializes and the expander consumes.  Two
+    docs are interchangeable iff their ``data`` compare equal.
+    """
+
+    data: dict
+    source: str = None
+
+    @property
+    def name(self) -> str:
+        return self.data["name"]
+
+    @property
+    def defaults(self) -> dict:
+        return self.data.get("defaults", {})
+
+    def dump(self) -> str:
+        return dumps(self.data)
+
+
+def loads(text: str, source=None) -> WorkloadDoc:
+    """Parse **and validate** a workload document from a string."""
+    from .schema import validate_document
+
+    raw = parse_text(text, source=source)
+    data = validate_document(raw, source=source)
+    return WorkloadDoc(data=data, source=str(source) if source else None)
+
+
+def dumps(data) -> str:
+    """Canonical serialization of a (normalized) document.
+
+    Emitted as sorted-key JSON — which is also valid YAML, so the output
+    reloads through the same :func:`loads` path on any install.  For a
+    normalized document ``loads(dumps(doc.data)).data == doc.data``
+    exactly (the round-trip property test pins this).
+    """
+    if isinstance(data, WorkloadDoc):
+        data = data.data
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+def load_path(path) -> WorkloadDoc:
+    """Load and validate the workload document at ``path``."""
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        from ...errors import WorkloadError
+
+        raise WorkloadError(f"cannot read workload file {path!r}: {exc}") from None
+    return loads(text, source=path)
+
+
+#: Cache of parsed documents keyed by (path, mtime_ns, size).
+_DOC_CACHE: dict = {}
+
+
+def load_document(path) -> WorkloadDoc:
+    """Like :func:`load_path` but cached on the file's (mtime, size).
+
+    Scene expansion re-reads the doc on every ``build_scene`` call (warm
+    pools, sweeps and figure caches build many scenes); the cache makes
+    that free while still picking up edits.
+    """
+    path = os.fspath(path)
+    try:
+        stat = os.stat(path)
+        key = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        return load_path(path)
+    cached = _DOC_CACHE.get(key)
+    if cached is None:
+        cached = load_path(path)
+        _DOC_CACHE[key] = cached
+        if len(_DOC_CACHE) > 256:
+            _DOC_CACHE.pop(next(iter(_DOC_CACHE)))
+    return cached

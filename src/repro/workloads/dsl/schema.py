@@ -1,0 +1,569 @@
+"""Versioned schema + typed validation for workload documents.
+
+:func:`validate_document` takes the raw parsed structure (ideally the
+lined form from :mod:`.loader`, so errors carry source lines) and
+returns the **canonical document**: a plain-``dict`` tree with every
+optional field filled with its default and every number coerced to the
+schema's type.  All validation failures raise
+:class:`~repro.errors.WorkloadValidationError` naming the offending
+key path and, when the parser attributed one, the source line.
+
+Schema v1 (``version: 1``, ``kind: scene2d``)::
+
+    version: 1
+    name: ui-settings            # workload alias ([a-z0-9][a-z0-9_-]*)
+    kind: scene2d
+    description: free text       # optional
+    defaults:                    # optional, advisory native parameters
+      frames: 500                #   run length `repro run --native` uses
+      screen: [1920, 1080]       #   native resolution
+      tile_size: 16              #   native tile size
+    clear_color: [r, g, b, a]
+    camera:                      # one of four camera models
+      type: static | continuous | episodic | shake
+      ...per-type parameters (see _validate_camera)
+    textures:                    # named procedural textures
+      - {name: chrome, type: flat|checker|gradient|noise, ...}
+    nodes:                       # drawn in document order
+      - name: panel
+        rect: [x0, y0, x1, y1]   # normalized screen coordinates
+        z: 0.5                   # smaller = closer
+        shader: flat | textured | scrolling | lit | alpha
+        texture: chrome          # ref into textures[] (required by
+                                 # every shader except flat)
+        tint / uv_scale / subdivide / camera_affected / camera_uv /
+        depth_test / depth_write # optional knobs
+        animate:                 # optional, all keys optional
+          position: {type: orbit|sweep|swing, ...}
+          tint:     {type: pulse, ...}
+          active:   {type: blink, ...}
+"""
+
+from __future__ import annotations
+
+from ...errors import WorkloadValidationError
+
+__all__ = [
+    "ANIMATION_TYPES",
+    "CAMERA_TYPES",
+    "SCHEMA_VERSION",
+    "SHADERS",
+    "TEXTURE_TYPES",
+    "validate_document",
+]
+
+SCHEMA_VERSION = 1
+
+#: Mirrors :data:`repro.workloads.scene.SHADER_ALIASES`.
+SHADERS = ("flat", "textured", "scrolling", "lit", "alpha")
+CAMERA_TYPES = ("static", "continuous", "episodic", "shake")
+TEXTURE_TYPES = ("flat", "checker", "gradient", "noise")
+ANIMATION_TYPES = {
+    "position": ("orbit", "sweep", "swing"),
+    "tint": ("pulse",),
+    "active": ("blink",),
+}
+
+_MAX_NODES = 256
+_MAX_TEXTURES = 64
+_MAX_SUBDIVIDE = 32
+
+
+def _line(container, key):
+    """Best-effort source line of ``container[key]`` (None when the
+    document was parsed without line attribution)."""
+    line_of = getattr(container, "line_of", None)
+    if line_of is not None:
+        return line_of(key)
+    return None
+
+
+class _Ctx:
+    """Validation context: source path for error prefixes."""
+
+    def __init__(self, source) -> None:
+        self.source = source
+
+    def fail(self, message, path, container=None, key=None):
+        line = _line(container, key) if container is not None else None
+        raise WorkloadValidationError(
+            message, path=path, line=line, source=self.source,
+        )
+
+
+def _require_map(value, ctx, path, container, key):
+    if not isinstance(value, dict):
+        ctx.fail(f"expected a mapping, got {type(value).__name__}",
+                 path, container, key)
+    return value
+
+
+def _require_list(value, ctx, path, container, key):
+    if not isinstance(value, list):
+        ctx.fail(f"expected a list, got {type(value).__name__}",
+                 path, container, key)
+    return value
+
+
+def _unknown_keys(mapping, allowed, ctx, path):
+    for key in mapping:
+        if key not in allowed:
+            ctx.fail(
+                f"unknown key {key!r} (allowed: {', '.join(sorted(allowed))})",
+                f"{path}.{key}" if path else key, mapping, key,
+            )
+
+
+def _number(value, ctx, path, container, key, kind=float,
+            minimum=None, maximum=None):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        ctx.fail(f"expected a number, got {value!r}", path, container, key)
+    if kind is int and not isinstance(value, int):
+        ctx.fail(f"expected an integer, got {value!r}", path, container, key)
+    value = kind(value)
+    if minimum is not None and value < minimum:
+        ctx.fail(f"must be >= {minimum}, got {value}", path, container, key)
+    if maximum is not None and value > maximum:
+        ctx.fail(f"must be <= {maximum}, got {value}", path, container, key)
+    return value
+
+
+def _boolean(value, ctx, path, container, key):
+    if not isinstance(value, bool):
+        ctx.fail(f"expected true/false, got {value!r}", path, container, key)
+    return value
+
+
+def _string(value, ctx, path, container, key, choices=None):
+    if not isinstance(value, str):
+        ctx.fail(f"expected a string, got {value!r}", path, container, key)
+    if choices is not None and value not in choices:
+        ctx.fail(f"expected one of {', '.join(choices)}; got {value!r}",
+                 path, container, key)
+    return value
+
+
+def _color(value, ctx, path, container, key):
+    value = _require_list(value, ctx, path, container, key)
+    if len(value) != 4:
+        ctx.fail(f"expected 4 color components [r, g, b, a], got "
+                 f"{len(value)}", path, container, key)
+    return [
+        _number(component, ctx, f"{path}[{i}]", value, i)
+        for i, component in enumerate(value)
+    ]
+
+
+def _alias_ok(name: str) -> bool:
+    if not name or not (name[0].isalnum() and name[0].lower() == name[0]):
+        return False
+    return all(ch.isalnum() and ch.lower() == ch or ch in "_-"
+               for ch in name)
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+
+def _validate_defaults(raw, ctx):
+    defaults = _require_map(raw, ctx, "defaults", None, None)
+    _unknown_keys(defaults, {"frames", "screen", "tile_size"}, ctx, "defaults")
+    out = {}
+    if "frames" in defaults:
+        out["frames"] = _number(defaults["frames"], ctx, "defaults.frames",
+                                defaults, "frames", kind=int, minimum=1)
+    if "screen" in defaults:
+        screen = _require_list(defaults["screen"], ctx, "defaults.screen",
+                               defaults, "screen")
+        if len(screen) != 2:
+            ctx.fail(f"expected [width, height], got {len(screen)} items",
+                     "defaults.screen", defaults, "screen")
+        out["screen"] = [
+            _number(screen[i], ctx, f"defaults.screen[{i}]", screen, i,
+                    kind=int, minimum=16)
+            for i in range(2)
+        ]
+    if "tile_size" in defaults:
+        out["tile_size"] = _number(
+            defaults["tile_size"], ctx, "defaults.tile_size", defaults,
+            "tile_size", kind=int, minimum=4,
+        )
+    return out
+
+
+def _validate_camera(raw, ctx):
+    camera = _require_map(raw, ctx, "camera", None, None)
+    kind = _string(camera.get("type", "static"), ctx, "camera.type",
+                   camera, "type", choices=CAMERA_TYPES)
+    out = {"type": kind}
+    if kind == "static":
+        _unknown_keys(camera, {"type"}, ctx, "camera")
+    elif kind == "continuous":
+        _unknown_keys(camera, {"type", "speed", "yaw_amplitude",
+                               "yaw_period"}, ctx, "camera")
+        out["speed"] = _number(camera.get("speed", 0.01), ctx,
+                               "camera.speed", camera, "speed")
+        out["yaw_amplitude"] = _number(
+            camera.get("yaw_amplitude", 0.15), ctx,
+            "camera.yaw_amplitude", camera, "yaw_amplitude")
+        out["yaw_period"] = _number(
+            camera.get("yaw_period", 24), ctx, "camera.yaw_period",
+            camera, "yaw_period", kind=int, minimum=1)
+    elif kind == "shake":
+        _unknown_keys(camera, {"type", "period", "magnitude", "burst"},
+                      ctx, "camera")
+        out["period"] = _number(camera.get("period", 16), ctx,
+                                "camera.period", camera, "period",
+                                kind=int, minimum=1)
+        out["magnitude"] = _number(camera.get("magnitude", 0.03), ctx,
+                                   "camera.magnitude", camera, "magnitude")
+        out["burst"] = _number(camera.get("burst", 2), ctx, "camera.burst",
+                               camera, "burst", kind=int, minimum=1)
+    else:  # episodic
+        _unknown_keys(camera, {"type", "episodes"}, ctx, "camera")
+        if "episodes" not in camera:
+            ctx.fail("episodic camera needs an 'episodes' list",
+                     "camera.episodes", camera, "type")
+        episodes = _require_list(camera["episodes"], ctx, "camera.episodes",
+                                 camera, "episodes")
+        out_episodes = []
+        for i, episode in enumerate(episodes):
+            path = f"camera.episodes[{i}]"
+            episode = _require_list(episode, ctx, path, episodes, i)
+            if len(episode) != 4:
+                ctx.fail("expected [start_frame, end_frame, vx, vy]",
+                         path, episodes, i)
+            start = _number(episode[0], ctx, f"{path}[0]", episode, 0,
+                            kind=int, minimum=0)
+            end = _number(episode[1], ctx, f"{path}[1]", episode, 1,
+                          kind=int, minimum=0)
+            if end <= start:
+                ctx.fail(f"end_frame {end} must exceed start_frame {start}",
+                         path, episodes, i)
+            out_episodes.append([
+                start, end,
+                _number(episode[2], ctx, f"{path}[2]", episode, 2),
+                _number(episode[3], ctx, f"{path}[3]", episode, 3),
+            ])
+        out["episodes"] = out_episodes
+    return out
+
+
+def _validate_texture(raw, ctx, index, seen):
+    path = f"textures[{index}]"
+    texture = _require_map(raw, ctx, path, None, None)
+    name = _string(texture.get("name"), ctx, f"{path}.name",
+                   texture, "name") if "name" in texture else ctx.fail(
+        "texture needs a 'name'", f"{path}.name", texture, "type")
+    if name in seen:
+        ctx.fail(f"duplicate texture name {name!r}", f"{path}.name",
+                 texture, "name")
+    seen.add(name)
+    kind = _string(texture.get("type"), ctx, f"{path}.type", texture,
+                   "type", choices=TEXTURE_TYPES) if "type" in texture \
+        else ctx.fail("texture needs a 'type'", f"{path}.type",
+                      texture, "name")
+    out = {"name": name, "type": kind}
+    if kind == "flat":
+        _unknown_keys(texture, {"name", "type", "color"}, ctx, path)
+        if "color" not in texture:
+            ctx.fail("flat texture needs a 'color'", f"{path}.color",
+                     texture, "type")
+        out["color"] = _color(texture["color"], ctx, f"{path}.color",
+                              texture, "color")
+        return out
+    size_default = 64
+    out["size"] = _number(texture.get("size", size_default), ctx,
+                          f"{path}.size", texture, "size", kind=int,
+                          minimum=2, maximum=1024)
+    if kind == "checker":
+        _unknown_keys(texture, {"name", "type", "colors", "cells", "size"},
+                      ctx, path)
+        colors = _require_list(texture.get("colors", None), ctx,
+                               f"{path}.colors", texture, "colors") \
+            if "colors" in texture else ctx.fail(
+                "checker texture needs 'colors' [[a], [b]]",
+                f"{path}.colors", texture, "type")
+        if len(colors) != 2:
+            ctx.fail("expected exactly 2 colors", f"{path}.colors",
+                     texture, "colors")
+        out["colors"] = [
+            _color(colors[i], ctx, f"{path}.colors[{i}]", colors, i)
+            for i in range(2)
+        ]
+        out["cells"] = _number(texture.get("cells", 8), ctx,
+                               f"{path}.cells", texture, "cells",
+                               kind=int, minimum=1, maximum=64)
+    elif kind == "gradient":
+        _unknown_keys(texture, {"name", "type", "colors", "size"}, ctx, path)
+        colors = _require_list(texture.get("colors", None), ctx,
+                               f"{path}.colors", texture, "colors") \
+            if "colors" in texture else ctx.fail(
+                "gradient texture needs 'colors' [[top], [bottom]]",
+                f"{path}.colors", texture, "type")
+        if len(colors) != 2:
+            ctx.fail("expected exactly 2 colors (top, bottom)",
+                     f"{path}.colors", texture, "colors")
+        out["colors"] = [
+            _color(colors[i], ctx, f"{path}.colors[{i}]", colors, i)
+            for i in range(2)
+        ]
+    else:  # noise
+        _unknown_keys(texture, {"name", "type", "seed", "base",
+                                "amplitude", "size"}, ctx, path)
+        out["seed"] = _number(texture.get("seed", 0), ctx, f"{path}.seed",
+                              texture, "seed", kind=int, minimum=0)
+        out["base"] = _color(texture.get("base", [0.5, 0.5, 0.5, 1.0]),
+                             ctx, f"{path}.base", texture, "base")
+        out["amplitude"] = _number(texture.get("amplitude", 0.5), ctx,
+                                   f"{path}.amplitude", texture, "amplitude")
+    return out
+
+
+def _validate_animation(raw, ctx, path):
+    animate = _require_map(raw, ctx, path, None, None)
+    _unknown_keys(animate, set(ANIMATION_TYPES), ctx, path)
+    out = {}
+    if "position" in animate:
+        spec_path = f"{path}.position"
+        spec = _require_map(animate["position"], ctx, spec_path,
+                            animate, "position")
+        kind = _string(spec.get("type"), ctx, f"{spec_path}.type", spec,
+                       "type", choices=ANIMATION_TYPES["position"]) \
+            if "type" in spec else ctx.fail(
+                "position animation needs a 'type'", f"{spec_path}.type",
+                animate, "position")
+        entry = {"type": kind}
+        if kind == "orbit":
+            _unknown_keys(spec, {"type", "cx", "cy", "radius", "period"},
+                          ctx, spec_path)
+            entry["cx"] = _number(spec.get("cx", 0.0), ctx,
+                                  f"{spec_path}.cx", spec, "cx")
+            entry["cy"] = _number(spec.get("cy", 0.0), ctx,
+                                  f"{spec_path}.cy", spec, "cy")
+            entry["radius"] = _number(spec.get("radius", 0.05), ctx,
+                                      f"{spec_path}.radius", spec, "radius")
+            entry["period"] = _number(spec.get("period", 16), ctx,
+                                      f"{spec_path}.period", spec, "period",
+                                      kind=int, minimum=1)
+        elif kind == "sweep":
+            _unknown_keys(spec, {"type", "speed", "span", "axis"},
+                          ctx, spec_path)
+            entry["speed"] = _number(spec.get("speed", 0.01), ctx,
+                                     f"{spec_path}.speed", spec, "speed")
+            entry["span"] = _number(spec.get("span", 0.2), ctx,
+                                    f"{spec_path}.span", spec, "span")
+            if entry["span"] <= 0:
+                ctx.fail(f"sweep span must be > 0, got {entry['span']}",
+                         f"{spec_path}.span", spec, "span")
+            entry["axis"] = _string(spec.get("axis", "x"), ctx,
+                                    f"{spec_path}.axis", spec, "axis",
+                                    choices=("x", "y"))
+        else:  # swing
+            _unknown_keys(spec, {"type", "amplitude", "period"},
+                          ctx, spec_path)
+            entry["amplitude"] = _number(spec.get("amplitude", 0.2), ctx,
+                                         f"{spec_path}.amplitude", spec,
+                                         "amplitude")
+            entry["period"] = _number(spec.get("period", 24), ctx,
+                                      f"{spec_path}.period", spec, "period",
+                                      kind=int, minimum=1)
+        out["position"] = entry
+    if "tint" in animate:
+        spec_path = f"{path}.tint"
+        spec = _require_map(animate["tint"], ctx, spec_path, animate, "tint")
+        _string(spec.get("type"), ctx, f"{spec_path}.type", spec, "type",
+                choices=ANIMATION_TYPES["tint"]) \
+            if "type" in spec else ctx.fail(
+                "tint animation needs a 'type'", f"{spec_path}.type",
+                animate, "tint")
+        _unknown_keys(spec, {"type", "period", "base", "delta"},
+                      ctx, spec_path)
+        if "base" not in spec:
+            ctx.fail("pulse animation needs a 'base' color",
+                     f"{spec_path}.base", spec, "type")
+        out["tint"] = {
+            "type": "pulse",
+            "period": _number(spec.get("period", 8), ctx,
+                              f"{spec_path}.period", spec, "period",
+                              kind=int, minimum=1),
+            "base": _color(spec["base"], ctx, f"{spec_path}.base",
+                           spec, "base"),
+            "delta": _number(spec.get("delta", 0.1), ctx,
+                             f"{spec_path}.delta", spec, "delta"),
+        }
+    if "active" in animate:
+        spec_path = f"{path}.active"
+        spec = _require_map(animate["active"], ctx, spec_path,
+                            animate, "active")
+        _string(spec.get("type"), ctx, f"{spec_path}.type", spec, "type",
+                choices=ANIMATION_TYPES["active"]) \
+            if "type" in spec else ctx.fail(
+                "active animation needs a 'type'", f"{spec_path}.type",
+                animate, "active")
+        _unknown_keys(spec, {"type", "period", "duty"}, ctx, spec_path)
+        period = _number(spec.get("period", 16), ctx, f"{spec_path}.period",
+                         spec, "period", kind=int, minimum=2)
+        duty = _number(spec.get("duty", period // 2), ctx,
+                       f"{spec_path}.duty", spec, "duty", kind=int,
+                       minimum=1)
+        if duty >= period:
+            ctx.fail(f"duty {duty} must be < period {period}",
+                     f"{spec_path}.duty", spec, "duty")
+        out["active"] = {"type": "blink", "period": period, "duty": duty}
+    return out
+
+
+_NODE_KEYS = {
+    "name", "rect", "z", "shader", "texture", "tint", "uv_scale",
+    "subdivide", "camera_affected", "camera_uv", "depth_test",
+    "depth_write", "animate",
+}
+
+
+def _validate_node(raw, ctx, index, texture_names, seen):
+    path = f"nodes[{index}]"
+    node = _require_map(raw, ctx, path, None, None)
+    _unknown_keys(node, _NODE_KEYS, ctx, path)
+    if "name" not in node:
+        ctx.fail("node needs a 'name'", f"{path}.name", node,
+                 next(iter(node), None))
+    name = _string(node["name"], ctx, f"{path}.name", node, "name")
+    if name in seen:
+        ctx.fail(f"duplicate node name {name!r}", f"{path}.name",
+                 node, "name")
+    seen.add(name)
+    if "rect" not in node:
+        ctx.fail("node needs a 'rect' [x0, y0, x1, y1]", f"{path}.rect",
+                 node, "name")
+    rect = _require_list(node["rect"], ctx, f"{path}.rect", node, "rect")
+    if len(rect) != 4:
+        ctx.fail(f"expected 4 numbers [x0, y0, x1, y1], got {len(rect)}",
+                 f"{path}.rect", node, "rect")
+    rect = [
+        _number(rect[i], ctx, f"{path}.rect[{i}]", rect, i)
+        for i in range(4)
+    ]
+    if not (rect[0] < rect[2] and rect[1] < rect[3]):
+        ctx.fail(f"empty rect {rect}: x0 < x1 and y0 < y1 required",
+                 f"{path}.rect", node, "rect")
+    shader = _string(node.get("shader", "flat"), ctx, f"{path}.shader",
+                     node, "shader", choices=SHADERS)
+    texture = None
+    if "texture" in node:
+        texture = _string(node["texture"], ctx, f"{path}.texture",
+                          node, "texture")
+        if texture not in texture_names:
+            known = ", ".join(sorted(texture_names)) or "none defined"
+            ctx.fail(f"unknown texture {texture!r} (textures: {known})",
+                     f"{path}.texture", node, "texture")
+    if shader != "flat" and texture is None:
+        ctx.fail(f"shader {shader!r} needs a 'texture' reference",
+                 f"{path}.shader", node, "shader")
+    out = {
+        "name": name,
+        "rect": rect,
+        "z": _number(node.get("z", 0.5), ctx, f"{path}.z", node, "z",
+                     minimum=0.0, maximum=1.0),
+        "shader": shader,
+        "tint": _color(node.get("tint", [1.0, 1.0, 1.0, 1.0]), ctx,
+                       f"{path}.tint", node, "tint"),
+        "uv_scale": _number(node.get("uv_scale", 1.0), ctx,
+                            f"{path}.uv_scale", node, "uv_scale"),
+        "subdivide": _number(node.get("subdivide", 1), ctx,
+                             f"{path}.subdivide", node, "subdivide",
+                             kind=int, minimum=1, maximum=_MAX_SUBDIVIDE),
+        "camera_affected": _boolean(node.get("camera_affected", True), ctx,
+                                    f"{path}.camera_affected", node,
+                                    "camera_affected"),
+        "camera_uv": _boolean(node.get("camera_uv", False), ctx,
+                              f"{path}.camera_uv", node, "camera_uv"),
+        "depth_test": _boolean(node.get("depth_test", True), ctx,
+                               f"{path}.depth_test", node, "depth_test"),
+        "depth_write": _boolean(node.get("depth_write", True), ctx,
+                                f"{path}.depth_write", node, "depth_write"),
+        "animate": _validate_animation(node.get("animate", {}), ctx,
+                                       f"{path}.animate")
+        if node.get("animate") else {},
+    }
+    if texture is not None:
+        out["texture"] = texture
+    return out
+
+
+_TOP_KEYS = {
+    "version", "name", "kind", "description", "defaults", "clear_color",
+    "camera", "textures", "nodes",
+}
+
+
+def validate_document(raw, source=None) -> dict:
+    """Validate a parsed workload document; return its canonical form."""
+    ctx = _Ctx(source)
+    document = _require_map(raw, ctx, "<document>", None, None)
+    _unknown_keys(document, _TOP_KEYS, ctx, "")
+    if "version" not in document:
+        ctx.fail(f"missing required key 'version' (current: "
+                 f"{SCHEMA_VERSION})", "version", document,
+                 next(iter(document), None))
+    version = _number(document["version"], ctx, "version", document,
+                      "version", kind=int)
+    if version != SCHEMA_VERSION:
+        ctx.fail(f"unsupported schema version {version} (this build "
+                 f"understands {SCHEMA_VERSION})", "version", document,
+                 "version")
+    if "name" not in document:
+        ctx.fail("missing required key 'name'", "name", document, "version")
+    name = _string(document["name"], ctx, "name", document, "name")
+    if not _alias_ok(name):
+        ctx.fail(
+            f"invalid workload name {name!r}: lowercase letters, digits, "
+            "'_' and '-' only, starting with a letter or digit",
+            "name", document, "name",
+        )
+    kind = _string(document.get("kind", "scene2d"), ctx, "kind",
+                   document, "kind", choices=("scene2d",))
+    if "nodes" not in document:
+        ctx.fail("missing required key 'nodes'", "nodes", document, "name")
+    raw_nodes = _require_list(document["nodes"], ctx, "nodes",
+                              document, "nodes")
+    if not raw_nodes:
+        ctx.fail("a scene needs at least one node", "nodes",
+                 document, "nodes")
+    if len(raw_nodes) > _MAX_NODES:
+        ctx.fail(f"too many nodes ({len(raw_nodes)} > {_MAX_NODES})",
+                 "nodes", document, "nodes")
+    raw_textures = _require_list(document.get("textures", []), ctx,
+                                 "textures", document, "textures") \
+        if "textures" in document else []
+    if len(raw_textures) > _MAX_TEXTURES:
+        ctx.fail(f"too many textures ({len(raw_textures)} > "
+                 f"{_MAX_TEXTURES})", "textures", document, "textures")
+
+    texture_names: set = set()
+    textures = [
+        _validate_texture(texture, ctx, i, texture_names)
+        for i, texture in enumerate(raw_textures)
+    ]
+    node_names: set = set()
+    nodes = [
+        _validate_node(node, ctx, i, texture_names, node_names)
+        for i, node in enumerate(raw_nodes)
+    ]
+    canonical = {
+        "version": SCHEMA_VERSION,
+        "name": name,
+        "kind": kind,
+        "description": _string(document.get("description", ""), ctx,
+                               "description", document, "description"),
+        "defaults": _validate_defaults(document.get("defaults", {}), ctx)
+        if document.get("defaults") else {},
+        "clear_color": _color(
+            document.get("clear_color", [0.0, 0.0, 0.0, 1.0]), ctx,
+            "clear_color", document, "clear_color"),
+        "camera": _validate_camera(document.get("camera", {"type": "static"}),
+                                   ctx),
+        "textures": textures,
+        "nodes": nodes,
+    }
+    return canonical

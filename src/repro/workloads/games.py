@@ -507,14 +507,59 @@ _TEXTURE_ID_STRIDE = 64
 
 
 def build_scene(alias: str) -> Scene:
-    """Instantiate the named benchmark scene (fresh node/texture state)."""
-    if alias not in _BUILDERS:
-        raise ReproError(
-            f"unknown workload {alias!r}; choose from {sorted(_BUILDERS)}"
-        )
-    index = sorted(_BUILDERS).index(alias)
-    bank = _TextureBank(base_id=index * _TEXTURE_ID_STRIDE)
-    return _BUILDERS[alias](bank)
+    """Instantiate the named workload scene (fresh node/texture state).
+
+    Builtin benchmarks resolve first; any other alias falls through to
+    the declarative workload registry (:mod:`repro.workloads.dsl`), so a
+    scene file on the search path runs everywhere a builtin does — the
+    direct runner, ``--jobs`` pool workers, supervised attempts and
+    service-daemon workers alike.
+    """
+    if alias in _BUILDERS:
+        index = sorted(_BUILDERS).index(alias)
+        bank = _TextureBank(base_id=index * _TEXTURE_ID_STRIDE)
+        return _BUILDERS[alias](bank)
+    from .dsl import registry as dsl_registry
+
+    if dsl_registry.is_dsl_alias(alias):
+        return dsl_registry.build_dsl_scene(alias)
+    raise ReproError(unknown_workload_message(alias))
+
+
+def builtin_aliases() -> tuple:
+    """Every hard-coded workload alias (games + pseudo-workloads)."""
+    return tuple(sorted(_BUILDERS))
+
+
+def all_workload_aliases() -> tuple:
+    """Every renderable alias: builtins plus discovered DSL workloads."""
+    from .dsl import registry as dsl_registry
+
+    return builtin_aliases() + tuple(
+        alias for alias in dsl_registry.dsl_aliases()
+        if alias not in _BUILDERS
+    )
+
+
+def suggest_aliases(alias: str, limit: int = 3) -> tuple:
+    """Closest known aliases to a misspelled one (did-you-mean)."""
+    import difflib
+
+    return tuple(difflib.get_close_matches(
+        alias, all_workload_aliases(), n=limit, cutoff=0.5,
+    ))
+
+
+def unknown_workload_message(alias: str) -> str:
+    """The canonical unknown-alias error text, with a did-you-mean and
+    the full registered-workload list (builtin and DSL)."""
+    suggestions = suggest_aliases(alias)
+    hint = (f"; did you mean {' or '.join(repr(s) for s in suggestions)}?"
+            if suggestions else "")
+    return (
+        f"unknown workload {alias!r}{hint} "
+        f"(registered workloads: {', '.join(all_workload_aliases())})"
+    )
 
 
 def all_game_aliases() -> tuple:

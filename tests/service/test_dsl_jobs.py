@@ -1,0 +1,125 @@
+"""DSL workloads through the service daemon and the supervisor.
+
+A scene defined as a data file must be a first-class citizen of every
+execution path: admitted by :class:`JobSpec` validation, rendered by a
+daemon warm-pool worker (a *forked process*, so discovery must survive
+the fork), and recoverable under fault injection — in every case
+bit-identical to a direct in-process ``run_workload``.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.errors import ServiceError
+from repro.harness.parallel import Cell
+from repro.harness.runner import run_workload
+from repro.harness.supervisor import SupervisorPolicy, supervise_cells
+from repro.obs.store import RunRegistry
+from repro.service.daemon import EngineDaemon, ServiceConfig
+from repro.service.jobs import JobSpec, known_aliases
+
+CONFIG = GpuConfig.small()
+FRAMES = 3
+
+
+def start_with_preloaded_queue(daemon, specs):
+    jobs = []
+    with daemon._lock:
+        daemon._running = True
+        daemon.started_at = time.time()
+        for one in specs:
+            jobs.append(daemon.submit(one))
+        for _ in range(max(1, daemon.config.workers)):
+            daemon._spawn_worker()
+    daemon._scheduler = threading.Thread(
+        target=daemon._scheduler_loop, name="test-scheduler", daemon=True,
+    )
+    daemon._scheduler.start()
+    return jobs
+
+
+class TestAdmission:
+    def test_dsl_alias_is_admissible(self):
+        assert "ui_settings" in known_aliases()
+        spec = JobSpec("ui_settings", "re", FRAMES)
+        assert spec.validated() is spec
+
+    def test_unknown_alias_rejected_with_did_you_mean(self):
+        with pytest.raises(ServiceError) as err:
+            JobSpec("ui_setings", "re", FRAMES).validated()
+        assert "did you mean" in str(err.value)
+        assert "ui_settings" in str(err.value)
+
+
+class TestDaemonExecution:
+    def test_dsl_job_through_warm_pool_is_bit_identical(self, tmp_path):
+        """A DSL scene runs in a forked daemon worker and produces the
+        exact CRC matrix of a direct run — including via the tenant
+        registry the daemon records into."""
+        registry = RunRegistry(tmp_path / "reg")
+        daemon = EngineDaemon(ServiceConfig(workers=1), registry=registry)
+        [job] = start_with_preloaded_queue(daemon, [
+            JobSpec("ui_settings", "re", FRAMES,
+                    tenant="default", overrides=()),
+        ])
+        try:
+            done = daemon.wait(job.job_id, timeout=120)
+            assert done.state == "done", done.error
+            direct = run_workload("ui_settings", "re", CONFIG,
+                                  num_frames=FRAMES)
+            assert np.array_equal(done.result.tile_color_crcs,
+                                  direct.tile_color_crcs)
+            assert done.result.final_frame_crc == direct.final_frame_crc
+            recorded = registry.for_tenant("default").crcs(done.run_id)
+            assert np.array_equal(np.asarray(recorded, dtype=np.uint32),
+                                  direct.tile_color_crcs)
+        finally:
+            daemon.close()
+
+    def test_dsl_and_builtin_jobs_batch_together(self):
+        """Same config digest => one batch, whether the scene came from
+        a data file or from code."""
+        daemon = EngineDaemon(ServiceConfig(
+            workers=1, batch_max=4, max_engines=2,
+        ))
+        jobs = start_with_preloaded_queue(daemon, [
+            JobSpec("ccs", "re", FRAMES),
+            JobSpec("ui_chat", "re", FRAMES),
+        ])
+        try:
+            for job in jobs:
+                done = daemon.wait(job.job_id, timeout=120)
+                assert done.state == "done", done.error
+            assert daemon.stats.batches_dispatched == 1
+            assert daemon.stats.jobs_batched == 2
+        finally:
+            daemon.close()
+
+
+class TestSupervisedExecution:
+    def test_fault_injected_dsl_run_is_bit_identical(self):
+        """Crash a DSL run mid-flight; the checkpoint-resumed retry must
+        equal the uninterrupted run down to every tile CRC."""
+        frames = 6
+        cell = Cell("ui_settings", "re", frames)
+        run = supervise_cells(
+            [cell], config=CONFIG,
+            policy=SupervisorPolicy(max_retries=2, checkpoint_stride=2,
+                                    backoff_base_s=0.01, backoff_max_s=0.05),
+            fault_spec="ui_settings/re:4:crash",
+        )
+        outcome = run.outcomes[cell]
+        assert outcome.succeeded
+        assert outcome.attempts == 2
+        assert outcome.resumed_from_frame == 4
+        reference = run_workload("ui_settings", "re", CONFIG,
+                                 num_frames=frames)
+        assert np.array_equal(outcome.result.tile_color_crcs,
+                              reference.tile_color_crcs)
+        assert np.array_equal(outcome.result.tile_input_sigs,
+                              reference.tile_input_sigs)
+        assert outcome.result.tiles_skipped == reference.tiles_skipped

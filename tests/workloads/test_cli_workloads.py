@@ -1,0 +1,186 @@
+"""CLI surface of the workload DSL: ``workloads``, ``goldens``, and the
+alias validation every rendering subcommand now does at parse time.
+
+A typo'd alias must fail with exit code 2 and a did-you-mean *before*
+any rendering, socket round-trip or worker fork happens.
+"""
+
+import glob
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.__main__ import main
+from repro.workloads.dsl import PACK_DIR, WORKLOAD_PATH_ENV
+
+
+@pytest.fixture(autouse=True)
+def _restore_workload_path():
+    """``run --workload-file`` registers the scene's directory in
+    ``$REPRO_WORKLOAD_PATH`` (deliberately: forked workers must see
+    it); keep that mutation from leaking into later tests."""
+    original = os.environ.get(WORKLOAD_PATH_ENV)
+    yield
+    if original is None:
+        os.environ.pop(WORKLOAD_PATH_ENV, None)
+    else:
+        os.environ[WORKLOAD_PATH_ENV] = original
+
+SCENE = textwrap.dedent("""\
+    version: 1
+    name: cli_scene
+    kind: scene2d
+    defaults:
+      frames: 3
+    camera:
+      type: static
+    nodes:
+      - name: backdrop
+        rect: [0.0, 0.0, 1.0, 1.0]
+        shader: flat
+        tint: [0.2, 0.3, 0.4, 1.0]
+      - name: pip
+        rect: [0.4, 0.4, 0.5, 0.5]
+        shader: flat
+        tint: [1.0, 0.2, 0.2, 1.0]
+        animate:
+          active:
+            type: blink
+            period: 4
+            duty: 2
+""")
+
+
+@pytest.fixture()
+def scene_file(tmp_path):
+    path = tmp_path / "cli_scene.yaml"
+    path.write_text(SCENE)
+    return str(path)
+
+
+class TestWorkloadsCommand:
+    def test_list_shows_pack_scenes(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        for alias in ("ui_settings", "ui_dashboard", "hop_longrun"):
+            assert alias in out
+        assert "pack" in out
+
+    def test_validate_reports_ok_and_fail_with_location(
+            self, tmp_path, scene_file, capsys):
+        good = os.path.join(PACK_DIR, "ui_chat.yaml")
+        bad = tmp_path / "broken.yaml"
+        bad.write_text(SCENE.replace("shader: flat", "shader: phong", 1))
+        assert main(["workloads", "validate", good, scene_file]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok   ") == 2
+        assert main(["workloads", "validate", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "phong" in out
+        # The failure names the file and line of the offending key.
+        assert "broken.yaml:" in out
+
+    def test_validate_without_paths_is_usage_error(self, capsys):
+        assert main(["workloads", "validate"]) == 2
+        assert "scene files" in capsys.readouterr().err
+
+    def test_show_prints_canonical_document(self, capsys):
+        from repro.workloads.dsl import loads
+
+        assert main(["workloads", "show", "ui_settings"]) == 0
+        document = loads(capsys.readouterr().out, source="shown.json")
+        assert document.name == "ui_settings"
+        assert main(["workloads", "show", "no_such_scene"]) == 2
+        assert "no_such_scene" in capsys.readouterr().err
+
+    def test_add_installs_under_document_name(
+            self, tmp_path, scene_file, capsys):
+        dest = str(tmp_path / "installed")
+        assert main(["workloads", "add", scene_file,
+                     "--dest", dest]) == 0
+        assert "installed cli_scene" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(dest, "cli_scene.yaml"))
+
+
+class TestRunWithSceneFiles:
+    def test_run_workload_file_renders(self, scene_file, capsys):
+        assert main(["--frames", "2", "run",
+                     "--workload-file", scene_file,
+                     "--no-registry"]) == 0
+        assert "cli_scene under re" in capsys.readouterr().out
+
+    def test_run_native_applies_document_frame_default(
+            self, scene_file, capsys):
+        assert main(["run", "--workload-file", scene_file, "--native",
+                     "--no-registry"]) == 0
+        assert "3 frames" in capsys.readouterr().out
+
+    def test_native_on_builtin_is_an_error(self, capsys):
+        assert main(["--frames", "2", "run", "ccs", "--native"]) == 2
+        assert "builtin" in capsys.readouterr().err
+
+    def test_alias_and_disagreeing_file_is_an_error(
+            self, scene_file, capsys):
+        assert main(["--frames", "2", "run", "ccs",
+                     "--workload-file", scene_file]) == 2
+        assert "disagree" in capsys.readouterr().err
+
+
+class TestTypoValidation:
+    def test_run_unknown_alias_fails_with_did_you_mean(self, capsys):
+        assert main(["--frames", "2", "run", "ui_setings"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "ui_settings" in err
+
+    def test_sweep_unknown_alias_fails_fast(self, capsys):
+        assert main(["sweep", "hop_longrn", "--set", "tile_size=8",
+                     "--no-registry"]) == 2
+        assert "hop_longrun" in capsys.readouterr().err
+
+    def test_submit_unknown_alias_fails_before_socket(self, capsys):
+        # No daemon is running; a socket attempt would error differently.
+        assert main(["submit", "vector_glyps"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "vector_glyphs" in err
+
+
+class TestGoldensCommand:
+    def test_record_then_check_then_drift(self, tmp_path, capsys):
+        goldens = str(tmp_path / "goldens")
+        base = ["--goldens", goldens, "--game", "ui_settings",
+                "--golden-frames", "4"]
+        assert main(["goldens", "record"] + base) == 0
+        assert "recorded 2 golden(s)" in capsys.readouterr().out
+
+        assert main(["goldens", "check"] + base) == 0
+        out = capsys.readouterr().out
+        assert "[ok  ] ui_settings/baseline" in out
+        assert "[ok  ] ui_settings/re" in out
+
+        # Tamper one pinned CRC: the check must name the divergence
+        # site and exit non-zero.
+        [crcs_path] = sorted(glob.glob(
+            os.path.join(goldens, "runs", "*.crcs.json")))[:1]
+        with open(crcs_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["tile_color_crcs"][0][0] ^= 0xDEAD
+        with open(crcs_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert main(["goldens", "check"] + base) == 1
+        captured = capsys.readouterr()
+        assert "crc-drift" in captured.out
+        assert "frame 0 tile 0" in captured.out
+        assert "goldens record" in captured.err
+
+    def test_check_missing_golden_fails(self, tmp_path, capsys):
+        assert main(["goldens", "check", "--goldens",
+                     str(tmp_path / "empty"), "--game", "ccs",
+                     "--golden-frames", "2"]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_unknown_alias_rejected(self, tmp_path, capsys):
+        assert main(["goldens", "record", "--goldens", str(tmp_path),
+                     "--game", "ui_setings"]) == 2
+        assert "did you mean" in capsys.readouterr().err

@@ -1,0 +1,324 @@
+"""The declarative workload DSL: loader, schema, expansion, registry.
+
+Validation failures must be *typed* and *located* — a
+:class:`WorkloadValidationError` carrying the offending key path and
+the 1-based source line — because scene files are user-authored data,
+not code, and "invalid scene" without a location is useless.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.config import GpuConfig
+from repro.errors import ReproError, WorkloadError, WorkloadValidationError
+from repro.harness.runner import run_workload
+from repro.workloads import build_scene, builtin_aliases
+from repro.workloads.dsl import (
+    PACK_DIR,
+    WORKLOAD_PATH_ENV,
+    dsl_aliases,
+    dumps,
+    load_dsl_workload,
+    load_path,
+    loads,
+)
+from repro.workloads.dsl import registry as dsl_registry
+from repro.workloads.dsl.expand import dsl_texture_base_id, expand_scene
+from repro.workloads.games import (
+    all_workload_aliases,
+    unknown_workload_message,
+)
+
+VALID = textwrap.dedent("""\
+    version: 1
+    name: test_scene
+    kind: scene2d
+    clear_color: [0.1, 0.1, 0.1, 1.0]
+    camera:
+      type: static
+    textures:
+      - name: board
+        type: checker
+        colors: [[0.9, 0.5, 0.6, 1.0], [0.95, 0.8, 0.4, 1.0]]
+    nodes:
+      - name: backdrop
+        rect: [0.0, 0.0, 1.0, 1.0]
+        z: 0.9
+        shader: textured
+        texture: board
+        camera_affected: false
+      - name: mover
+        rect: [0.4, 0.4, 0.5, 0.5]
+        shader: flat
+        tint: [1.0, 0.2, 0.2, 1.0]
+        animate:
+          position:
+            type: orbit
+            radius: 0.05
+            period: 8
+""")
+
+
+class TestLoader:
+    def test_valid_document_loads_and_normalizes(self):
+        doc = loads(VALID, source="mem.yaml")
+        assert doc.name == "test_scene"
+        # Optional fields come back filled with their defaults.
+        node = doc.data["nodes"][0]
+        assert node["subdivide"] == 1
+        assert node["uv_scale"] == 1.0
+        assert node["depth_test"] is True
+        assert doc.data["nodes"][1]["z"] == 0.5
+
+    def test_round_trip_identity(self):
+        doc = loads(VALID, source="mem.yaml")
+        again = loads(doc.dump(), source="again")
+        assert again.data == doc.data
+
+    def test_json_document_loads_identically(self):
+        doc = loads(VALID, source="mem.yaml")
+        # The canonical dump IS JSON; loading it must be equivalent.
+        json_doc = loads(dumps(doc.data), source="mem.json")
+        assert json_doc.data == doc.data
+
+    def test_duplicate_key_rejected_with_line(self):
+        bad = VALID.replace("kind: scene2d", "kind: scene2d\nname: twice")
+        with pytest.raises(WorkloadValidationError) as err:
+            loads(bad, source="dup.yaml")
+        assert "duplicate key" in str(err.value)
+        assert err.value.line is not None
+
+    def test_syntax_error_carries_line(self):
+        with pytest.raises(WorkloadValidationError) as err:
+            loads("version: 1\nnodes: [unclosed", source="syn.yaml")
+        assert err.value.line is not None
+        assert "syn.yaml" in str(err.value)
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(WorkloadValidationError):
+            loads("", source="empty.yaml")
+
+
+class TestSchemaErrors:
+    def check(self, mutation, expect_path, expect_text=""):
+        with pytest.raises(WorkloadValidationError) as err:
+            loads(mutation, source="bad.yaml")
+        assert err.value.key_path == expect_path, str(err.value)
+        assert err.value.line is not None, (
+            f"no source line attributed: {err.value}"
+        )
+        assert expect_text in str(err.value)
+        assert str(err.value).startswith("bad.yaml:")
+        return err.value
+
+    def test_bad_shader_names_key_and_line(self):
+        error = self.check(
+            VALID.replace("shader: flat", "shader: phong"),
+            "nodes[1].shader", "phong",
+        )
+        # Line points at the actual `shader:` entry of that node.
+        assert VALID.replace(
+            "shader: flat", "shader: phong"
+        ).splitlines()[error.line - 1].strip() == "shader: phong"
+
+    def test_missing_texture_reference(self):
+        self.check(
+            VALID.replace("    texture: board\n", ""),
+            "nodes[0].shader", "needs a 'texture'",
+        )
+
+    def test_unknown_texture_reference(self):
+        self.check(
+            VALID.replace("texture: board", "texture: bord"),
+            "nodes[0].texture", "bord",
+        )
+
+    def test_unknown_key_lists_allowed(self):
+        self.check(
+            VALID.replace("z: 0.9", "z: 0.9\n    zz: 1"),
+            "nodes[0].zz", "unknown key",
+        )
+
+    def test_empty_rect_rejected(self):
+        self.check(
+            VALID.replace("rect: [0.4, 0.4, 0.5, 0.5]",
+                          "rect: [0.5, 0.4, 0.4, 0.5]"),
+            "nodes[1].rect", "empty rect",
+        )
+
+    def test_unsupported_version_rejected(self):
+        self.check(VALID.replace("version: 1", "version: 99"),
+                   "version")
+
+    def test_duplicate_node_name_rejected(self):
+        self.check(VALID.replace("name: mover", "name: backdrop"),
+                   "nodes[1].name", "duplicate")
+
+    def test_bad_alias_shape_rejected(self):
+        self.check(VALID.replace("name: test_scene", "name: Test Scene"),
+                   "name")
+
+    def test_blink_duty_must_be_under_period(self):
+        bad = VALID.replace(
+            "      position:\n"
+            "        type: orbit\n"
+            "        radius: 0.05\n"
+            "        period: 8\n",
+            "      active:\n"
+            "        type: blink\n"
+            "        period: 4\n"
+            "        duty: 4\n",
+        )
+        assert "blink" in bad
+        with pytest.raises(WorkloadValidationError) as err:
+            loads(bad, source="bad.yaml")
+        assert "duty" in str(err.value)
+
+
+class TestExpansion:
+    def test_expansion_is_deterministic_in_process(self):
+        import zlib
+
+        from repro.pipeline import Gpu
+
+        doc = loads(VALID, source="mem.yaml")
+
+        def crcs(scene):
+            gpu = Gpu(GpuConfig.small())
+            return [
+                zlib.crc32(gpu.render_frame(
+                    stream, clear_color=scene.clear_color,
+                ).frame_colors.tobytes())
+                for stream in scene.frames(4)
+            ]
+
+        assert crcs(expand_scene(doc)) == crcs(expand_scene(doc))
+
+    def test_texture_ids_disjoint_from_builtins(self):
+        # Builtin banks use stride-64 blocks from 0; DSL ids start at
+        # 2^20 so a DSL scene can never alias a builtin texture.
+        assert dsl_texture_base_id("anything") >= 1 << 20
+        doc = loads(VALID, source="mem.yaml")
+        scene = expand_scene(doc)
+        ids = [node.texture.texture_id for node in scene.nodes
+               if node.texture is not None]
+        assert ids and all(texture_id >= 1 << 20 for texture_id in ids)
+
+    def test_animated_node_moves_and_blinks(self):
+        bad = VALID.replace("type: orbit", "type: orbit")  # keep as-is
+        doc = loads(bad, source="mem.yaml")
+        scene = expand_scene(doc)
+        mover = scene.nodes[1]
+        assert mover.position_fn is not None
+        assert mover.position_fn(0) != mover.position_fn(3)
+
+
+class TestRegistryDiscovery:
+    def test_pack_scenes_discovered(self):
+        aliases = dsl_aliases()
+        for expected in ("ui_settings", "ui_chat", "ui_dashboard",
+                         "vector_glyphs", "ccs_1080p", "cde_tile8",
+                         "hop_longrun"):
+            assert expected in aliases
+
+    def test_build_scene_falls_back_to_dsl(self):
+        scene = build_scene("ui_settings")
+        assert len(scene.nodes) == 6
+
+    def test_unknown_alias_message_has_did_you_mean(self):
+        message = unknown_workload_message("ui_setings")
+        assert "ui_settings" in message
+        with pytest.raises(ReproError) as err:
+            build_scene("ui_setings")
+        assert "did you mean" in str(err.value)
+
+    def test_all_workload_aliases_includes_both_kinds(self):
+        aliases = all_workload_aliases()
+        assert "ccs" in aliases and "ui_chat" in aliases
+        assert len(set(aliases)) == len(aliases)
+
+    def test_alias_stem_mismatch_refused(self, tmp_path, monkeypatch):
+        (tmp_path / "wrong_name.yaml").write_text(VALID)
+        monkeypatch.setenv(WORKLOAD_PATH_ENV, str(tmp_path))
+        with pytest.raises(WorkloadError) as err:
+            load_dsl_workload("wrong_name")
+        assert "test_scene" in str(err.value)
+
+    def test_register_search_dir_exports_to_environment(
+            self, tmp_path, monkeypatch):
+        monkeypatch.delenv(WORKLOAD_PATH_ENV, raising=False)
+        (tmp_path / "test_scene.yaml").write_text(VALID)
+        dsl_registry.register_search_dir(tmp_path)
+        assert str(tmp_path) in os.environ[WORKLOAD_PATH_ENV]
+        assert dsl_registry.is_dsl_alias("test_scene")
+        # Idempotent: registering again does not duplicate the entry.
+        dsl_registry.register_search_dir(tmp_path)
+        assert os.environ[WORKLOAD_PATH_ENV].count(str(tmp_path)) == 1
+
+    def test_add_workload_refuses_builtin_collision(self, tmp_path):
+        (tmp_path / "ccs.yaml").write_text(
+            VALID.replace("name: test_scene", "name: ccs"))
+        with pytest.raises(WorkloadError) as err:
+            dsl_registry.add_workload_file(
+                tmp_path / "ccs.yaml", dest_dir=tmp_path / "installed")
+        assert "builtin" in str(err.value)
+
+    def test_add_workload_installs_under_document_name(self, tmp_path):
+        source = tmp_path / "draft-v2.yaml"
+        source.write_text(VALID)
+        installed = dsl_registry.add_workload_file(
+            source, dest_dir=tmp_path / "installed")
+        assert os.path.basename(installed) == "test_scene.yaml"
+        # Re-adding identical content is fine; different content is not.
+        dsl_registry.add_workload_file(
+            source, dest_dir=tmp_path / "installed")
+        source.write_text(VALID.replace("z: 0.9", "z: 0.8"))
+        with pytest.raises(WorkloadError):
+            dsl_registry.add_workload_file(
+                source, dest_dir=tmp_path / "installed")
+
+    def test_native_defaults_helpers(self):
+        base = GpuConfig.small()
+        native = dsl_registry.workload_native_config("ui_dashboard", base)
+        assert (native.screen_width, native.screen_height) == (1920, 1080)
+        assert dsl_registry.workload_native_frames("hop_longrun") == 500
+        # Builtins pass through untouched.
+        assert dsl_registry.workload_native_config("ccs", base) is base
+        assert dsl_registry.workload_native_frames("ccs") is None
+
+
+class TestCrossProcessDeterminism:
+    def test_expansion_matches_across_processes(self, tmp_path):
+        """The same document expands to bit-identical rendered output in
+        a fresh interpreter — no ordering, hash-seed or id() leakage."""
+        script = textwrap.dedent("""\
+            import numpy as np
+            from repro.config import GpuConfig
+            from repro.harness.runner import run_workload
+            result = run_workload("ui_chat", "re", GpuConfig.small(),
+                                  num_frames=3)
+            print(",".join(str(int(v))
+                           for v in result.tile_color_crcs.ravel()))
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in [env.get("PYTHONPATH")] if p]
+            + [os.path.join(os.path.dirname(PACK_DIR), "..", "..", "..")]
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, env=env, check=True,
+        )
+        remote = np.array(
+            [int(v) for v in completed.stdout.strip().split(",")],
+            dtype=np.uint32,
+        )
+        local = run_workload(
+            "ui_chat", "re", GpuConfig.small(), num_frames=3,
+        ).tile_color_crcs.ravel()
+        assert np.array_equal(remote, local)

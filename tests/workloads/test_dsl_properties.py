@@ -1,0 +1,219 @@
+"""Property tests over the workload DSL (hypothesis).
+
+Three laws the DSL must hold for *every* document, not just the
+committed pack:
+
+1. **Round-trip identity** — ``loads(dumps(doc.data)).data == doc.data``
+   for any valid document: canonicalization is a fixpoint, so golden
+   manifests and re-serialized scene files can never drift apart.
+2. **Deterministic expansion** — expanding the same document twice
+   yields scenes whose animation closures and textures agree frame by
+   frame (byte-for-byte for textures); RE's signatures depend on it.
+3. **Typed rejection** — schema-invalid documents raise
+   :class:`WorkloadValidationError` naming the offending key path and
+   source line, never a bare ``KeyError``/``TypeError``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadValidationError
+from repro.workloads.dsl import dumps, loads
+from repro.workloads.dsl.expand import expand_scene
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True)
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                 width=32).map(lambda v: round(float(v), 4))
+color = st.tuples(unit, unit, unit, unit).map(list)
+
+
+@st.composite
+def rects(draw):
+    x0 = draw(st.floats(min_value=0.0, max_value=0.8).map(
+        lambda v: round(v, 3)))
+    y0 = draw(st.floats(min_value=0.0, max_value=0.8).map(
+        lambda v: round(v, 3)))
+    x1 = draw(st.floats(min_value=x0 + 0.05, max_value=1.0).map(
+        lambda v: round(v, 3)))
+    y1 = draw(st.floats(min_value=y0 + 0.05, max_value=1.0).map(
+        lambda v: round(v, 3)))
+    return [x0, y0, max(x1, x0 + 0.01), max(y1, y0 + 0.01)]
+
+
+@st.composite
+def animations(draw):
+    animate = {}
+    if draw(st.booleans()):
+        kind = draw(st.sampled_from(["orbit", "sweep", "swing"]))
+        if kind == "orbit":
+            animate["position"] = {
+                "type": "orbit",
+                "radius": draw(unit),
+                "period": draw(st.integers(1, 32)),
+            }
+        elif kind == "sweep":
+            animate["position"] = {
+                "type": "sweep",
+                "speed": draw(unit),
+                "span": draw(st.floats(min_value=0.01, max_value=1.0).map(
+                    lambda v: round(v, 3))),
+                "axis": draw(st.sampled_from(["x", "y"])),
+            }
+        else:
+            animate["position"] = {
+                "type": "swing",
+                "amplitude": draw(unit),
+                "period": draw(st.integers(1, 32)),
+            }
+    if draw(st.booleans()):
+        animate["tint"] = {
+            "type": "pulse",
+            "period": draw(st.integers(1, 32)),
+            "base": draw(color),
+            "delta": draw(unit),
+        }
+    if draw(st.booleans()):
+        period = draw(st.integers(2, 32))
+        animate["active"] = {
+            "type": "blink",
+            "period": period,
+            "duty": draw(st.integers(1, period - 1)),
+        }
+    return animate
+
+
+@st.composite
+def documents(draw):
+    texture_names = draw(st.lists(names, min_size=1, max_size=3,
+                                  unique=True))
+    textures = []
+    for texture_name in texture_names:
+        kind = draw(st.sampled_from(["flat", "checker", "gradient",
+                                     "noise"]))
+        if kind == "flat":
+            textures.append({"name": texture_name, "type": "flat",
+                             "color": draw(color)})
+        elif kind == "checker":
+            textures.append({
+                "name": texture_name, "type": "checker",
+                "colors": [draw(color), draw(color)],
+                "cells": draw(st.integers(1, 16)), "size": 32,
+            })
+        elif kind == "gradient":
+            textures.append({
+                "name": texture_name, "type": "gradient",
+                "colors": [draw(color), draw(color)], "size": 32,
+            })
+        else:
+            textures.append({
+                "name": texture_name, "type": "noise",
+                "seed": draw(st.integers(0, 999)),
+                "base": draw(color), "amplitude": draw(unit),
+                "size": 32,
+            })
+    node_names = draw(st.lists(names, min_size=1, max_size=4,
+                               unique=True))
+    nodes = []
+    for node_name in node_names:
+        shader = draw(st.sampled_from(
+            ["flat", "textured", "scrolling", "lit", "alpha"]))
+        node = {
+            "name": node_name,
+            "rect": draw(rects()),
+            "z": draw(unit),
+            "shader": shader,
+            "tint": draw(color),
+            "subdivide": draw(st.integers(1, 4)),
+            "camera_affected": draw(st.booleans()),
+            "animate": draw(animations()),
+        }
+        if shader != "flat":
+            node["texture"] = draw(st.sampled_from(texture_names))
+        nodes.append(node)
+    camera = draw(st.sampled_from([
+        {"type": "static"},
+        {"type": "continuous", "speed": 0.01, "yaw_amplitude": 0.1,
+         "yaw_period": 16},
+        {"type": "shake", "period": 8, "magnitude": 0.02, "burst": 2},
+        {"type": "episodic", "episodes": [[0, 4, 0.01, 0.0]]},
+    ]))
+    return {
+        "version": 1,
+        "name": draw(names),
+        "kind": "scene2d",
+        "clear_color": draw(color),
+        "camera": camera,
+        "textures": textures,
+        "nodes": nodes,
+    }
+
+
+@given(documents())
+@settings(max_examples=40, deadline=None)
+def test_round_trip_identity(raw):
+    doc = loads(json.dumps(raw), source="gen.json")
+    again = loads(dumps(doc.data), source="again.json")
+    assert again.data == doc.data
+    # Canonicalization is a fixpoint: dumping again changes nothing.
+    assert dumps(again.data) == dumps(doc.data)
+
+
+@given(documents())
+@settings(max_examples=15, deadline=None)
+def test_expansion_is_deterministic(raw):
+    doc = loads(json.dumps(raw), source="gen.json")
+
+    def fingerprint(scene):
+        parts = [scene.clear_color]
+        for node in scene.nodes:
+            parts.append((
+                node.name, node.rect, node.z, node.shader,
+                node.texture.data.tobytes() if node.texture else None,
+                tuple(node.position_fn(f) for f in range(6))
+                if node.position_fn else None,
+                tuple(node.tint_fn(f) for f in range(6))
+                if node.tint_fn else None,
+                tuple(node.active_fn(f) for f in range(6))
+                if node.active_fn else None,
+            ))
+        parts.append(tuple(
+            (state.dx, state.dy, state.yaw, state.advance)
+            for state in (scene.camera.state(f) for f in range(6))
+        ))
+        return parts
+
+    assert fingerprint(expand_scene(doc)) == fingerprint(expand_scene(doc))
+
+
+BREAKERS = [
+    ("shader", lambda doc: doc["nodes"][0].update(shader="phong"),
+     "nodes[0].shader"),
+    ("rect-shape", lambda doc: doc["nodes"][0].update(rect=[0, 0, 1]),
+     "nodes[0].rect"),
+    ("z-range", lambda doc: doc["nodes"][0].update(z=7),
+     "nodes[0].z"),
+    ("unknown-key", lambda doc: doc["nodes"][0].update(bogus=1),
+     "nodes[0].bogus"),
+    ("version", lambda doc: doc.update(version=99), "version"),
+    ("camera", lambda doc: doc.update(camera={"type": "drone"}),
+     "camera.type"),
+    ("texture-ref", lambda doc: doc["nodes"][0].update(
+        shader="textured", texture="no_such"), "nodes[0].texture"),
+]
+
+
+@pytest.mark.parametrize("label,breaker,expect_path",
+                         BREAKERS, ids=[b[0] for b in BREAKERS])
+@given(raw=documents())
+@settings(max_examples=10, deadline=None)
+def test_invalid_documents_raise_typed_located_errors(
+        label, breaker, expect_path, raw):
+    breaker(raw)
+    with pytest.raises(WorkloadValidationError) as err:
+        loads(json.dumps(raw, indent=2), source="gen.json")
+    assert err.value.key_path == expect_path
+    assert err.value.line is not None
+    assert "gen.json" in str(err.value)
