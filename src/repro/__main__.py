@@ -25,10 +25,21 @@ Subcommands:
   socket: persistent workers keep constructed engines resident, batch
   config-compatible jobs, refuse overload with typed backpressure and
   record each job under its tenant's registry namespace.
+  ``--trace-dir`` shards every job's lifecycle spans for distributed
+  tracing; ``--stats-log`` snapshots the telemetry periodically.
 * ``submit``         — send a render/sweep/experiment job to a running
-  daemon (``--wait`` blocks for the summaries).
+  daemon (``--wait`` blocks for the summaries); ``--trace-dir`` mints
+  a trace context carried through daemon and workers.
 * ``status``         — a daemon's queue/worker/job table over the
   socket, or — daemon gone — its last ``live.json`` heartbeat.
+* ``stats``          — one-shot service telemetry: queue depth, latency
+  percentiles (queue wait / execute / end-to-end), warm-hit rates and
+  per-tenant counters (``--json`` for the raw snapshot).
+* ``top``            — the same table, live: streams the daemon's
+  ``watch`` feed and redraws every ``--interval`` seconds
+  (``--events`` prints job lifecycle events instead).
+* ``trace``          — merge a ``--trace-dir``'s per-process shards
+  into one Perfetto-loadable Chrome trace and validate it.
 * ``workloads``      — the declarative workload DSL: ``list`` the
   discovered scene files, ``validate`` documents (line-precise typed
   errors), ``add`` a file to ``./workloads``, ``show`` a canonical
@@ -500,6 +511,8 @@ def _cmd_run(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Run the engine-pool daemon behind a Unix socket until shutdown."""
+    import signal
+
     from .service import EngineDaemon, ServiceConfig, ServiceServer
 
     config = ServiceConfig(
@@ -511,21 +524,40 @@ def _cmd_serve(args) -> int:
         max_retries=args.retries if args.retries is not None else 1,
         job_timeout_s=args.timeout,
         live_path=getattr(args, "live", None),
+        telemetry=not args.no_telemetry,
+        trace_dir=args.trace_dir,
+        telemetry_log=args.stats_log,
+        telemetry_interval_s=args.stats_interval,
     )
     daemon = EngineDaemon(config, registry=_registry_from(args))
     server = ServiceServer(daemon, args.socket)
     daemon.start()
+
+    def _terminate(_signum, _frame):
+        # Route SIGTERM through the KeyboardInterrupt path below so the
+        # daemon closes cleanly — final telemetry snapshot included.
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _terminate)
     print(f"serving on {args.socket} "
           f"(workers={config.workers}, queue<={config.max_queue}, "
           f"batch<={config.batch_max}, warm engines/worker="
           f"{config.max_engines})")
     print("submit with `python -m repro submit GAME "
+          f"--socket {args.socket}`; watch with `python -m repro top "
           f"--socket {args.socket}`; stop with `--shutdown` or Ctrl-C")
+    if config.trace_dir:
+        print(f"  tracing job lifecycles into {config.trace_dir} "
+              f"(merge with `python -m repro trace {config.trace_dir}`)")
+    if config.telemetry_log:
+        print(f"  snapshotting telemetry to {config.telemetry_log} "
+              f"every {config.telemetry_interval_s:g}s")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         daemon.close()
     return 0
 
@@ -573,9 +605,12 @@ def _cmd_submit(args) -> int:
                 client.shutdown()
                 print("daemon asked to shut down")
                 return 0
-            jobs = client.submit(payload)
+            jobs = client.submit(payload, trace_dir=args.trace_dir)
             print(f"submitted {len(jobs)} job(s): "
                   + ", ".join(job["job_id"] for job in jobs))
+            if args.trace_dir:
+                print(f"  traced: shards in {args.trace_dir} (merge "
+                      f"with `python -m repro trace {args.trace_dir}`)")
             if not args.wait:
                 return 0
             failed = 0
@@ -665,6 +700,152 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _render_stats(snapshot: dict) -> str:
+    """The ``repro stats`` / ``repro top`` table for one snapshot."""
+    from .harness.reporting import format_table
+    from .service.telemetry import TENANT_COUNTERS
+
+    lines = [
+        f"daemon pid {snapshot['pid']}: "
+        f"{'running' if snapshot['running'] else 'stopped'}, "
+        f"{snapshot['workers']} worker(s), "
+        f"queue depth {snapshot['queue_depth']}, "
+        f"up {snapshot['uptime_s']:.0f}s"
+    ]
+    telemetry = snapshot.get("telemetry")
+    if not telemetry:
+        lines.append("telemetry disabled "
+                     "(the daemon runs with --no-telemetry)")
+        return "\n".join(lines)
+    labels = (
+        ("queue_wait_s", "queue wait (s)"),
+        ("execute_s", "execute (s)"),
+        ("e2e_s", "end-to-end (s)"),
+        ("batch_size", "batch size"),
+    )
+    rows = [
+        [label, hist["count"], hist["p50"], hist["p95"], hist["p99"],
+         hist["mean"]]
+        for name, label in labels
+        for hist in [telemetry["histograms"][name]]
+    ]
+    lines.append(format_table(
+        ["latency", "n", "p50", "p95", "p99", "mean"], rows,
+        float_format="{:.4f}",
+    ))
+    warm = telemetry["warm"]
+    pool = telemetry["pool"]
+    totals = pool["totals"]
+    lines.append(
+        f"warm: {warm['warm_jobs']} warm / {warm['cold_jobs']} cold "
+        f"job(s) ({100.0 * warm['rate']:.1f}% warm); pool: "
+        f"{totals['warm_hits']}/{totals['requests']} warm hits "
+        f"({100.0 * pool['warm_hit_rate']:.1f}%), "
+        f"{totals['engines_built']} built, "
+        f"{totals['engines_evicted']} evicted"
+    )
+    tenants = telemetry.get("tenants") or {}
+    if tenants:
+        rows = [
+            [tenant] + [counters.get(key, 0)
+                        for key in TENANT_COUNTERS]
+            for tenant, counters in sorted(tenants.items())
+        ]
+        lines.append(format_table(
+            ["tenant", *TENANT_COUNTERS], rows,
+        ))
+    return "\n".join(lines)
+
+
+def _cmd_stats(args) -> int:
+    from .errors import ServiceError
+    from .service import ServiceClient
+
+    try:
+        with ServiceClient(args.socket, timeout=10.0) as client:
+            snapshot = client.stats()
+    except ServiceError as exc:
+        print(f"stats failed: {exc.args[0]}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(_render_stats(snapshot))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Live ops view: redraw the stats table from the ``watch`` feed."""
+    from .errors import ServiceError
+    from .service import ServiceClient
+
+    clear = not args.no_clear and not args.events and sys.stdout.isatty()
+    frames = 0
+    try:
+        with ServiceClient(
+            args.socket, timeout=max(args.interval * 4.0, 30.0),
+        ) as client:
+            for message in client.watch(interval=args.interval):
+                if message.get("kind") == "event":
+                    if args.events:
+                        event = message["event"]
+                        detail = " ".join(
+                            f"{key}={value}" for key, value in
+                            sorted(event.items())
+                            if key not in ("seq", "ts", "event")
+                        )
+                        print(f"[{event['seq']:>4}] "
+                              f"{event['event']:<9} {detail}")
+                    continue
+                if message.get("kind") != "stats":
+                    continue
+                frames += 1
+                if clear:
+                    print("\x1b[2J\x1b[H", end="")
+                print(_render_stats(message["stats"]))
+                if args.iterations and frames >= args.iterations:
+                    return 0
+    except KeyboardInterrupt:
+        return 0
+    except ServiceError as exc:
+        print(f"top failed: {exc.args[0]}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Merge a shard directory into one trace and validate it."""
+    from .errors import ReproError
+    from .obs import merge_shards, validate_trace
+    from .obs.distributed import shard_paths
+
+    try:
+        shards = shard_paths(args.shard_dir)
+        payload = merge_shards(shards or args.shard_dir,
+                               out_path=args.out)
+        counts = validate_trace(payload)
+    except (OSError, ReproError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"trace failed: {message}", file=sys.stderr)
+        return 1
+    metadata = payload.get("metadata", {})
+    trace_ids = metadata.get("trace_ids") or []
+    print(f"trace ok: merged {len(shards)} shard(s) into "
+          f"{counts['events']} events — {counts['spans']} spans over "
+          f"{counts['pids']} process(es), {len(trace_ids)} trace id(s)")
+    for trace_id in trace_ids:
+        print(f"  trace {trace_id}")
+    if metadata.get("repaired_spans"):
+        print(f"  repaired {metadata['repaired_spans']} span(s) left "
+              f"open by crashed processes")
+    if args.out:
+        print(f"  wrote merged trace to {args.out} "
+              f"(load in Perfetto / chrome://tracing)")
+    return 0
+
+
 def _coerce_sweep_value(text: str):
     """``--set`` values: int where possible, then float, else string."""
     for convert in (int, float):
@@ -743,7 +924,14 @@ def _cmd_report(args) -> int:
                       f"({counts['spans']} spans, {counts['instants']} "
                       f"instants, {counts['counters']} counter samples)")
             if args.metrics_log:
-                print(render_report(args.metrics_log, top=args.top))
+                from .obs import MetricsLog
+
+                log = MetricsLog.load_many(args.metrics_log)
+                if len(args.metrics_log) > 1:
+                    print(f"merged {len(args.metrics_log)} metrics "
+                          f"files ({log.num_frames} frames after "
+                          f"retried-frame dedupe)")
+                print(render_report(log, top=args.top))
         except ReproError as exc:
             print(f"report failed: {exc.args[0]}", file=sys.stderr)
             return 1
@@ -1139,11 +1327,14 @@ def main(argv=None) -> int:
         "report", help="regenerate every figure into one markdown "
                        "report, or analyse a per-frame metrics log"
     )
-    report.add_argument("metrics_log", nargs="?", default=None,
-                        help="a metrics JSONL written by --metrics; when "
-                             "given, print that run's per-stage cycle "
-                             "shares, skip-rate curve and hottest tiles "
-                             "instead of regenerating figures")
+    report.add_argument("metrics_log", nargs="*", default=None,
+                        help="metrics JSONL file(s) written by "
+                             "--metrics; when given, print that run's "
+                             "per-stage cycle shares, skip-rate curve "
+                             "and hottest tiles instead of regenerating "
+                             "figures — several files (a batch fanned "
+                             "across workers, or retried attempts) "
+                             "merge with last-record-per-frame dedupe")
     report.add_argument("--out", default="REPORT.md")
     report.add_argument("--top", type=int, default=10,
                         help="how many hottest tiles to list")
@@ -1221,6 +1412,21 @@ def main(argv=None) -> int:
                        default=None, metavar="PATH",
                        help="write the daemon's heartbeat JSON here "
                             "(read it with `python -m repro status`)")
+    serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="record daemon/worker lifecycle spans as "
+                            "trace shards in DIR (merge with "
+                            "`python -m repro trace DIR`)")
+    serve.add_argument("--stats-log", default=None, metavar="PATH",
+                       help="append periodic telemetry snapshots "
+                            "(JSONL) here; a final snapshot flushes on "
+                            "shutdown")
+    serve.add_argument("--stats-interval", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds between telemetry snapshots "
+                            "(default 30)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the telemetry recorder (stats/top "
+                            "report daemon state only)")
     _add_registry_flags(serve, suppress=True)
     submit = sub.add_parser(
         "submit", help="submit a job to a running `repro serve` daemon"
@@ -1249,6 +1455,13 @@ def main(argv=None) -> int:
     submit.add_argument("--shutdown", action="store_true",
                         help="ask the daemon to shut down instead of "
                              "submitting")
+    submit.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="trace this request end to end: mint a "
+                             "trace context the daemon and workers nest "
+                             "their spans under, and record the client "
+                             "round trip as a shard in DIR (serve with "
+                             "--trace-dir DIR too, then merge with "
+                             "`python -m repro trace DIR`)")
     workloads = sub.add_parser(
         "workloads", help="list/validate/add/show declarative DSL "
                           "workloads (data-file scenes)"
@@ -1291,6 +1504,43 @@ def main(argv=None) -> int:
                              "is unreachable (default live.json)")
     status.add_argument("--top", type=int, default=12,
                         help="how many recent jobs to list")
+    stats = sub.add_parser(
+        "stats", help="one-shot service telemetry: latency "
+                      "percentiles, warm-hit rates, tenant counters"
+    )
+    stats.add_argument("--socket", default="repro.sock",
+                       help="daemon socket (default repro.sock)")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw snapshot JSON instead of "
+                            "the table")
+    top = sub.add_parser(
+        "top", help="live ops view: stream the daemon's stats table "
+                    "(Ctrl-C to stop)"
+    )
+    top.add_argument("--socket", default="repro.sock",
+                     help="daemon socket (default repro.sock)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between redraws (default 1)")
+    top.add_argument("--iterations", type=int, default=0,
+                     metavar="N",
+                     help="exit after N stats frames (default: stream "
+                          "until interrupted)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the "
+                          "screen between redraws")
+    top.add_argument("--events", action="store_true",
+                     help="also print job lifecycle events (admitted/"
+                          "started/done/...) between stats frames")
+    trace_cmd = sub.add_parser(
+        "trace", help="merge a --trace-dir's per-process shards into "
+                      "one validated Chrome trace"
+    )
+    trace_cmd.add_argument("shard_dir",
+                           help="directory of shard-*.jsonl files "
+                                "written by serve/submit --trace-dir")
+    trace_cmd.add_argument("--out", default=None, metavar="PATH",
+                           help="write the merged Perfetto-loadable "
+                                "JSON here")
 
     args = parser.parse_args(argv)
     if args.raster_backend:
@@ -1311,6 +1561,9 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,
+        "stats": _cmd_stats,
+        "top": _cmd_top,
+        "trace": _cmd_trace,
         "workloads": _cmd_workloads,
         "goldens": _cmd_goldens,
     }

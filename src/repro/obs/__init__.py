@@ -29,6 +29,13 @@ simulated run and archives run outcomes for cross-run analysis:
 """
 
 from .diff import diff_manifests, diff_results, diff_runs, render_diff
+from .distributed import (
+    ShardTracer,
+    TraceContext,
+    TraceShard,
+    merge_shards,
+    mint_trace,
+)
 from .live import NULL_LIVE, ChannelLiveSink, LiveAggregator, LiveSink
 from .metrics import MetricsLog, frame_record
 from .report import render_report
@@ -45,7 +52,10 @@ __all__ = [
     "NULL_LIVE",
     "NULL_TRACER",
     "RunRegistry",
+    "ShardTracer",
+    "TraceContext",
     "TraceRecorder",
+    "TraceShard",
     "Tracer",
     "bench_manifest",
     "check_trend",
@@ -54,6 +64,8 @@ __all__ = [
     "diff_runs",
     "frame_record",
     "git_revision",
+    "merge_shards",
+    "mint_trace",
     "render_diff",
     "render_report",
     "render_trend",

@@ -33,6 +33,7 @@ class MetricsLog:
         self.path = path
         self.header: dict = None
         self.records: list = []        # frame records, in arrival order
+        self.sources: list = None      # paths merged by load_many
         self._handle = (
             open(path, mode, encoding="utf-8") if path else None
         )
@@ -81,33 +82,49 @@ class MetricsLog:
         once (supervised retries re-render from the last checkpoint),
         the last record for that frame.
         """
+        return cls.load_many([path])
+
+    @classmethod
+    def load_many(cls, paths) -> "MetricsLog":
+        """Load and merge several JSONL metrics files into one log.
+
+        The service fans a batch's frames across workers, each writing
+        its own metrics file; analyzing the run means merging them.
+        The dedupe rule is exactly the retried-frame loader's: files
+        are read in the order given, and the *last* record per frame
+        index wins — later files override earlier ones, the way a
+        retry's re-rendered frames override the crashed attempt's.
+        The last header seen wins too.  ``log.sources`` lists the
+        merged paths.
+        """
+        if not paths:
+            raise ReproError("no metrics files to load")
         log = cls()
+        log.sources = [str(path) for path in paths]
         by_frame: dict = {}
-        order: list = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, 1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise ReproError(
-                        f"{path}:{lineno}: bad metrics record: {exc}"
-                    ) from None
-                kind = record.get("kind")
-                if kind == "header":
-                    log.header = record
-                elif kind == "frame":
-                    index = int(record["frame_index"])
-                    if index not in by_frame:
-                        order.append(index)
-                    by_frame[index] = record
-                else:
-                    raise ReproError(
-                        f"{path}:{lineno}: unknown record kind {kind!r}"
-                    )
-        log.records = [by_frame[index] for index in sorted(order)]
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                for lineno, line in enumerate(handle, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise ReproError(
+                            f"{path}:{lineno}: bad metrics record: {exc}"
+                        ) from None
+                    kind = record.get("kind")
+                    if kind == "header":
+                        log.header = record
+                    elif kind == "frame":
+                        by_frame[int(record["frame_index"])] = record
+                    else:
+                        raise ReproError(
+                            f"{path}:{lineno}: unknown record kind "
+                            f"{kind!r}"
+                        )
+        log.records = [by_frame[index] for index in sorted(by_frame)]
         return log
 
     # Columnar views -----------------------------------------------------

@@ -8,8 +8,15 @@ phase must be one we emit, and duration events must nest — every ``E``
 closes the matching ``B`` on its ``(pid, tid)`` track, LIFO, with a
 non-decreasing timestamp, and no span is left open at the end.
 
+Cross-process (merged distributed) traces get two further checks:
+timestamps must be non-decreasing *per track* in event order (metadata
+events, pinned at ``ts=0``, are exempt), and any ``args.span_id`` must
+be globally unique — the merger's pid-prefixed allocation makes
+collisions impossible unless something re-used an id.
+
 Used by the test suite (so viewer compatibility is a regression, not a
-surprise) and by ``python -m repro report --validate-trace``.
+surprise), by the service tests on merged daemon traces, and by
+``python -m repro report --validate-trace`` / ``repro trace``.
 """
 
 from __future__ import annotations
@@ -57,7 +64,8 @@ def validate_trace(payload) -> dict:
     ``payload`` is the JSON object form (``{"traceEvents": [...]}``), a
     bare event list, or a :class:`~repro.obs.tracer.TraceRecorder`.
     Raises :class:`ReproError` on the first violation; returns
-    ``{"events": n, "spans": n, "instants": n, "counters": n}``.
+    ``{"events": n, "spans": n, "instants": n, "counters": n,
+    "pids": n, "span_ids": n}``.
     """
     if hasattr(payload, "to_json"):
         payload = payload.to_json()
@@ -71,13 +79,24 @@ def validate_trace(payload) -> dict:
         raise ReproError("traceEvents must be an array")
 
     stacks: dict = {}          # (pid, tid) -> [(name, ts)]
+    last_ts: dict = {}         # (pid, tid) -> last non-meta ts seen
+    span_ids: set = set()
+    pids: set = set()
     counts = {"events": 0, "spans": 0, "instants": 0, "counters": 0}
     for index, event in enumerate(events):
         validate_event(event, index)
         counts["events"] += 1
         track = (event["pid"], event["tid"])
         ph = event["ph"]
+        pids.add(event["pid"])
         if ph == "B":
+            span_id = (event.get("args") or {}).get("span_id")
+            if span_id is not None:
+                if span_id in span_ids:
+                    raise ReproError(
+                        f"event {index}: duplicate span_id {span_id!r}"
+                    )
+                span_ids.add(span_id)
             stacks.setdefault(track, []).append((event["name"], event["ts"]))
         elif ph == "E":
             stack = stacks.get(track)
@@ -100,12 +119,26 @@ def validate_trace(payload) -> dict:
             counts["instants"] += 1
         elif ph == "C":
             counts["counters"] += 1
+        if ph != "M":
+            # Each track must read in time order — Perfetto renders
+            # tracks independently, and a merged multi-process trace
+            # that interleaves out of order is a merger bug.  (Checked
+            # after the span rules so a span-shaped violation keeps its
+            # specific message.)
+            if event["ts"] < last_ts.get(track, 0.0):
+                raise ReproError(
+                    f"event {index}: ts {event['ts']} goes backwards "
+                    f"on track {track} (last was {last_ts[track]})"
+                )
+            last_ts[track] = event["ts"]
     unclosed = {
         track: [name for name, _ in stack]
         for track, stack in stacks.items() if stack
     }
     if unclosed:
         raise ReproError(f"unbalanced trace: open spans {unclosed}")
+    counts["pids"] = len(pids)
+    counts["span_ids"] = len(span_ids)
     return counts
 
 

@@ -31,16 +31,28 @@ from .daemon import EngineDaemon, ServiceConfig
 from .jobs import DEFAULT_TENANT, JobSpec, expand_payload
 from .pool import WarmEnginePool, execute_job
 from .server import ServiceServer
+from .telemetry import (
+    NULL_TELEMETRY,
+    LogHistogram,
+    ServiceTelemetry,
+    TelemetryRecorder,
+    merge_histograms,
+)
 
 __all__ = [
     "DEFAULT_TENANT",
     "EngineDaemon",
     "JobSpec",
+    "LogHistogram",
+    "NULL_TELEMETRY",
     "ServiceClient",
     "ServiceConfig",
     "ServiceServer",
+    "ServiceTelemetry",
+    "TelemetryRecorder",
     "WarmEnginePool",
     "execute_job",
     "expand_payload",
+    "merge_histograms",
     "run_job_inprocess",
 ]

@@ -55,9 +55,11 @@ from ..harness.supervisor import (
     InjectedFault,
     _mp_context,
 )
+from ..obs.distributed import ShardTracer, TraceShard
 from ..obs.live import TELEMETRY_TAG, ChannelLiveSink, LiveAggregator
 from .jobs import JobSpec, expand_payload
 from .pool import WarmEnginePool, execute_job
+from .telemetry import NULL_TELEMETRY, TelemetryRecorder
 
 __all__ = [
     "EngineDaemon",
@@ -65,6 +67,14 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
 ]
+
+
+def _job_tid(job_id: str) -> int:
+    """A job's trace track: its number (``j0042`` -> 42)."""
+    try:
+        return int(job_id.lstrip("j"))
+    except ValueError:
+        return 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -95,6 +105,19 @@ class ServiceConfig:
     live_path: str = None
     #: No-telemetry threshold before a running job is flagged stalled.
     stall_after_s: float = 10.0
+    #: Service telemetry (histograms / tenant counters / events for the
+    #: ``stats`` and ``watch`` verbs).  ``False`` makes the recorder a
+    #: falsy no-op — one truthiness check per lifecycle transition.
+    telemetry: bool = True
+    #: Directory for distributed trace shards (daemon + worker
+    #: processes each write ``shard-<role>-<pid>.jsonl`` here;
+    #: ``None`` = no request tracing).
+    trace_dir: str = None
+    #: JSONL file periodic telemetry snapshots append to (``None`` =
+    #: snapshots only reachable over the socket / registry).
+    telemetry_log: str = None
+    #: Seconds between periodic snapshot flushes.
+    telemetry_interval_s: float = 30.0
 
 
 @dataclasses.dataclass
@@ -185,7 +208,8 @@ def _fire_fault(fault: FaultSpec) -> None:
     raise InjectedFault(f"injected fault at frame boundary ({fault})")
 
 
-def _worker_main(conn, worker_id: int, max_engines: int) -> None:
+def _worker_main(conn, worker_id: int, max_engines: int,
+                 trace_dir=None) -> None:
     """Persistent worker body: serve jobs until ``stop`` or EOF.
 
     Messages in: ``("job", job_id, spec_dict, attempt)`` or
@@ -194,12 +218,19 @@ def _worker_main(conn, worker_id: int, max_engines: int) -> None:
     ``("done", job_id, RunResult, info)`` or ``("fail", job_id,
     description)`` per job.  An injected ``crash`` sends nothing — the
     daemon reads the EOF, like the supervisor does.
+
+    With ``trace_dir`` the worker writes a distributed-trace shard:
+    each job gets an ``engine`` span (frame/stage spans nested inside,
+    via the :class:`ShardTracer` handed to :func:`execute_job`) on the
+    job's own track, stamped with the request's trace context.
     """
     fault = None
     fault_env = os.environ.get(FAULT_ENV_VAR)
     if fault_env:
         fault = FaultSpec.parse(fault_env)
     pool = WarmEnginePool(max_engines=max_engines)
+    shard = (TraceShard(trace_dir, f"worker{worker_id}")
+             if trace_dir else None)
     while True:
         try:
             message = conn.recv()
@@ -208,6 +239,7 @@ def _worker_main(conn, worker_id: int, max_engines: int) -> None:
         if message[0] == "stop":
             break
         _, job_id, spec_dict, attempt = message
+        tracer = None
         try:
             spec = JobSpec.from_dict(spec_dict)
             hook = None
@@ -218,22 +250,39 @@ def _worker_main(conn, worker_id: int, max_engines: int) -> None:
             live = ChannelLiveSink(
                 conn, f"{spec.tenant}:{spec.label}", attempt=attempt,
             )
+            if shard is not None:
+                context = spec.trace_context()
+                tracer = ShardTracer(
+                    shard, tid=_job_tid(job_id),
+                    trace_id=context.trace_id if context else None,
+                    parent_span_id=context.span_id if context else None,
+                    label=f"engine {job_id}",
+                )
+                tracer.begin("engine", job_id=job_id, attempt=attempt,
+                             cell=spec.label, worker=worker_id)
             result, info = execute_job(
                 spec, pool=pool, live=live, frame_hook=hook,
+                tracer=tracer,
             )
         except Exception as exc:
+            if tracer is not None:
+                tracer.close_open_spans()
             try:
                 conn.send(("fail", job_id,
                            f"{type(exc).__name__}: {exc}"))
             except (OSError, ValueError):
                 break
             continue
+        if tracer is not None:
+            tracer.end("engine")
         info = dict(info)
         info["pool"] = pool.stats.as_dict()
         try:
             conn.send(("done", job_id, result, info))
         except (OSError, ValueError):
             break
+    if shard is not None:
+        shard.close()
 
 
 class _Worker:
@@ -279,6 +328,10 @@ class EngineDaemon:
                 owner=f"repro-serve:{os.getpid()}",
             )
         self.live = live
+        self.telemetry = (TelemetryRecorder() if self.config.telemetry
+                          else NULL_TELEMETRY)
+        self.trace = (TraceShard(self.config.trace_dir, "daemon")
+                      if self.config.trace_dir else None)
         self.stats = ServiceStats()
         self.jobs: dict = {}
         self._queue: collections.deque = collections.deque()
@@ -331,6 +384,17 @@ class EngineDaemon:
                 worker.process.join(timeout=2.0)
             worker.conn.close()
         self._workers.clear()
+        # The final sampling window must survive a short-lived daemon:
+        # flush one last snapshot before anything else is torn down
+        # (the `shutdown` verb and SIGTERM both route through here).
+        if self.telemetry:
+            self.telemetry.flush(
+                path=self.config.telemetry_log,
+                registry=self.registry,
+                reason="shutdown",
+            )
+        if self.trace is not None:
+            self.trace.close()
         if self.live is not None:
             self.live.close()
 
@@ -355,6 +419,8 @@ class EngineDaemon:
                 raise ServiceError("service daemon is not running")
             if len(self._queue) >= self.config.max_queue:
                 self.stats.rejected_backpressure += 1
+                if self.telemetry:
+                    self.telemetry.job_refused(spec.tenant, "backpressure")
                 raise BackpressureError(
                     f"job queue is full ({self.config.max_queue} "
                     "queued); the service applies backpressure instead "
@@ -367,6 +433,8 @@ class EngineDaemon:
             )
             if pending >= self.config.tenant_max_pending:
                 self.stats.rejected_tenant += 1
+                if self.telemetry:
+                    self.telemetry.job_refused(spec.tenant, "tenant")
                 raise TenantError(
                     f"tenant {spec.tenant!r} already has {pending} "
                     f"pending job(s) (cap "
@@ -377,6 +445,19 @@ class EngineDaemon:
             self.jobs[job.job_id] = job
             self._queue.append(job.job_id)
             self.stats.submitted += 1
+            if self.telemetry:
+                self.telemetry.job_admitted(job)
+            if self.trace is not None:
+                tid = _job_tid(job.job_id)
+                context = spec.trace_context()
+                args = {"job_id": job.job_id, "tenant": spec.tenant,
+                        "cell": spec.label}
+                if context is not None:
+                    args["trace_id"] = context.trace_id
+                    args["parent_span_id"] = context.span_id
+                self.trace.name_thread(tid, f"job {job.job_id}")
+                self.trace.begin("job", tid=tid, **args)
+                self.trace.begin("queue", tid=tid)
             return job
 
     def submit_payload(self, payload: typing.Mapping) -> list:
@@ -397,6 +478,12 @@ class EngineDaemon:
                         self._queue.remove(job.job_id)
                         del self.jobs[job.job_id]
                         self.stats.submitted -= 1
+                        if self.telemetry:
+                            self.telemetry.job_withdrawn(job)
+                        if self.trace is not None:
+                            tid = _job_tid(job.job_id)
+                            self.trace.instant("withdrawn", tid=tid)
+                            self.trace.close_track(tid)
             raise
         return admitted
 
@@ -449,13 +536,46 @@ class EngineDaemon:
                 "live_path": self.live.path if self.live else None,
             }
 
+    def stats_snapshot(self) -> dict:
+        """The ``stats`` verb's payload: daemon state + telemetry.
+
+        Unlike :meth:`status` this carries the quantitative view —
+        latency histograms with percentiles, warm-hit rates (daemon-
+        and pool-level), per-tenant counters — and omits the per-job
+        listing.  ``telemetry`` is ``None`` when disabled.
+        """
+        with self._lock:
+            snapshot = {
+                "running": self._running,
+                "pid": os.getpid(),
+                "started_at": self.started_at,
+                "uptime_s": (time.time() - self.started_at
+                             if self.started_at else 0.0),
+                "queue_depth": len(self._queue),
+                "workers": len(self._workers),
+                "stats": self.stats.as_dict(),
+            }
+        snapshot["telemetry"] = (self.telemetry.snapshot()
+                                 if self.telemetry else None)
+        return snapshot
+
+    def telemetry_seq(self) -> int:
+        """The newest lifecycle-event sequence number (``watch``)."""
+        return self.telemetry.last_seq() if self.telemetry else 0
+
+    def telemetry_events(self, since: int) -> list:
+        """Lifecycle events newer than ``since`` (``watch`` streaming)."""
+        return (self.telemetry.events_since(since)
+                if self.telemetry else [])
+
     # Scheduler ----------------------------------------------------------
     def _spawn_worker(self) -> "_Worker":
         worker_id = next(self._worker_ids)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, worker_id, self.config.max_engines),
+            args=(child_conn, worker_id, self.config.max_engines,
+                  self.config.trace_dir),
             name=f"repro-service-worker-{worker_id}",
             daemon=True,
         )
@@ -485,6 +605,12 @@ class EngineDaemon:
             self._check_timeouts()
             if self.live is not None:
                 self.live.tick()
+            if self.telemetry:
+                self.telemetry.maybe_flush(
+                    path=self.config.telemetry_log,
+                    registry=self.registry,
+                    interval_s=self.config.telemetry_interval_s,
+                )
 
     def _dispatch_locked(self) -> None:
         """Send batches of digest-compatible queued jobs to idle
@@ -511,6 +637,18 @@ class EngineDaemon:
                 job.attempts += 1
                 job.worker = worker.worker_id
                 job.started_at = time.time()
+                if self.telemetry:
+                    self.telemetry.job_dispatched(
+                        job, len(batch),
+                        job.started_at - job.submitted_at,
+                    )
+                if self.trace is not None:
+                    tid = _job_tid(job_id)
+                    self.trace.end("queue", tid=tid)
+                    self.trace.begin(
+                        "execute", tid=tid, worker=worker.worker_id,
+                        batch=len(batch), attempt=job.attempts,
+                    )
                 worker.conn.send(
                     ("job", job_id, job.spec.to_dict(), job.attempts)
                 )
@@ -557,20 +695,45 @@ class EngineDaemon:
                 self.stats.warm_jobs += 1
             else:
                 self.stats.cold_jobs += 1
+            if self.telemetry:
+                if "pool" in info:
+                    self.telemetry.worker_pool(
+                        worker.worker_id, info["pool"],
+                    )
+                self.telemetry.job_finished(job, job.warm)
+            if self.trace is not None:
+                tid = _job_tid(job.job_id)
+                self.trace.end("execute", tid=tid)
+                self.trace.end("job", tid=tid, warm=job.warm)
             self._done.notify_all()
 
     def _job_failed_locked(self, job: Job, error: str) -> None:
         """Retry (requeue at the front — it already waited) or fail."""
+        if self.trace is not None:
+            self.trace.end("execute", tid=_job_tid(job.job_id))
         if job.attempts <= self.config.max_retries:
             self.stats.retried += 1
             job.state = "queued"
             job.error = None
             self._queue.appendleft(job.job_id)
+            if self.telemetry:
+                self.telemetry.job_retried(job)
+            if self.trace is not None:
+                tid = _job_tid(job.job_id)
+                self.trace.instant("retry", tid=tid, error=error,
+                                   attempt=job.attempts)
+                self.trace.begin("queue", tid=tid)
             return
         job.state = "failed"
         job.error = error
         job.finished_at = time.time()
         self.stats.failed += 1
+        if self.telemetry:
+            self.telemetry.job_failed(job)
+        if self.trace is not None:
+            tid = _job_tid(job.job_id)
+            self.trace.instant("failed", tid=tid, error=error)
+            self.trace.end("job", tid=tid)
         self._done.notify_all()
 
     def _worker_died(self, worker: "_Worker", reason: str) -> None:

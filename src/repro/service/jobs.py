@@ -91,6 +91,11 @@ class JobSpec:
     scale: str = "small"
     overrides: tuple = ()
     tenant: str = DEFAULT_TENANT
+    #: Distributed-tracing context as sorted ``(key, value)`` pairs
+    #: (kept a tuple so specs stay hashable).  Pure telemetry: it is
+    #: excluded from :meth:`digest` and pool keying, so traced and
+    #: untraced jobs batch and share warm engines identically.
+    trace: tuple = ()
 
     @property
     def label(self) -> str:
@@ -149,6 +154,22 @@ class JobSpec:
             exact_signatures=self.exact_signatures,
         )
 
+    # Distributed tracing ------------------------------------------------
+    def trace_context(self):
+        """The carried :class:`~repro.obs.distributed.TraceContext`,
+        or ``None`` when the submitter did not trace this request."""
+        from ..obs.distributed import TraceContext
+
+        return TraceContext.from_mapping(dict(self.trace))
+
+    def with_trace(self, context) -> "JobSpec":
+        """A copy carrying ``context`` (a TraceContext or mapping)."""
+        mapping = (context.to_dict()
+                   if hasattr(context, "to_dict") else dict(context or {}))
+        return dataclasses.replace(
+            self, trace=tuple(sorted(mapping.items())),
+        )
+
     # Wire format --------------------------------------------------------
     def to_dict(self) -> dict:
         return {
@@ -159,6 +180,7 @@ class JobSpec:
             "scale": self.scale,
             "overrides": dict(self.overrides),
             "tenant": self.tenant,
+            "trace": dict(self.trace),
         }
 
     @classmethod
@@ -179,6 +201,9 @@ class JobSpec:
                     f"bad overrides {overrides!r}: expected an object of "
                     "GpuConfig field -> value"
                 ) from None
+        trace = data.get("trace") or {}
+        if not isinstance(trace, typing.Mapping):
+            trace = {}          # telemetry only — never refuse the job
         return cls(
             alias=data.get("alias", data.get("game")),
             technique=data.get("technique", "re"),
@@ -187,6 +212,9 @@ class JobSpec:
             scale=data.get("scale", "small"),
             overrides=tuple(sorted(overrides.items())),
             tenant=data.get("tenant", DEFAULT_TENANT),
+            trace=tuple(sorted(
+                (str(key), value) for key, value in trace.items()
+            )),
         )
 
 

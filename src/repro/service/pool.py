@@ -114,7 +114,7 @@ class WarmEnginePool:
 
 def execute_job(spec: JobSpec, pool: WarmEnginePool = None,
                 trace_path=None, metrics_path=None, live=None,
-                frame_hook=None):
+                frame_hook=None, tracer=None):
     """Run one job spec; returns ``(RunResult, info)``.
 
     ``info`` is a small dict — currently ``{"warm": bool}`` — describing
@@ -130,16 +130,24 @@ def execute_job(spec: JobSpec, pool: WarmEnginePool = None,
     ``frame_hook(frames_rendered)`` — when given — is invoked at every
     frame boundary (the daemon's workers use it for deterministic fault
     injection); rendering is bit-identical either way.
+
+    ``tracer`` attaches a caller-provided tracer (the daemon's workers
+    pass a :class:`~repro.obs.distributed.ShardTracer` so engine frame
+    spans land in the job's distributed trace); spans the caller opened
+    on it stay open on success, and every open span is closed if the
+    job dies mid-frame.  Without one, ``trace_path`` builds a local
+    :class:`~repro.obs.tracer.TraceRecorder` as before.
     """
     np.random.seed(cell_seed(spec.cell()))
-    tracer = metrics = None
-    if trace_path is not None or metrics_path is not None:
-        from ..obs import MetricsLog, TraceRecorder
+    metrics = None
+    if trace_path is not None and tracer is None:
+        from ..obs import TraceRecorder
 
-        if trace_path is not None:
-            tracer = TraceRecorder()
-        if metrics_path is not None:
-            metrics = MetricsLog(metrics_path)
+        tracer = TraceRecorder()
+    if metrics_path is not None:
+        from ..obs import MetricsLog
+
+        metrics = MetricsLog(metrics_path)
 
     if pool is not None:
         session, warm = pool.acquire(spec)
@@ -160,8 +168,9 @@ def execute_job(spec: JobSpec, pool: WarmEnginePool = None,
             session.run()
         done = True
     finally:
-        if tracer is not None:
+        if tracer is not None and not done:
             tracer.close_open_spans()
+        if tracer is not None and trace_path is not None:
             tracer.write(trace_path)
         if metrics is not None:
             metrics.close()

@@ -15,8 +15,16 @@ Ops:
   payload (render / sweep / experiment expansion happens daemon-side);
   returns the admitted jobs' public projections.
 * ``status``   — the daemon's status snapshot.
+* ``stats``    — the telemetry snapshot (queue depth, latency
+  histograms with p50/p95/p99, warm-hit rates, per-tenant counters);
+  ``repro stats`` renders it.
 * ``wait``     — ``{"op": "wait", "job_id": j, "timeout": s}`` blocks
   (in an executor — the event loop stays responsive) until terminal.
+* ``watch``    — the one *streaming* op: after an acknowledgement line
+  the server keeps writing ``{"ok": true, "kind": "event", ...}`` job
+  lifecycle events (admitted / started / retried / done — sweep points
+  as they finish) and periodic ``{"ok": true, "kind": "stats", ...}``
+  frames until the client disconnects (``repro top``).
 * ``shutdown`` — stop serving; ``repro serve`` then closes the daemon.
 
 The event loop only ever does bookkeeping — rendering happens in the
@@ -76,6 +84,8 @@ class ServiceServer:
                 return {"ok": True, "pid": os.getpid()}
             if op == "status":
                 return {"ok": True, "status": self.daemon.status()}
+            if op == "stats":
+                return {"ok": True, "stats": self.daemon.stats_snapshot()}
             if op == "submit":
                 payload = request.get("job")
                 if not isinstance(payload, dict):
@@ -99,11 +109,53 @@ class ServiceServer:
             return {
                 "ok": False, "kind": "protocol",
                 "error": f"unknown op {op!r} "
-                         "(ping/submit/status/wait/shutdown)",
+                         "(ping/submit/status/stats/wait/watch/shutdown)",
             }
         except ServiceError as exc:
             return {"ok": False, "kind": error_kind(exc),
                     "error": str(exc)}
+
+    async def _stream_watch(self, request: dict, writer) -> None:
+        """Stream lifecycle events + periodic stats frames.
+
+        ``interval`` (seconds, default 1) paces the stats frames;
+        ``since`` replays buffered events newer than that sequence
+        number (default: only events from now on); ``stats: false``
+        streams events only.  Ends when the client disconnects or the
+        server stops.
+        """
+        try:
+            interval = float(request.get("interval") or 1.0)
+        except (TypeError, ValueError):
+            interval = 1.0
+        interval = max(0.05, interval)
+        send_stats = request.get("stats", True)
+        since = request.get("since")
+        try:
+            seq = int(since) if since is not None \
+                else self.daemon.telemetry_seq()
+        except (TypeError, ValueError):
+            seq = self.daemon.telemetry_seq()
+        writer.write(json.dumps(
+            {"ok": True, "watching": True, "since": seq}
+        ).encode() + b"\n")
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        next_stats = loop.time()       # first stats frame immediately
+        while not self._stop_event.is_set():
+            for event in self.daemon.telemetry_events(seq):
+                seq = max(seq, int(event.get("seq", seq)))
+                writer.write(json.dumps(
+                    {"ok": True, "kind": "event", "event": event}
+                ).encode() + b"\n")
+            if send_stats and loop.time() >= next_stats:
+                next_stats = loop.time() + interval
+                writer.write(json.dumps(
+                    {"ok": True, "kind": "stats",
+                     "stats": self.daemon.stats_snapshot()}
+                ).encode() + b"\n")
+            await writer.drain()
+            await asyncio.sleep(min(interval, 0.2))
 
     async def _handle_client(self, reader, writer) -> None:
         try:
@@ -119,6 +171,11 @@ class ServiceServer:
                     response = {"ok": False, "kind": "protocol",
                                 "error": f"bad request line: {exc}"}
                 else:
+                    if request.get("op") == "watch":
+                        # Streaming op: takes over the connection and
+                        # writes lines until the client goes away.
+                        await self._stream_watch(request, writer)
+                        return
                     response = await self._dispatch(request)
                 writer.write(json.dumps(response).encode() + b"\n")
                 await writer.drain()

@@ -1,0 +1,254 @@
+"""Distributed tracing: shards, the shard tracer and the merger."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    ShardTracer,
+    TraceContext,
+    TraceShard,
+    merge_shards,
+    mint_trace,
+    validate_trace,
+)
+from repro.obs.distributed import new_span_id, shard_paths
+
+
+class FakeClock:
+    """A controllable wall clock (seconds, like ``time.time``)."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float = 1.0) -> float:
+        self.now += seconds
+        return self.now
+
+
+def read_shard(shard) -> list:
+    with open(shard.path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestTraceContext:
+    def test_round_trips_through_wire_dict(self):
+        context = mint_trace()
+        assert TraceContext.from_mapping(context.to_dict()) == context
+
+    def test_minted_ids_are_fresh(self):
+        first, second = mint_trace(), mint_trace()
+        assert first.trace_id != second.trace_id
+        assert first.span_id != second.span_id
+
+    @pytest.mark.parametrize("data", [
+        None, "nope", 7, [],
+        {}, {"trace_id": "abc"}, {"span_id": "1.1"},
+        {"trace_id": "", "span_id": "1.1"},
+        {"trace_id": 12, "span_id": "1.1"},
+        {"trace_id": "abc", "span_id": None},
+    ])
+    def test_malformed_context_is_none_not_an_error(self, data):
+        # Trace context is telemetry: a bad one degrades to untraced,
+        # it never refuses the job carrying it.
+        assert TraceContext.from_mapping(data) is None
+
+    def test_span_ids_are_pid_prefixed(self):
+        import os
+
+        assert new_span_id().startswith(f"{os.getpid():x}.")
+
+
+class TestTraceShard:
+    def test_events_append_as_jsonl(self, tmp_path):
+        clock = FakeClock()
+        with TraceShard(tmp_path, "daemon", pid=42, clock=clock) as shard:
+            shard.begin("job", tid=1, job_id="j0001")
+            clock.tick()
+            shard.end("job", tid=1)
+        events = read_shard(shard)
+        assert events[0]["ph"] == "M"          # process_name
+        names = [(e["ph"], e["name"]) for e in events if e["ph"] in "BE"]
+        assert names == [("B", "job"), ("E", "job")]
+        assert all(e["pid"] == 42 for e in events)
+
+    def test_timestamps_clamped_monotonic_per_track(self, tmp_path):
+        clock = FakeClock()
+        shard = TraceShard(tmp_path, "daemon", clock=clock)
+        shard.instant("a", tid=0)
+        clock.now -= 5.0                       # clock goes backwards
+        shard.instant("b", tid=0)
+        shard.close()
+        a, b = [e for e in read_shard(shard) if e["ph"] == "i"]
+        assert b["ts"] >= a["ts"]
+
+    def test_begin_returns_a_unique_span_id(self, tmp_path):
+        shard = TraceShard(tmp_path, "daemon")
+        first = shard.begin("job", tid=1)
+        second = shard.begin("queue", tid=1)
+        assert first != second
+        shard.close()
+
+    def test_end_is_lenient(self, tmp_path):
+        # The daemon ends spans from crash/timeout paths where the
+        # span may already be closed — never an exception.
+        shard = TraceShard(tmp_path, "daemon")
+        assert shard.end(tid=3) is False
+        shard.begin("job", tid=3)
+        assert shard.end("mismatch", tid=3) is False
+        assert shard.end("job", tid=3) is True
+        shard.close()
+
+    def test_close_track_ends_everything_open(self, tmp_path):
+        shard = TraceShard(tmp_path, "daemon")
+        shard.begin("job", tid=2)
+        shard.begin("queue", tid=2)
+        shard.close_track(2)
+        shard.close()
+        phases = [e["ph"] for e in read_shard(shard) if e["tid"] == 2]
+        assert phases.count("B") == phases.count("E") == 2
+
+    def test_close_balances_all_tracks(self, tmp_path):
+        shard = TraceShard(tmp_path, "daemon")
+        shard.begin("job", tid=1)
+        shard.begin("job", tid=2)
+        shard.close()
+        events = [e for e in read_shard(shard) if e["ph"] in "BE"]
+        assert len([e for e in events if e["ph"] == "E"]) == 2
+
+    def test_thread_name_label_is_first_wins(self, tmp_path):
+        shard = TraceShard(tmp_path, "daemon")
+        shard.name_thread(1, "job j0001")
+        shard.name_thread(1, "job j9999")
+        shard.close()
+        labels = [e["args"]["name"] for e in read_shard(shard)
+                  if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert labels == ["job j0001"]
+
+
+class TestShardTracer:
+    def test_spans_land_on_the_fixed_track(self, tmp_path):
+        shard = TraceShard(tmp_path, "worker")
+        tracer = ShardTracer(shard, tid=7, trace_id="abc",
+                             parent_span_id="1.1")
+        with tracer.span("engine"):
+            tracer.instant("tile_skip", tile=3)
+        shard.close()
+        events = [e for e in read_shard(shard) if e["ph"] in "BEi"]
+        assert all(e["tid"] == 7 for e in events)
+
+    def test_context_stamped_into_args(self, tmp_path):
+        shard = TraceShard(tmp_path, "worker")
+        tracer = ShardTracer(shard, tid=1, trace_id="abc",
+                             parent_span_id="p.1")
+        tracer.begin("engine")
+        tracer.begin("frame")
+        tracer.end("frame")
+        tracer.end("engine")
+        shard.close()
+        begins = {e["name"]: e["args"] for e in read_shard(shard)
+                  if e["ph"] == "B"}
+        assert begins["engine"]["trace_id"] == "abc"
+        assert begins["engine"]["parent_span_id"] == "p.1"
+        # Nested spans parent under the enclosing span, not the remote
+        # context.
+        assert begins["frame"]["parent_span_id"] \
+            == begins["engine"]["span_id"]
+
+    def test_end_is_strict_like_the_recorder(self, tmp_path):
+        shard = TraceShard(tmp_path, "worker")
+        tracer = ShardTracer(shard, tid=1)
+        with pytest.raises(ReproError, match="no open span"):
+            tracer.end()
+        tracer.begin("engine")
+        with pytest.raises(ReproError, match="closes span"):
+            tracer.end("frame")
+        shard.close()
+
+    def test_close_open_spans_unwinds_the_stack(self, tmp_path):
+        shard = TraceShard(tmp_path, "worker")
+        tracer = ShardTracer(shard, tid=1)
+        tracer.begin("engine")
+        tracer.begin("frame")
+        tracer.close_open_spans()
+        shard.close()
+        events = [e for e in read_shard(shard) if e["ph"] in "BE"]
+        assert [e["ph"] for e in events] == ["B", "B", "E", "E"]
+        assert [e["name"] for e in events if e["ph"] == "E"] \
+            == ["frame", "engine"]
+
+    def test_is_truthy_tracer(self, tmp_path):
+        shard = TraceShard(tmp_path, "worker")
+        assert bool(ShardTracer(shard, tid=1))
+        shard.close()
+
+
+class TestMergeShards:
+    def build_shards(self, directory, crash_worker=False):
+        clock = FakeClock()
+        client = TraceShard(directory, "client", pid=10, clock=clock)
+        daemon = TraceShard(directory, "daemon", pid=20, clock=clock)
+        worker = TraceShard(directory, "worker1", pid=30, clock=clock)
+        context = mint_trace()
+        client.begin("submit", tid=0, span_id=context.span_id,
+                     trace_id=context.trace_id)
+        clock.tick()
+        daemon.begin("job", tid=1, trace_id=context.trace_id,
+                     parent_span_id=context.span_id)
+        clock.tick()
+        tracer = ShardTracer(worker, tid=1, trace_id=context.trace_id)
+        tracer.begin("engine")
+        clock.tick()
+        if not crash_worker:
+            tracer.end("engine")
+        worker._handle.close()                 # crash: no balancing
+        clock.tick()
+        daemon.end("job", tid=1)
+        daemon.close()
+        client.end("submit", tid=0)
+        client.close()
+        return context
+
+    def test_merge_re_bases_sorts_and_validates(self, tmp_path):
+        context = self.build_shards(tmp_path)
+        payload = merge_shards(tmp_path)
+        counts = validate_trace(payload)
+        assert counts["pids"] == 3
+        assert counts["spans"] == 3
+        real = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        assert min(e["ts"] for e in real) == 0.0
+        assert payload["metadata"]["trace_ids"] == [context.trace_id]
+        assert payload["metadata"]["repaired_spans"] == 0
+
+    def test_crashed_shard_is_repaired_and_flagged(self, tmp_path):
+        self.build_shards(tmp_path, crash_worker=True)
+        payload = merge_shards(tmp_path)
+        assert payload["metadata"]["repaired_spans"] == 1
+        validate_trace(payload)                # balanced after repair
+        repaired = [e for e in payload["traceEvents"]
+                    if (e.get("args") or {}).get("repaired")]
+        assert [e["name"] for e in repaired] == ["engine"]
+
+    def test_merge_writes_a_loadable_payload(self, tmp_path):
+        self.build_shards(tmp_path)
+        out = tmp_path / "merged.json"
+        merge_shards(tmp_path, out_path=out)
+        with open(out, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert validate_trace(payload)["pids"] == 3
+
+    def test_shard_paths_are_deterministic(self, tmp_path):
+        self.build_shards(tmp_path)
+        paths = shard_paths(tmp_path)
+        assert paths == sorted(paths)
+        assert len(paths) == 3
+        assert merge_shards(paths)["metadata"]["merged_from"] \
+            == [p.split("/")[-1] for p in paths]
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(ReproError, match="no trace shards"):
+            merge_shards(tmp_path)

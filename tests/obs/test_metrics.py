@@ -102,3 +102,50 @@ class TestRoundTrip:
         sample_frame(log, 0)
         assert path.read_text().count("\n") == 1
         log.close()
+
+
+class TestLoadMany:
+    def test_merges_with_last_record_per_frame(self, tmp_path):
+        # Two files of one logical run (a crashed attempt and its
+        # retry): later files override earlier ones per frame index —
+        # the same rule the single-file retry dedupe applies.
+        first = tmp_path / "a.jsonl"
+        with MetricsLog(first) as log:
+            log.write_header(alias="cde", attempt=1)
+            sample_frame(log, 0, skipped=[])
+            sample_frame(log, 1, skipped=[1])
+        second = tmp_path / "b.jsonl"
+        with MetricsLog(second) as log:
+            log.write_header(alias="cde", attempt=2, num_tiles=4)
+            sample_frame(log, 1, skipped=[1, 2])
+            sample_frame(log, 2, skipped=[2])
+        merged = MetricsLog.load_many([first, second])
+        assert merged.header["attempt"] == 2
+        assert merged.column("frame_index") == [0, 1, 2]
+        assert merged.column("tiles_skipped") == [0, 2, 1]
+        assert merged.sources == [str(first), str(second)]
+
+    def test_disjoint_files_interleave_by_frame(self, tmp_path):
+        # A batch fanned across workers: each worker logs its own
+        # frames; the merge is the full run in frame order.
+        even = tmp_path / "even.jsonl"
+        with MetricsLog(even) as log:
+            sample_frame(log, 0)
+            sample_frame(log, 2)
+        odd = tmp_path / "odd.jsonl"
+        with MetricsLog(odd) as log:
+            sample_frame(log, 1)
+        merged = MetricsLog.load_many([even, odd])
+        assert merged.column("frame_index") == [0, 1, 2]
+
+    def test_no_paths_is_an_error(self):
+        with pytest.raises(ReproError, match="no metrics files"):
+            MetricsLog.load_many([])
+
+    def test_single_file_load_matches_load_many(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with MetricsLog(path) as log:
+            log.write_header(alias="cde")
+            sample_frame(log, 0)
+        assert (MetricsLog.load(path).records
+                == MetricsLog.load_many([path]).records)

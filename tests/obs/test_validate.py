@@ -103,6 +103,58 @@ class TestSpanBalance:
         assert counts["spans"] == 2
 
 
+class TestCrossProcess:
+    def test_duplicate_span_id_rejected(self):
+        with pytest.raises(ReproError, match="duplicate span_id"):
+            validate_trace([
+                event(ph="B", name="a", ts=0.0,
+                      args={"span_id": "1.1"}),
+                event(ph="E", name="a", ts=1.0),
+                event(ph="B", name="b", ts=2.0,
+                      args={"span_id": "1.1"}),
+                event(ph="E", name="b", ts=3.0),
+            ])
+
+    def test_span_ids_unique_across_pids(self):
+        counts = validate_trace([
+            event(ph="B", name="a", pid=1, ts=0.0,
+                  args={"span_id": "1.1"}),
+            event(ph="E", name="a", pid=1, ts=1.0),
+            event(ph="B", name="a", pid=2, ts=0.0,
+                  args={"span_id": "2.1"}),
+            event(ph="E", name="a", pid=2, ts=1.0),
+        ])
+        assert counts["pids"] == 2
+        assert counts["span_ids"] == 2
+
+    def test_backwards_ts_on_one_track_rejected(self):
+        with pytest.raises(ReproError, match="goes backwards"):
+            validate_trace([
+                event(ts=5.0),
+                event(ts=1.0),
+            ])
+
+    def test_tracks_are_ordered_independently(self):
+        # A merged multi-process trace interleaves tracks; only the
+        # per-track order matters.
+        counts = validate_trace([
+            event(tid=0, ts=5.0),
+            event(tid=1, ts=1.0),
+            event(tid=0, ts=6.0),
+            event(tid=1, ts=2.0),
+        ])
+        assert counts["instants"] == 4
+
+    def test_metadata_events_exempt_from_track_order(self):
+        counts = validate_trace([
+            event(ts=5.0),
+            event(ph="M", name="thread_name", ts=0.0,
+                  args={"name": "t"}),
+            event(ts=6.0),
+        ])
+        assert counts["events"] == 3
+
+
 class TestPayloadForms:
     def test_object_form_requires_trace_events(self):
         with pytest.raises(ReproError, match="no traceEvents"):
