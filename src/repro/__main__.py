@@ -48,6 +48,13 @@ Subcommands:
 * ``goldens``        — ``record``/``check`` the registry-pinned golden
   conformance baselines (per-tile CRC matrices + RE skip counts) under
   ``results/goldens``; ``check`` exits non-zero on any output drift.
+* ``fleet``          — distributed sweeps over a shared registry
+  directory: ``launch`` expands a grid into a fleet spec and spawns N
+  worker processes that idempotently claim points (atomic lease
+  records, heartbeats, crash-safe requeue); ``work`` runs one worker
+  (how another host joins); ``status``/``watch`` merge heartbeats and
+  claims into a live claim map with stall detection.  ``trend
+  --fleet`` and ``diff --fleet`` read the recorded fleets back.
 
 Plain ``run`` executes through a *transient in-process service* (the
 same code path the daemon's workers run; ``--direct`` bypasses it) —
@@ -781,7 +788,10 @@ def _cmd_top(args) -> int:
     from .errors import ServiceError
     from .service import ServiceClient
 
-    clear = not args.no_clear and not args.events and sys.stdout.isatty()
+    once = getattr(args, "once", False)
+    clear = (not once and not args.no_clear and not args.events
+             and sys.stdout.isatty())
+    limit = 1 if once else args.iterations
     frames = 0
     try:
         with ServiceClient(
@@ -805,7 +815,7 @@ def _cmd_top(args) -> int:
                 if clear:
                     print("\x1b[2J\x1b[H", end="")
                 print(_render_stats(message["stats"]))
-                if args.iterations and frames >= args.iterations:
+                if limit and frames >= limit:
                     return 0
     except KeyboardInterrupt:
         return 0
@@ -846,6 +856,174 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _parse_set_specs(specs) -> dict:
+    """``--set name=v1,v2,...`` flags into a parameter-grid dict."""
+    parameters = {}
+    for spec in specs or []:
+        name, _, values = spec.partition("=")
+        if not values:
+            raise ValueError(f"bad --set {spec!r}: expected name=v1,v2,...")
+        parameters[name] = [
+            _coerce_sweep_value(v) for v in values.split(",")
+        ]
+    return parameters
+
+
+def _fleet_overrides(args) -> dict:
+    overrides = dict(getattr(args, "native_overrides", None) or {})
+    if getattr(args, "occlusion_culling", False):
+        overrides["occlusion_culling"] = True
+    return overrides
+
+
+def _cmd_fleet(args) -> int:
+    import json
+    import time as time_module
+
+    from .errors import FleetError, ReproError
+    from .fleet import FleetCoordinator, FleetSpec, launch_fleet
+    from .fleet.points import list_fleets
+
+    root = _registry_root(args)
+
+    if args.fleet_action == "launch":
+        if args.game not in all_workload_aliases():
+            print(f"fleet launch failed: "
+                  f"{unknown_workload_message(args.game)}", file=sys.stderr)
+            return 2
+        try:
+            parameters = _parse_set_specs(args.set)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        crash_after = {}
+        for spec in args.crash_worker or []:
+            worker, _, count = spec.partition(":")
+            try:
+                crash_after[worker] = int(count)
+            except ValueError:
+                print(f"bad --crash-worker {spec!r}: expected "
+                      "WORKER:CLAIMS (e.g. w1:2)", file=sys.stderr)
+                return 2
+        fleet_id = args.fleet_id or time_module.strftime(
+            "fleet-%Y%m%d-%H%M%S")
+        try:
+            spec = FleetSpec(
+                fleet_id=fleet_id, alias=args.game,
+                technique=args.technique, num_frames=args.frames,
+                parameters=parameters, scale=args.scale,
+                overrides=_fleet_overrides(args), lease_s=args.lease,
+            )
+            print(f"launching fleet {fleet_id}: {args.workers} worker(s) "
+                  f"over {len(spec.point_ids())} point(s) "
+                  f"({args.game}/{args.technique}, {args.frames} frames, "
+                  f"lease {args.lease:g}s)")
+            status = launch_fleet(
+                root, spec, workers=args.workers,
+                crash_after=crash_after, max_wait_s=args.max_wait,
+                stream=sys.stderr if args.verbose else None,
+            )
+        except (FleetError, ReproError) as exc:
+            print(f"fleet launch failed: {exc.args[0]}", file=sys.stderr)
+            return 2
+        coordinator = FleetCoordinator(root, fleet_id)
+        coordinator.refresh()
+        print(coordinator.render_status(width=_terminal_width()))
+        coordinator.close()
+        crashed = [w for w, code in sorted(status["exit_codes"].items())
+                   if code != 0]
+        if crashed:
+            print(f"workers exited nonzero: {', '.join(crashed)} "
+                  "(their points were requeued through lease expiry)")
+        if status["failed_points"]:
+            print(f"FAILED points: {', '.join(status['failed_points'])}",
+                  file=sys.stderr)
+            return 1
+        print(f"fleet {fleet_id} complete; reconcile with "
+              f"`python -m repro diff --fleet {fleet_id} OTHER` or "
+              "`python -m repro trend --fleet`")
+        return 0
+
+    if args.fleet_action == "work":
+        from .fleet import FleetWorker
+
+        supervised = _supervision_requested(args)
+        try:
+            worker = FleetWorker(
+                root, args.fleet_id, args.worker,
+                poll_s=args.poll, max_wait_s=args.max_wait,
+                crash_after_claims=args.crash_after_claims,
+                policy=_policy_from(args) if supervised else None,
+                trace=args.fleet_trace,
+            )
+            summary = worker.run()
+        except (FleetError, ReproError) as exc:
+            print(f"fleet work failed: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(f"worker {summary['worker']}: completed "
+              f"{len(summary['completed'])} point(s)")
+        return 1 if summary["failed"] else 0
+
+    # status / watch ------------------------------------------------------
+    fleet_id = args.fleet_id
+    if not fleet_id:
+        fleets = list_fleets(root)
+        if not fleets:
+            print(f"no fleets under {root} (start one with "
+                  "`python -m repro fleet launch`)")
+            return 0
+        if len(fleets) > 1:
+            print("fleets: " + ", ".join(fleets))
+            print("pick one with --fleet-id")
+            return 0
+        fleet_id = fleets[0]
+    try:
+        coordinator = FleetCoordinator(root, fleet_id)
+    except (FleetError, ReproError) as exc:
+        print(f"fleet {args.fleet_action} failed: {exc.args[0]}",
+              file=sys.stderr)
+        return 2
+
+    once = args.fleet_action == "status" or getattr(args, "once", False)
+    # ANSI clear only on an interactive terminal: CI logs and pipes get
+    # plain appended frames, never redraw escape codes.
+    clear = (not once and not getattr(args, "no_clear", False)
+             and sys.stdout.isatty())
+    frames = 0
+    try:
+        while True:
+            coordinator.refresh()
+            if getattr(args, "reap", False):
+                for point in coordinator.reap_orphans():
+                    print(f"reaped expired claim on {point}")
+            frames += 1
+            if clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(coordinator.render_status(width=_terminal_width()))
+            if args.json:
+                print(json.dumps(coordinator.status(), sort_keys=True))
+            if once or coordinator.complete:
+                break
+            if (getattr(args, "iterations", 0)
+                    and frames >= args.iterations):
+                break
+            time_module.sleep(getattr(args, "interval", 1.0))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.close()
+    return 1 if coordinator.failed_points() else 0
+
+
+def _terminal_width(default: int = 80) -> int:
+    """Current terminal width; the default for pipes and CI logs."""
+    if not sys.stdout.isatty():
+        return default
+    import shutil
+
+    return shutil.get_terminal_size((default, 24)).columns
+
+
 def _coerce_sweep_value(text: str):
     """``--set`` values: int where possible, then float, else string."""
     for convert in (int, float):
@@ -865,16 +1043,15 @@ def _cmd_sweep(args) -> int:
         print(f"sweep failed: {unknown_workload_message(args.game)}",
               file=sys.stderr)
         return 2
-    parameters = {}
-    for spec in args.set:
-        name, _, values = spec.partition("=")
-        if not values:
-            print(f"bad --set {spec!r}: expected name=v1,v2,...",
-                  file=sys.stderr)
-            return 2
-        parameters[name] = [
-            _coerce_sweep_value(v) for v in values.split(",")
-        ]
+    try:
+        parameters = _parse_set_specs(args.set)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not parameters:
+        print("sweep needs at least one --set name=v1,v2,...",
+              file=sys.stderr)
+        return 2
     supervised = _supervision_requested(args)
     try:
         points = sweep(
@@ -901,11 +1078,26 @@ def _cmd_sweep(args) -> int:
             _print_observability_paths(args)
     registry = _registry_from(args)
     if registry is not None:
-        run_ids = [
-            _record_run(registry, point.run, "sweep-point", args,
-                        extra={"parameters": point.parameters})
-            for point in points
-        ]
+        run_ids = []
+        for point in points:
+            extra = {"parameters": point.parameters}
+            if getattr(args, "fleet_id", None):
+                # Stamp the same content-addressed identity a fleet
+                # worker would, so `repro diff --fleet` can reconcile
+                # this single-host sweep against a distributed run.
+                import dataclasses as dc
+
+                from .fleet.points import point_id as fleet_point_id
+
+                config = dc.replace(_config_from(args),
+                                    **point.parameters)
+                extra["fleet_id"] = args.fleet_id
+                extra["point_id"] = fleet_point_id(
+                    args.game, args.technique, args.frames, config,
+                )
+            run_ids.append(_record_run(
+                registry, point.run, "sweep-point", args, extra=extra,
+            ))
         if any(run_ids):
             print(f"  registered {len([r for r in run_ids if r])} sweep "
                   f"point(s) in {registry.root}")
@@ -955,6 +1147,17 @@ def _cmd_runs(args) -> int:
     registry = _reader_registry(args)
     if getattr(args, "tenant", None):
         registry = registry.for_tenant(args.tenant)
+    if getattr(args, "compact", False):
+        try:
+            kept, reclaimed = registry.compact_index()
+        except (OSError, ReproError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            print(f"compact failed: {message}", file=sys.stderr)
+            return 2
+        print(f"compacted {registry.index_path}: kept {kept} "
+              f"entr{'y' if kept == 1 else 'ies'}, reclaimed "
+              f"{reclaimed} superseded row(s)")
+        return 0
     try:
         entries = registry.query(
             kind=args.kind, alias=args.game, technique=args.technique,
@@ -1040,9 +1243,22 @@ def _print_tenant_summary(registry, args) -> None:
 
 def _cmd_diff(args) -> int:
     from .errors import ReproError
-    from .obs.diff import diff_runs, render_diff
+    from .obs.diff import (
+        diff_fleets,
+        diff_runs,
+        render_diff,
+        render_fleet_diff,
+    )
 
     registry = _reader_registry(args)
+    if getattr(args, "fleet", False):
+        try:
+            diff = diff_fleets(registry, args.run_a, args.run_b)
+        except ReproError as exc:
+            print(f"diff failed: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(render_fleet_diff(diff))
+        return 0 if diff["identical"] else 1
     try:
         diff = diff_runs(registry, args.run_a, args.run_b)
     except ReproError as exc:
@@ -1057,6 +1273,15 @@ def _cmd_trend(args) -> int:
     from .obs.trend import check_trend, render_trend
 
     registry = _reader_registry(args)
+    if getattr(args, "fleet", False):
+        from .obs.trend import render_fleet_trend
+
+        try:
+            print(render_fleet_trend(registry))
+        except (OSError, ReproError) as exc:
+            print(f"trend failed: {exc}", file=sys.stderr)
+            return 2
+        return 0
     try:
         if args.append:
             for path in args.append:
@@ -1321,6 +1546,11 @@ def main(argv=None) -> int:
     swp.add_argument("--metric", default="total_cycles",
                      help="metric column to tabulate "
                           "(default: total_cycles)")
+    swp.add_argument("--fleet-id", default=None, metavar="NAME",
+                     help="stamp every recorded sweep point with this "
+                          "fleet id and its deterministic point id, so "
+                          "a single-host sweep can be reconciled against "
+                          "a distributed fleet with `repro diff --fleet`")
     _add_observability_flags(swp)
     _add_registry_flags(swp, suppress=True)
     report = sub.add_parser(
@@ -1356,6 +1586,10 @@ def main(argv=None) -> int:
     runs.add_argument("--tenant", default=None,
                       help="list one tenant's namespace instead of the "
                            "registry root")
+    runs.add_argument("--compact", action="store_true",
+                      help="rewrite index.jsonl atomically with one "
+                           "latest-wins row per run and report how many "
+                           "superseded rows were reclaimed")
     _add_registry_flags(runs, suppress=True)
     diff = sub.add_parser(
         "diff", help="compare two registered runs (cycles, skips, "
@@ -1367,6 +1601,11 @@ def main(argv=None) -> int:
                                     "candidate side")
     diff.add_argument("--top", type=int, default=12,
                       help="how many changed counters to list")
+    diff.add_argument("--fleet", action="store_true",
+                      help="treat the two arguments as fleet ids and "
+                           "reconcile their recorded sweep points "
+                           "point-for-point (cycles, skips, CRCs); "
+                           "exit 1 on any divergence")
     _add_registry_flags(diff, suppress=True)
     trend = sub.add_parser(
         "trend", help="performance trajectory over the registry's "
@@ -1385,6 +1624,11 @@ def main(argv=None) -> int:
     trend.add_argument("--wall-tolerance", type=float, default=None,
                        help="allowed fractional wall slowdown for --check "
                             "(default: skip the wall comparison)")
+    trend.add_argument("--fleet", action="store_true",
+                       help="show the fleet dashboard instead: per-fleet "
+                            "rollups over every fleet-stamped sweep "
+                            "point, plus a cycles trajectory across "
+                            "re-runs of the same point set")
     _add_registry_flags(trend, suppress=True)
     serve = sub.add_parser(
         "serve", help="run the warm engine-pool daemon behind a Unix "
@@ -1531,6 +1775,10 @@ def main(argv=None) -> int:
     top.add_argument("--events", action="store_true",
                      help="also print job lifecycle events (admitted/"
                           "started/done/...) between stats frames")
+    top.add_argument("--once", action="store_true",
+                     help="print exactly one stats frame and exit "
+                          "(no screen clearing; safe in CI logs and "
+                          "non-TTY pipes)")
     trace_cmd = sub.add_parser(
         "trace", help="merge a --trace-dir's per-process shards into "
                       "one validated Chrome trace"
@@ -1541,6 +1789,108 @@ def main(argv=None) -> int:
     trace_cmd.add_argument("--out", default=None, metavar="PATH",
                            help="write the merged Perfetto-loadable "
                                 "JSON here")
+    fleet = sub.add_parser(
+        "fleet", help="distributed sweeps: N workers idempotently claim "
+                      "points through the shared registry (launch/work/"
+                      "status/watch)"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_action", required=True)
+    flaunch = fleet_sub.add_parser(
+        "launch", help="expand a sweep grid into a fleet spec and run "
+                       "it across N local worker processes"
+    )
+    flaunch.add_argument("game", help="workload alias to sweep")
+    flaunch.add_argument("--technique", choices=TECHNIQUES, default="re")
+    flaunch.add_argument("--set", action="append", required=True,
+                         metavar="NAME=V1,V2,...",
+                         help="GpuConfig field and the values to sweep "
+                              "it over; repeat for a multi-parameter "
+                              "grid")
+    flaunch.add_argument("--workers", type=int, default=3,
+                         help="local worker processes to spawn "
+                              "(default 3)")
+    flaunch.add_argument("--fleet-id", default=None, metavar="NAME",
+                         help="fleet id (default: a fleet-<timestamp> "
+                              "name)")
+    flaunch.add_argument("--lease", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="claim lease duration; a worker renews at "
+                              "a third of this cadence while executing, "
+                              "and peers reap claims whose lease "
+                              "expired (default 30)")
+    flaunch.add_argument("--max-wait", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="abort the launch if the fleet has not "
+                              "completed within this wall-clock budget "
+                              "(default 300)")
+    flaunch.add_argument("--crash-worker", action="append", default=None,
+                         metavar="WORKER:N",
+                         help="fault injection: kill this worker (e.g. "
+                              "w1) right after it wins its Nth claim, "
+                              "before any child spawns — lease expiry "
+                              "must requeue the orphaned point "
+                              "(repeatable)")
+    flaunch.add_argument("--verbose", action="store_true",
+                         help="stream the live claim map to stderr "
+                              "while the fleet runs")
+    _add_registry_flags(flaunch, suppress=True)
+    fwork = fleet_sub.add_parser(
+        "work", help="run one fleet worker against an existing fleet "
+                     "(what `launch` spawns; also how a second host "
+                     "joins a fleet over a shared registry directory)"
+    )
+    fwork.add_argument("--fleet-id", required=True)
+    fwork.add_argument("--worker", required=True,
+                       help="this worker's id (unique per fleet, e.g. "
+                            "w0 or hostname-0)")
+    fwork.add_argument("--poll", type=float, default=0.2,
+                       metavar="SECONDS",
+                       help="idle poll interval between claim attempts "
+                            "(default 0.2)")
+    fwork.add_argument("--max-wait", type=float, default=None,
+                       metavar="SECONDS",
+                       help="give up if the fleet is incomplete after "
+                            "this long (default: wait forever)")
+    fwork.add_argument("--crash-after-claims", type=int, default=None,
+                       metavar="N",
+                       help="fault injection: exit hard right after "
+                            "winning the Nth claim")
+    fwork.add_argument("--fleet-trace", action="store_true",
+                       help="record per-point spans as trace shards "
+                            "under the fleet directory (merge with "
+                            "`python -m repro trace`)")
+    _add_registry_flags(fwork, suppress=True)
+    fstatus = fleet_sub.add_parser(
+        "status", help="one-shot fleet view: claim map, per-worker "
+                       "throughput, stale heartbeats (plain ASCII; "
+                       "safe in CI logs)"
+    )
+    fwatch = fleet_sub.add_parser(
+        "watch", help="live fleet view: redraw the status until the "
+                      "fleet completes (clears the screen only on a "
+                      "TTY)"
+    )
+    for fview in (fstatus, fwatch):
+        fview.add_argument("--fleet-id", default=None,
+                           help="fleet to inspect (default: the only "
+                                "fleet in the registry)")
+        fview.add_argument("--json", action="store_true",
+                           help="also print the merged status as JSON")
+        fview.add_argument("--reap", action="store_true",
+                           help="steal expired claims back to the "
+                                "unclaimed pool while watching")
+        _add_registry_flags(fview, suppress=True)
+    fwatch.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between redraws (default 1)")
+    fwatch.add_argument("--once", action="store_true",
+                        help="print one frame and exit (same as "
+                             "`fleet status`)")
+    fwatch.add_argument("--iterations", type=int, default=0, metavar="N",
+                        help="exit after N frames (default: until the "
+                             "fleet completes or Ctrl-C)")
+    fwatch.add_argument("--no-clear", action="store_true",
+                        help="append frames instead of clearing the "
+                             "screen between redraws")
 
     args = parser.parse_args(argv)
     if args.raster_backend:
@@ -1564,6 +1914,7 @@ def main(argv=None) -> int:
         "stats": _cmd_stats,
         "top": _cmd_top,
         "trace": _cmd_trace,
+        "fleet": _cmd_fleet,
         "workloads": _cmd_workloads,
         "goldens": _cmd_goldens,
     }

@@ -68,6 +68,11 @@ class SupervisionError(ReproError):
     or a fault-injection / supervision policy spec was invalid."""
 
 
+class FleetError(ReproError):
+    """A distributed-sweep (fleet) failure: unknown fleet id, a corrupt
+    claim/done record, or a fleet whose points cannot all complete."""
+
+
 class ServiceError(ReproError):
     """A render-service failure: malformed job spec, dead daemon,
     protocol violation, or a job that exhausted its retries."""

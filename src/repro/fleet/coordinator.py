@@ -1,0 +1,346 @@
+"""The fleet coordinator: merged live view, reaping, local launcher.
+
+The coordinator owns no work — points complete whether or not one is
+running — it *observes and unsticks*: it tails every worker's
+append-only heartbeat log (each record consumed exactly once), feeds
+the payloads into a :class:`~repro.obs.live.LiveAggregator` in
+``use_payload_ts`` mode (so staleness reflects when a worker last made
+progress, clamped against clock skew, not when the tail loop ran),
+snapshots the claim/done state into a point map, merges the workers'
+execute-wall histograms, and reaps expired claims so a crashed
+worker's points requeue even when every surviving worker is busy.
+
+:func:`launch_fleet` is the local N-process mode CI uses: it writes the
+spec, spawns ``repro fleet work`` subprocesses, runs the coordinator
+loop until the fleet completes (journaling every observation), and
+reports per-worker exit codes.  Workers that crash are deliberately
+*not* respawned — the acceptance test is that the fleet completes
+anyway through lease expiry.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+from ..errors import FleetError
+from ..harness.supervisor import RunJournal
+from ..obs.live import LiveAggregator
+from ..service.telemetry import merge_histograms
+from .claims import ClaimStore, tail_heartbeats
+from .points import fleet_root, load_spec
+
+__all__ = ["FleetCoordinator", "launch_fleet"]
+
+
+class _NullStream:
+    """Swallows the aggregator's periodic table (we render our own)."""
+
+    def write(self, text: str) -> int:
+        return len(text)
+
+    def flush(self) -> None:
+        pass
+
+
+class FleetCoordinator:
+    """Read-side merge of one fleet's heartbeats, claims and results."""
+
+    def __init__(self, registry_root, fleet_id: str,
+                 stall_after_s: float = None, clock=time.time) -> None:
+        self.registry_root = os.fspath(registry_root)
+        self.spec = load_spec(registry_root, fleet_id)
+        self.points = self.spec.points()
+        self.claims = ClaimStore(registry_root, fleet_id, clock=clock)
+        self.root = fleet_root(registry_root, fleet_id)
+        self._offsets: dict = {}
+        self._worker_stats: dict = {}   # worker -> {..latest heartbeat..}
+        self._histograms: dict = {}     # worker -> latest to_dict()
+        self.started_at = time.monotonic()
+        # A worker silent for longer than its own lease is in stall
+        # territory — its claims are about to be stolen.
+        self.aggregator = LiveAggregator(
+            path=os.path.join(self.root, "live.json"),
+            stall_after_s=(stall_after_s if stall_after_s is not None
+                           else self.spec.lease_s),
+            stream=_NullStream(), use_payload_ts=True,
+            owner=f"repro-fleet:{os.getpid()}",
+        )
+
+    # Ingest -------------------------------------------------------------
+    def refresh(self) -> list:
+        """Consume new heartbeat records; returns them (for journaling).
+        Feeds the live aggregator and updates per-worker stats."""
+        fresh = tail_heartbeats(self.registry_root, self.spec.fleet_id,
+                                self._offsets)
+        for record in fresh:
+            worker = record["worker"]
+            stats = self._worker_stats.setdefault(worker, {
+                "completed": 0, "claims": 0, "state": None, "seq": 0,
+                "first_ts": record.get("ts"), "last_ts": None,
+            })
+            stats["state"] = record.get("state", stats["state"])
+            stats["seq"] = record.get("seq", stats["seq"])
+            stats["last_ts"] = record.get("ts")
+            if record.get("claims") is not None:
+                stats["claims"] = record["claims"]
+            if record.get("completed") is not None:
+                stats["completed"] = record["completed"]
+            if record.get("histogram"):
+                self._histograms[worker] = record["histogram"]
+            self.aggregator.update(self._to_live_payload(record))
+        self.aggregator.tick(force=bool(fresh))
+        return fresh
+
+    @staticmethod
+    def _to_live_payload(record: dict) -> dict:
+        payload = {"worker": record["worker"],
+                   "ts": record.get("ts", time.time())}
+        state = record.get("state")
+        if state == "exit":
+            payload.update(event="done", ok=True)
+        elif state == "crashing":
+            payload.update(event="done", ok=False)
+        else:
+            if isinstance(record.get("frames"), int):
+                payload["frames"] = record["frames"]
+            payload["counters"] = {}
+        return payload
+
+    def reap_orphans(self) -> list:
+        """Steal expired claims so a dead worker's points requeue even
+        when no worker is idle-scanning (all busy on long points)."""
+        return self.claims.reap_expired()
+
+    # State --------------------------------------------------------------
+    def point_map(self) -> list:
+        """Per-point status in grid order:
+        ``(point_id, tag, status, holder)`` with status one of
+        ``done`` / ``failed`` / ``claimed`` / ``unclaimed``."""
+        done = self.claims.done_records()
+        live = self.claims.claims()
+        rows = []
+        for point in self.points:
+            pid = point.point_id
+            if pid in done:
+                state = ("done" if done[pid].get("state") == "done"
+                         else "failed")
+                rows.append((pid, point.tag, state,
+                             done[pid].get("worker")))
+            elif pid in live:
+                rows.append((pid, point.tag, "claimed",
+                             live[pid].get("worker")))
+            else:
+                rows.append((pid, point.tag, "unclaimed", None))
+        return rows
+
+    def merged_histogram(self):
+        """All workers' execute-wall histograms merged; ``None`` before
+        the first completed point."""
+        if not self._histograms:
+            return None
+        return merge_histograms(self._histograms.values())
+
+    @property
+    def complete(self) -> bool:
+        return len(self.claims.done_ids()) >= len(self.points)
+
+    def failed_points(self) -> list:
+        return sorted(
+            pid for pid, record in self.claims.done_records().items()
+            if record.get("state") != "done"
+        )
+
+    def status(self) -> dict:
+        """One mergeable snapshot of everything the coordinator knows."""
+        points = self.point_map()
+        by_state: dict = {}
+        for _, _, state, _ in points:
+            by_state[state] = by_state.get(state, 0) + 1
+        elapsed = time.monotonic() - self.started_at
+        workers = {}
+        for worker, stats in sorted(self._worker_stats.items()):
+            live = self.aggregator.workers.get(worker, {})
+            age = (max(0.0, time.time() - stats["last_ts"])
+                   if stats.get("last_ts") else None)
+            # Rate over the worker's own heartbeat span, not our loop's
+            # lifetime — a post-hoc coordinator (fresh object over a
+            # finished fleet) would otherwise divide by ~zero.
+            span = elapsed
+            if stats.get("first_ts") and stats.get("last_ts"):
+                span = max(span, stats["last_ts"] - stats["first_ts"])
+            workers[worker] = {
+                "state": stats["state"],
+                "completed": stats["completed"],
+                "claims": stats["claims"],
+                "beat_age_s": age,
+                "stalled": bool(live.get("stalled")),
+                "throughput_per_min": (
+                    stats["completed"] / (span / 60.0)
+                    if span > 0 else 0.0
+                ),
+            }
+        return {
+            "fleet_id": self.spec.fleet_id,
+            "points_total": len(points),
+            "points": by_state,
+            "complete": self.complete,
+            "failed_points": self.failed_points(),
+            "workers": workers,
+            "stalled": self.aggregator.stalled(),
+            "histogram": self.merged_histogram(),
+            "events": self.aggregator.events[-20:],
+        }
+
+    # Rendering ----------------------------------------------------------
+    def render_status(self, width: int = 80) -> str:
+        """Plain-text status: claim map + worker table.  Pure ASCII, no
+        ANSI — safe verbatim in CI logs and on dumb terminals; the map
+        wraps to ``width``."""
+        from ..harness.reporting import format_table
+
+        points = self.point_map()
+        symbols = {"done": "#", "failed": "X", "claimed": "c",
+                   "unclaimed": "."}
+        map_line = "".join(symbols[state] for _, _, state, _ in points)
+        wrap = max(16, int(width) - 12)
+        wrapped = [map_line[i:i + wrap]
+                   for i in range(0, len(map_line), wrap)] or [""]
+        done = sum(1 for _, _, s, _ in points if s == "done")
+        lines = [
+            f"fleet {self.spec.fleet_id}: {done}/{len(points)} points "
+            f"done ({self.spec.alias}/{self.spec.technique}, "
+            f"{self.spec.num_frames} frames)",
+            "points  " + f"\n{'':8}".join(wrapped)
+            + "   [#=done X=failed c=claimed .=unclaimed]",
+        ]
+        status = self.status()
+        if status["workers"]:
+            rows = []
+            for worker, info in status["workers"].items():
+                age = info["beat_age_s"]
+                rows.append([
+                    worker,
+                    "STALLED" if info["stalled"] else (info["state"] or "-"),
+                    info["completed"],
+                    info["claims"],
+                    f"{age:.1f}s" if age is not None else "-",
+                    f"{info['throughput_per_min']:.1f}/min",
+                ])
+            lines.append(format_table(
+                ["worker", "state", "done", "claims", "beat", "rate"],
+                rows,
+            ))
+        hist = status["histogram"]
+        if hist and hist.get("count"):
+            lines.append(
+                f"execute wall: n={hist['count']} p50={hist['p50']:.3f}s "
+                f"p95={hist['p95']:.3f}s max={hist['max']:.3f}s"
+            )
+        if status["failed_points"]:
+            lines.append("FAILED points: "
+                         + ", ".join(status["failed_points"]))
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        self.aggregator.close()
+
+
+def launch_fleet(registry_root, spec, workers: int = 3,
+                 crash_after: dict = None, max_wait_s: float = 300.0,
+                 poll_s: float = 0.25, stream=None,
+                 worker_args: list = None) -> dict:
+    """Spawn a local N-process fleet for ``spec`` and see it through.
+
+    ``spec`` is a :class:`~repro.fleet.points.FleetSpec` (saved here) or
+    a fleet id that was already saved.  ``crash_after`` maps worker id
+    (``w0``..) -> claim count after which that worker hard-exits —
+    deterministic crash injection for requeue tests.  Returns a summary
+    dict; raises :class:`FleetError` on timeout.  Crashed workers stay
+    dead on purpose: completion must come from lease-expiry requeue.
+    """
+    registry_root = os.fspath(registry_root)
+    if isinstance(spec, str):
+        spec = load_spec(registry_root, spec)
+    else:
+        spec.save(registry_root)
+    crash_after = crash_after or {}
+    root = fleet_root(registry_root, spec.fleet_id)
+    journal = RunJournal(os.path.join(root, "journal.jsonl"))
+    journal.append("fleet_start", fleet_id=spec.fleet_id, workers=workers,
+                   points=len(spec.point_ids()),
+                   crash_after={k: v for k, v in crash_after.items()})
+
+    procs = {}
+    for index in range(workers):
+        worker_id = f"w{index}"
+        cmd = [
+            sys.executable, "-m", "repro", "fleet", "work",
+            "--registry", registry_root, "--fleet-id", spec.fleet_id,
+            "--worker", worker_id, "--max-wait", str(max_wait_s),
+        ]
+        if worker_id in crash_after:
+            cmd += ["--crash-after-claims", str(crash_after[worker_id])]
+        cmd += list(worker_args or [])
+        procs[worker_id] = subprocess.Popen(
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env=dict(os.environ, PYTHONPATH=_pythonpath()),
+        )
+        journal.append("worker_spawned", worker=worker_id,
+                       pid=procs[worker_id].pid)
+
+    coordinator = FleetCoordinator(registry_root, spec.fleet_id)
+    deadline = time.monotonic() + max_wait_s
+    try:
+        while True:
+            for record in coordinator.refresh():
+                journal.append("heartbeat", **{
+                    k: v for k, v in record.items() if k != "schema"
+                })
+            for pid in coordinator.reap_orphans():
+                journal.append("claim_reaped", point_id=pid,
+                               by="coordinator")
+            if stream is not None:
+                print(coordinator.render_status(), file=stream)
+            if coordinator.complete:
+                break
+            if all(p.poll() is not None for p in procs.values()):
+                # Every worker exited but points remain: unfinishable.
+                raise FleetError(
+                    f"fleet {spec.fleet_id!r}: all workers exited with "
+                    f"{len(coordinator.claims.done_ids())}/"
+                    f"{len(coordinator.points)} points done"
+                )
+            if time.monotonic() > deadline:
+                raise FleetError(
+                    f"fleet {spec.fleet_id!r} incomplete after "
+                    f"{max_wait_s}s"
+                )
+            time.sleep(poll_s)
+    finally:
+        exit_codes = {}
+        for worker_id, proc in procs.items():
+            try:
+                exit_codes[worker_id] = proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                exit_codes[worker_id] = proc.wait()
+        coordinator.refresh()
+        status = coordinator.status()
+        journal.append("fleet_done", complete=coordinator.complete,
+                       failed_points=coordinator.failed_points(),
+                       exit_codes=exit_codes)
+        journal.close()
+        coordinator.close()
+    status["exit_codes"] = exit_codes
+    return status
+
+
+def _pythonpath() -> str:
+    """Child workers must resolve ``repro`` the same way we did."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    existing = os.environ.get("PYTHONPATH")
+    return f"{here}{os.pathsep}{existing}" if existing else here

@@ -448,7 +448,8 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
                     policy: SupervisorPolicy = None, processes: int = None,
                     journal_path=None, fault_spec=None,
                     workdir=None, trace_path=None,
-                    metrics_path=None, live=None) -> SupervisedRun:
+                    metrics_path=None, live=None,
+                    progress_hook=None) -> SupervisedRun:
     """Run every cell under supervision; never raises for cell failures.
 
     ``processes`` bounds how many attempts run concurrently (default 1 —
@@ -479,6 +480,15 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
     writes its ``live.json`` heartbeat, and flags stalled workers —
     *before* the timeout kill fires, since its stall threshold is
     independent of (and should be below) ``policy.timeout_s``.
+
+    ``progress_hook`` is a lower-level tap on the same stream: a
+    callable invoked in the supervisor process for every progress /
+    telemetry message (``hook(kind, payload)`` with kind ``"progress"``
+    or ``"telemetry"``).  Fleet workers use it to renew their point
+    lease per frame; passing a hook enables per-frame telemetry in the
+    children even when no ``live`` aggregator is attached.  Hook
+    exceptions propagate — a fleet worker that cannot renew its lease
+    must not keep rendering.
     """
     cells = coerce_cells(cells)
     config = config or GpuConfig.benchmark()
@@ -548,7 +558,7 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
             args=(child_conn, state.cell, state.config, policy,
                   state.attempt, state.ckpt_path, fault,
                   state.trace_path, state.metrics_path,
-                  live is not None),
+                  live is not None or progress_hook is not None),
             daemon=True,
         )
         process.start()
@@ -643,10 +653,14 @@ def supervise_cells(cells: typing.Sequence, config: GpuConfig = None,
             if message[0] == "telemetry":
                 if live is not None:
                     live.update(message)
+                if progress_hook is not None:
+                    progress_hook("telemetry", message[1])
                 continue
             if message[0] != "progress":
                 return message
             frames = int(message[1])
+            if progress_hook is not None:
+                progress_hook("progress", frames)
             if (entry.state.ckpt_path is not None
                     and frames < entry.state.cell.num_frames):
                 entry.state.checkpoint_frame = frames

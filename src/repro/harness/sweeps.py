@@ -97,6 +97,37 @@ def _check_assignments(alias: str, technique: str,
     return tags
 
 
+def expand_grid(alias: str, technique: str, parameters: dict,
+                base_config: GpuConfig = None,
+                num_frames: int = 8) -> list:
+    """Expand a parameter grid into ``(assignment, config, tag)`` triples.
+
+    The single source of truth for how a sweep spec becomes concrete
+    points: :func:`sweep` runs the triples directly, and the fleet
+    (:mod:`repro.fleet.points`) derives its content-addressed point ids
+    from the same expansion — which is what makes a fleet's points
+    byte-identical to the equivalent single-host sweep.  Grid order
+    follows ``itertools.product`` over ``parameters`` in insertion
+    order; unknown config fields, duplicate points and sanitized-name
+    collisions raise up front.
+    """
+    base_config = base_config or GpuConfig.small()
+    names = list(parameters)
+    for name in names:
+        if not hasattr(base_config, name):
+            raise ReproError(f"GpuConfig has no parameter {name!r}")
+
+    assignments = []
+    configs = []
+    for values in itertools.product(*(parameters[n] for n in names)):
+        assignment = dict(zip(names, values))
+        assignments.append(assignment)
+        configs.append(dataclasses.replace(base_config, **assignment))
+
+    tags = _check_assignments(alias, technique, assignments)
+    return list(zip(assignments, configs, tags))
+
+
 def sweep(alias: str, technique: str, parameters: dict,
           base_config: GpuConfig = None, num_frames: int = 8,
           technique_params: dict = None, processes: int = None,
@@ -134,19 +165,11 @@ def sweep(alias: str, technique: str, parameters: dict,
     per-call :func:`run_workload` extras a cell cannot carry).
     """
     base_config = base_config or GpuConfig.small()
-    names = list(parameters)
-    for name in names:
-        if not hasattr(base_config, name):
-            raise ReproError(f"GpuConfig has no parameter {name!r}")
-
-    assignments = []
-    configs = []
-    for values in itertools.product(*(parameters[n] for n in names)):
-        assignment = dict(zip(names, values))
-        assignments.append(assignment)
-        configs.append(dataclasses.replace(base_config, **assignment))
-
-    tags = _check_assignments(alias, technique, assignments)
+    grid = expand_grid(alias, technique, parameters,
+                       base_config=base_config, num_frames=num_frames)
+    assignments = [assignment for assignment, _, _ in grid]
+    configs = [config for _, config, _ in grid]
+    tags = [tag for _, _, tag in grid]
     many = len(configs) > 1
 
     supervised = (

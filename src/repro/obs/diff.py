@@ -28,7 +28,15 @@ from ..errors import ReproError
 from ..harness.reporting import format_table
 from .store import RunRegistry, run_manifest
 
-__all__ = ["diff_manifests", "diff_results", "diff_runs", "render_diff"]
+__all__ = [
+    "diff_fleets",
+    "diff_manifests",
+    "diff_results",
+    "diff_runs",
+    "fleet_point_entries",
+    "render_diff",
+    "render_fleet_diff",
+]
 
 
 def _delta(a, b) -> dict:
@@ -183,6 +191,138 @@ def diff_results(result_a, result_b) -> dict:
         crcs_a=result_a.tile_color_crcs,
         crcs_b=result_b.tile_color_crcs,
     )
+
+
+def fleet_point_entries(registry, fleet_id: str) -> dict:
+    """``point_id -> IndexEntry`` for every manifest stamped with one
+    fleet id.
+
+    Both sides of a fleet reconciliation produce these stamps: fleet
+    workers stamp every manifest they record, and a single-host
+    ``repro sweep --fleet-id NAME`` stamps the same ids (the point id
+    is content-addressed, so the two runs' ids coincide exactly when
+    their configs do).  Duplicate stamps keep the latest entry.
+    """
+    if not isinstance(registry, RunRegistry):
+        registry = RunRegistry(registry)
+    points = {}
+    for entry in registry.query(kind="sweep-point"):
+        summary = entry.summary or {}
+        if summary.get("fleet_id") != fleet_id:
+            continue
+        point = summary.get("point_id")
+        if point:
+            points[point] = entry
+    return points
+
+
+def diff_fleets(registry, fleet_a: str, fleet_b: str) -> dict:
+    """Point-for-point reconciliation of two fleet-stamped result sets.
+
+    For every point id present on either side: compare the headline
+    summary (total cycles, tiles skipped, final frame CRC) from the
+    index, and the per-tile CRC matrices from the manifests' sidecars.
+    A point is ``identical`` when every compared field matches and the
+    CRC matrices (when both recorded) diverge nowhere.  Missing points
+    on either side are reported — a fleet that lost a point to a crash
+    shows up here, not as a silent shrug.
+    """
+    if not isinstance(registry, RunRegistry):
+        registry = RunRegistry(registry)
+    points_a = fleet_point_entries(registry, fleet_a)
+    points_b = fleet_point_entries(registry, fleet_b)
+    if not points_a and not points_b:
+        raise ReproError(
+            f"no sweep points stamped with fleet id {fleet_a!r} or "
+            f"{fleet_b!r} in registry {registry.root} (run the fleet, "
+            "or stamp a single-host sweep with --fleet-id)"
+        )
+    shared = sorted(set(points_a) & set(points_b))
+    compared = []
+    divergent = 0
+    fields = ("total_cycles", "tiles_skipped", "skipped_fraction",
+              "final_frame_crc")
+    for point in shared:
+        entry_a, entry_b = points_a[point], points_b[point]
+        sum_a = entry_a.summary or {}
+        sum_b = entry_b.summary or {}
+        mismatches = [
+            field for field in fields
+            if sum_a.get(field) != sum_b.get(field)
+        ]
+        crc = _crc_divergence(registry.crcs(entry_a.run_id),
+                              registry.crcs(entry_b.run_id))
+        crc_identical = (not crc.get("comparable")) or crc["identical"]
+        identical = not mismatches and crc_identical
+        if not identical:
+            divergent += 1
+        compared.append({
+            "point_id": point,
+            "run_a": entry_a.run_id,
+            "run_b": entry_b.run_id,
+            "identical": identical,
+            "mismatched_fields": {
+                field: {"a": sum_a.get(field), "b": sum_b.get(field)}
+                for field in mismatches
+            },
+            "crc": crc,
+            "summary": {field: sum_a.get(field) for field in fields},
+        })
+    return {
+        "fleet_a": fleet_a,
+        "fleet_b": fleet_b,
+        "points_a": len(points_a),
+        "points_b": len(points_b),
+        "compared": compared,
+        "divergent": divergent,
+        "only_a": sorted(set(points_a) - set(points_b)),
+        "only_b": sorted(set(points_b) - set(points_a)),
+        "identical": (divergent == 0 and len(points_a) == len(points_b)
+                      and bool(shared)),
+    }
+
+
+def render_fleet_diff(diff: dict) -> str:
+    """Text report of a :func:`diff_fleets` result."""
+    lines = [
+        f"fleet diff A={diff['fleet_a']} ({diff['points_a']} points) "
+        f"B={diff['fleet_b']} ({diff['points_b']} points)"
+    ]
+    rows = []
+    for point in diff["compared"]:
+        summary = point["summary"]
+        if point["identical"]:
+            verdict = "identical"
+        elif point["mismatched_fields"]:
+            verdict = "DIVERGES: " + ",".join(point["mismatched_fields"])
+        else:
+            verdict = "DIVERGES: tile CRCs"
+        rows.append([
+            point["point_id"],
+            summary.get("total_cycles"),
+            summary.get("tiles_skipped"),
+            summary.get("final_frame_crc"),
+            verdict,
+        ])
+    if rows:
+        lines.append(format_table(
+            ["point", "cycles(A)", "skips(A)", "crc(A)", "verdict"],
+            rows, float_format="{:.0f}",
+        ))
+    for side, missing in (("A", diff["only_b"]), ("B", diff["only_a"])):
+        if missing:
+            lines.append(
+                f"missing on side {side}: {len(missing)} point(s): "
+                + ", ".join(missing)
+            )
+    lines.append(
+        "fleets reconcile point-for-point"
+        if diff["identical"] else
+        f"fleets DIVERGE: {diff['divergent']} of "
+        f"{len(diff['compared'])} shared point(s) differ, "
+        f"{len(diff['only_a']) + len(diff['only_b'])} unmatched"
+    )
+    return "\n".join(lines)
 
 
 def _fmt_pct(entry: dict) -> str:

@@ -398,12 +398,23 @@ def merge_shards(source, out_path=None, repair: bool = True) -> dict:
         if isinstance(event.get("args"), dict)
         and event["args"].get("trace_id")
     })
+    # Participating roles from the process_name metadata each shard
+    # emits — for a fleet merge this reads "fleet-w0, fleet-w1, ...",
+    # so a missing worker's shard is visible from the metadata alone.
+    roles = sorted({
+        event["args"]["name"] for event in events
+        if event.get("ph") == "M"
+        and event.get("name") == "process_name"
+        and isinstance(event.get("args"), dict)
+        and event["args"].get("name")
+    })
     payload = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "metadata": {
             "merged_from": [os.path.basename(p) for p in paths],
             "trace_ids": trace_ids,
+            "roles": roles,
             "repaired_spans": repaired,
         },
     }

@@ -42,8 +42,12 @@ from ..pipeline.kernels import backend_record
 
 __all__ = [
     "RunRegistry",
+    "append_jsonl_atomic",
     "bench_manifest",
+    "claim_record",
+    "done_record",
     "git_revision",
+    "heartbeat_record",
     "run_manifest",
     "validate_tenant",
 ]
@@ -57,8 +61,94 @@ REGISTRY_ENV_VAR = "REPRO_REGISTRY"
 KINDS = ("run", "sweep-point", "bench", "figure", "golden")
 
 #: Registry-root names a tenant namespace may not shadow: the store's
-#: own layout lives there.
-RESERVED_TENANTS = frozenset({"runs", "index.jsonl", "write_errors.jsonl"})
+#: own layout lives there.  ``fleet`` holds distributed-sweep state
+#: (:mod:`repro.fleet`) — claims, leases, heartbeats — not a tenant.
+RESERVED_TENANTS = frozenset({"runs", "index.jsonl", "write_errors.jsonl",
+                              "fleet"})
+
+#: Schema tags for the fleet coordination records the registry layout
+#: carries (see :mod:`repro.fleet.claims` for the protocol).
+CLAIM_SCHEMA = "repro-fleet-claim-v1"
+DONE_SCHEMA = "repro-fleet-done-v1"
+HEARTBEAT_SCHEMA = "repro-fleet-heartbeat-v1"
+
+
+def claim_record(point_id: str, fleet_id: str, worker: str,
+                 lease_s: float, renewals: int = 0,
+                 clock=time.time) -> dict:
+    """A fleet claim/lease record: ``worker`` owns ``point_id`` until
+    ``expires_at`` (the owner's clock; see DESIGN §13 on skew).  A claim
+    is *created* atomically (``O_CREAT|O_EXCL``) and *renewed* by
+    atomic replacement — both single-winner operations, so two workers
+    can never believe they hold the same live lease."""
+    now = clock()
+    return {
+        "schema": CLAIM_SCHEMA,
+        "point_id": point_id,
+        "fleet_id": fleet_id,
+        "worker": worker,
+        "pid": os.getpid(),
+        "host": os.uname().nodename if hasattr(os, "uname") else None,
+        "claimed_at": now,
+        "lease_s": float(lease_s),
+        "expires_at": now + float(lease_s),
+        "renewals": int(renewals),
+    }
+
+
+def done_record(point_id: str, fleet_id: str, worker: str,
+                summary: dict = None, run_id: str = None,
+                state: str = "done", error: str = None,
+                execute_s: float = None, clock=time.time) -> dict:
+    """A fleet completion record — the exactly-once terminal marker for
+    one sweep point (created ``O_CREAT|O_EXCL``, so even two workers
+    racing a duplicated execution produce exactly one)."""
+    return {
+        "schema": DONE_SCHEMA,
+        "point_id": point_id,
+        "fleet_id": fleet_id,
+        "worker": worker,
+        "state": state,
+        "run_id": run_id,
+        "summary": summary,
+        "error": error,
+        "execute_s": execute_s,
+        "completed_at": clock(),
+    }
+
+
+def heartbeat_record(worker: str, seq: int, clock=time.time,
+                     **fields) -> dict:
+    """One append-only heartbeat line a fleet worker publishes.
+
+    ``seq`` is the worker's monotone record counter; ``ts`` is the
+    worker's wall clock (readers clamp skew — a future ``ts`` reads as
+    age zero, never as negative staleness)."""
+    record = {
+        "schema": HEARTBEAT_SCHEMA,
+        "worker": worker,
+        "seq": int(seq),
+        "ts": clock(),
+        "pid": os.getpid(),
+    }
+    record.update(fields)
+    return record
+
+
+def append_jsonl_atomic(path, record: dict) -> None:
+    """Append one JSONL record with a single ``O_APPEND`` write.
+
+    Multiple processes (fleet workers sharing a registry directory)
+    append concurrently; ``O_APPEND`` plus one ``os.write`` per record
+    keeps every line intact — lines may interleave but never tear.
+    """
+    line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(os.fspath(path), os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+                 0o666)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
 
 
 def validate_tenant(tenant) -> str:
@@ -281,6 +371,12 @@ def _index_projection(run_id: str, manifest: dict) -> dict:
         }
         if "parameters" in manifest:
             summary["parameters"] = manifest["parameters"]
+        # Fleet-stamped manifests keep their coordination identity in
+        # the projection so `repro trend/diff --fleet` can group points
+        # from the index without opening every manifest.
+        for key in ("fleet_id", "point_id", "fleet_worker"):
+            if key in manifest:
+                summary[key] = manifest[key]
     return {
         "run_id": run_id,
         "kind": manifest.get("kind"),
@@ -427,11 +523,52 @@ class RunRegistry:
                     handle,
                 )
                 handle.write("\n")
-        with open(self.index_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(
-                _index_projection(run_id, manifest), sort_keys=True,
-            ) + "\n")
+        # Single O_APPEND write per row: fleet workers on other
+        # processes/hosts append the same index concurrently.
+        append_jsonl_atomic(
+            self.index_path, _index_projection(run_id, manifest),
+        )
         return run_id
+
+    def compact_index(self) -> tuple:
+        """Rewrite ``index.jsonl`` deduped by run id, atomically.
+
+        The index is an event log — re-recording a manifest appends a
+        fresh row, and a fleet multiplies append volume by its worker
+        count — so long-lived registries accumulate redundant rows.
+        Compaction keeps the *latest* row per run id (the same row
+        :meth:`entries` would surface) in first-seen order and swaps the
+        file in with ``os.replace``, so concurrent readers see either
+        the old log or the compacted one, never a partial file.  Returns
+        ``(kept, reclaimed)`` row counts.
+        """
+        if not os.path.exists(self.index_path):
+            return (0, 0)
+        rows: dict = {}
+        order: list = []
+        total = 0
+        with open(self.index_path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"{self.index_path}:{lineno}: bad index row: {exc}"
+                    ) from None
+                total += 1
+                run_id = record.get("run_id")
+                if run_id not in rows:
+                    order.append(run_id)
+                rows[run_id] = record
+        tmp = f"{self.index_path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for run_id in order:
+                handle.write(json.dumps(rows[run_id], sort_keys=True) + "\n")
+        os.replace(tmp, self.index_path)
+        return (len(order), total - len(order))
 
     def record_run(self, result, kind: str = "run", artifacts: dict = None,
                    extra: dict = None, store_crcs: bool = True) -> str:

@@ -26,7 +26,13 @@ from ..harness.timeline import sparkline
 from ..perf.guard import compare_bench
 from .store import RunRegistry
 
-__all__ = ["check_trend", "render_trend", "trend_points"]
+__all__ = [
+    "check_trend",
+    "fleet_trend",
+    "render_fleet_trend",
+    "render_trend",
+    "trend_points",
+]
 
 
 def _registry(registry) -> RunRegistry:
@@ -81,6 +87,145 @@ def check_trend(registry, share_tolerance: float = 0.10,
         points[-2], points[-1],
         share_tolerance=share_tolerance, wall_tolerance=wall_tolerance,
     )
+
+
+def fleet_trend(registry) -> list:
+    """Per-fleet rollups over every fleet-stamped sweep point.
+
+    Groups the registry's ``sweep-point`` entries by their ``fleet_id``
+    stamp and aggregates each group: points, workers, total cycles,
+    skipped tiles, wall span (first to last manifest), and — when the
+    fleet directory is present beside the registry — the workers'
+    merged execute-wall histogram and done/failed counts.  Ordered by
+    first-manifest time, so fleets read chronologically: the fleet-wide
+    perf dashboard.
+    """
+    registry = _registry(registry)
+    groups: dict = {}
+    for entry in registry.query(kind="sweep-point"):
+        summary = entry.summary or {}
+        fleet_id = summary.get("fleet_id")
+        if not fleet_id:
+            continue
+        groups.setdefault(fleet_id, []).append(entry)
+    rollups = []
+    for fleet_id, entries in groups.items():
+        workers = sorted({
+            (e.summary or {}).get("fleet_worker")
+            for e in entries if (e.summary or {}).get("fleet_worker")
+        })
+        created = [e.created_at or 0.0 for e in entries]
+        point_ids = {(e.summary or {}).get("point_id") for e in entries}
+        rollup = {
+            "fleet_id": fleet_id,
+            "alias": entries[0].alias,
+            "technique": entries[0].technique,
+            "num_frames": entries[0].num_frames,
+            "points": len(point_ids),
+            "workers": workers,
+            "first_at": min(created),
+            "last_at": max(created),
+            "wall_span_s": max(created) - min(created),
+            "total_cycles": sum(
+                (e.summary or {}).get("total_cycles") or 0
+                for e in entries
+            ),
+            "tiles_skipped": sum(
+                (e.summary or {}).get("tiles_skipped") or 0
+                for e in entries
+            ),
+            "point_set": "|".join(sorted(p for p in point_ids if p)),
+            "histogram": None,
+            "points_total": None,
+            "failed": None,
+        }
+        rollup.update(_fleet_dir_rollup(registry, fleet_id))
+        rollups.append(rollup)
+    rollups.sort(key=lambda r: (r["first_at"], r["fleet_id"]))
+    return rollups
+
+
+def _fleet_dir_rollup(registry, fleet_id: str) -> dict:
+    """Coordination-side aggregates when the fleet directory exists
+    (same-host view); empty for a registry synced without it."""
+    from ..errors import FleetError
+
+    try:
+        from ..fleet.claims import ClaimStore, tail_heartbeats
+        from ..fleet.points import load_spec
+
+        spec = load_spec(registry.root, fleet_id)
+        claims = ClaimStore(registry.root, fleet_id)
+        done = claims.done_records()
+        histograms: dict = {}
+        for record in tail_heartbeats(registry.root, fleet_id, {}):
+            if record.get("histogram"):
+                histograms[record["worker"]] = record["histogram"]
+        merged = None
+        if histograms:
+            from ..service.telemetry import merge_histograms
+
+            merged = merge_histograms(histograms.values())
+        return {
+            "points_total": len(spec.point_ids()),
+            "failed": sorted(
+                pid for pid, rec in done.items()
+                if rec.get("state") != "done"
+            ),
+            "histogram": merged,
+        }
+    except (FleetError, OSError):
+        return {}
+
+
+def render_fleet_trend(registry, width: int = 60) -> str:
+    """The fleet dashboard as text: per-fleet table + a cycles
+    trajectory across fleets that ran the same point set."""
+    rollups = fleet_trend(registry)
+    if not rollups:
+        return ("no fleet-stamped sweep points recorded; run "
+                "`python -m repro fleet launch` or stamp a sweep with "
+                "`python -m repro sweep --fleet-id NAME`")
+    lines = [f"fleet trajectory: {len(rollups)} fleet(s)"]
+    rows = []
+    for rollup in rollups:
+        total = rollup["points_total"]
+        done = rollup["points"]
+        hist = rollup["histogram"]
+        rows.append([
+            rollup["fleet_id"],
+            f"{rollup['alias']}/{rollup['technique']}",
+            f"{done}/{total}" if total else str(done),
+            len(rollup["workers"]) or "-",
+            rollup["wall_span_s"],
+            rollup["total_cycles"] / 1e6,
+            (f"p50={hist['p50']:.2f}s p95={hist['p95']:.2f}s"
+             if hist and hist.get("count") else "-"),
+        ])
+    lines.append(format_table(
+        ["fleet", "workload", "points", "workers", "span_s",
+         "Mcycles", "execute wall"], rows, float_format="{:.2f}",
+    ))
+    for rollup in rollups:
+        if rollup["failed"]:
+            lines.append(
+                f"fleet {rollup['fleet_id']}: FAILED points: "
+                + ", ".join(rollup["failed"])
+            )
+    # Trajectory across re-runs of the same point set: like-for-like
+    # only, mirroring the bench-key discipline of the bench trend.
+    newest_set = rollups[-1]["point_set"]
+    series = [r for r in rollups if r["point_set"] == newest_set]
+    if len(series) > 1:
+        cycles = [r["total_cycles"] for r in series]
+        peak = max(cycles)
+        if peak:
+            lines.append(
+                f"total cycles across {len(series)} run(s) of the same "
+                "point set (normalized to worst): "
+                + sparkline([c / peak for c in cycles], width=width)
+            )
+    return "\n".join(lines)
 
 
 def _counter_signature(counters: dict) -> str:

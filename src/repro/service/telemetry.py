@@ -44,6 +44,7 @@ __all__ = [
     "LogHistogram",
     "ServiceTelemetry",
     "TelemetryRecorder",
+    "fleet_execute_histogram",
     "merge_histograms",
 ]
 
@@ -173,6 +174,17 @@ class LogHistogram:
         hist.min = data.get("min")
         hist.max = data.get("max")
         return hist
+
+
+#: Bucket scheme every fleet worker uses for its per-point execute-wall
+#: histogram.  Fixing the scheme here is what lets the coordinator (and
+#: ``repro trend --fleet``) merge shards from any mix of workers/hosts.
+FLEET_EXECUTE_SCHEME = (1e-3, 600.0, 2.0)
+
+
+def fleet_execute_histogram() -> LogHistogram:
+    """A fresh histogram on the shared fleet execute-wall scheme."""
+    return LogHistogram(*FLEET_EXECUTE_SCHEME)
 
 
 def merge_histograms(dicts) -> dict:

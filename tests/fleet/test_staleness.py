@@ -1,0 +1,178 @@
+"""Heartbeat staleness edges: clock skew, SIGKILLed workers, and
+leases expiring mid-execute.
+
+These are the failure rows of DESIGN's fleet matrix, driven without
+real processes: heartbeat files and claim records are written the way
+real workers write them, and the coordinator/claim machinery observes
+them under controlled clocks.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.claims import ClaimStore, HeartbeatLog
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.points import FleetSpec
+from repro.obs.live import LiveAggregator
+
+PID = "b" * 16
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def registry(tmp_path):
+    FleetSpec(fleet_id="f1", alias="ccs", technique="re", num_frames=2,
+              parameters={"tile_size": [8, 16]}, lease_s=5.0,
+              ).save(tmp_path)
+    return tmp_path
+
+
+class TestClockSkew:
+    def test_future_payload_ts_clamps_to_fresh(self):
+        # A worker whose wall clock runs *ahead* of the observer's
+        # stamps heartbeats "from the future".  With use_payload_ts the
+        # age clamps at zero: skew never reads as staleness (or as
+        # negative age pushing last_update beyond now).
+        agg = LiveAggregator(path=None, stall_after_s=1.0,
+                             use_payload_ts=True)
+        agg.update({"worker": "w0", "ts": time.time() + 3600.0,
+                    "frames": 1, "counters": {}})
+        assert agg.stalled() == []
+        assert agg.workers["w0"]["last_update"] <= agg._clock()
+
+    def test_past_payload_ts_counts_as_age(self):
+        # A record written long ago (tail loop catching up after the
+        # worker died) must read as stale even though it just arrived.
+        agg = LiveAggregator(path=None, stall_after_s=1.0,
+                             use_payload_ts=True)
+        agg.update({"worker": "w0", "ts": time.time() - 30.0,
+                    "frames": 1, "counters": {}})
+        assert agg.stalled() == ["w0"]
+
+    def test_arrival_time_mode_ignores_payload_ts(self):
+        # The default (service) mode keys staleness off arrival: the
+        # same ancient stamp is fresh because it just arrived.
+        agg = LiveAggregator(path=None, stall_after_s=1.0)
+        agg.update({"worker": "w0", "ts": time.time() - 30.0,
+                    "frames": 1, "counters": {}})
+        assert agg.stalled() == []
+
+    def test_skewed_worker_lease_not_reaped_early(self, registry):
+        # Expiry compares the owner's *promised* expires_at against the
+        # observer's clock.  An owner whose clock runs ahead promises a
+        # later expiry — peers with honest clocks must not steal early.
+        ahead = FakeClock(1060.0)       # worker clock: +60s skew
+        honest = FakeClock(1000.0)
+        ClaimStore(registry, "f1", clock=ahead).try_claim(
+            PID, "w0", lease_s=5.0)
+        observer = ClaimStore(registry, "f1", clock=honest)
+        honest.advance(10.0)            # past lease by honest clock...
+        assert observer.reap_expired() == []    # ...but not promised
+        honest.advance(60.0)
+        assert observer.reap_expired() == [PID]
+
+
+class TestSigkilledWorker:
+    def test_stall_flagged_and_lease_reaped(self, registry):
+        # A worker beats, claims, then is SIGKILLed: no exit record, no
+        # release.  The coordinator must (a) flag the silence and (b)
+        # requeue the orphaned claim once the lease lapses.
+        from repro.fleet.points import load_spec
+
+        pid = load_spec(registry, "f1").point_ids()[0]
+        clock = FakeClock()
+        hb = HeartbeatLog(registry, "f1", "w0", clock=clock)
+        hb.beat(state="start")
+        hb.beat(state="claimed", point_id=pid, claims=1)
+        ClaimStore(registry, "f1", clock=clock).try_claim(
+            pid, "w0", lease_s=5.0)
+        # ...SIGKILL: nothing further is ever written.
+
+        coordinator = FleetCoordinator(registry, "f1",
+                                       stall_after_s=0.05, clock=clock)
+        try:
+            coordinator.refresh()
+            # Heartbeat stamps came from the fake clock, so they are
+            # ancient relative to real wall time: stale immediately.
+            status = coordinator.status()
+            assert status["workers"]["w0"]["stalled"]
+            assert "w0" in status["stalled"]
+            assert coordinator.reap_orphans() == []     # lease still live
+            clock.advance(6.0)
+            assert coordinator.reap_orphans() == [pid]
+            states = {point: state for point, _, state, _
+                      in coordinator.point_map()}
+            assert states[pid] == "unclaimed"
+        finally:
+            coordinator.close()
+
+    def test_exit_beat_prevents_stall_flag(self, registry):
+        # A clean exit is silent forever after, but must never read as
+        # a stall: the done event parks the worker's status.
+        clock = FakeClock()
+        hb = HeartbeatLog(registry, "f1", "w0", clock=clock)
+        hb.beat(state="start")
+        hb.beat(state="exit", points_done=2, completed=2, failed=[])
+        coordinator = FleetCoordinator(registry, "f1",
+                                       stall_after_s=0.05, clock=clock)
+        try:
+            coordinator.refresh()
+            assert coordinator.status()["stalled"] == []
+        finally:
+            coordinator.close()
+
+
+class TestLeaseExpiryMidExecute:
+    def test_point_reclaimed_exactly_once(self, registry):
+        clock = FakeClock()
+        a = ClaimStore(registry, "f1", clock=clock)
+        b = ClaimStore(registry, "f1", clock=clock)
+        assert a.try_claim(PID, "wA", lease_s=5.0)
+
+        # wA wedges mid-execute; the lease lapses; wB (and only wB,
+        # even racing a third store) steals and re-claims.
+        clock.advance(6.0)
+        c = ClaimStore(registry, "f1", clock=clock)
+        stolen_b = b.reap_expired()
+        stolen_c = c.reap_expired()
+        assert sorted(stolen_b + stolen_c) == [PID]
+        claimed = [s.try_claim(PID, w, 5.0) is not None
+                   for s, w in ((b, "wB"), (c, "wC"))]
+        assert claimed.count(True) == 1
+
+        # wA unwedges: its next renewal discovers the theft and raises,
+        # which aborts its attempt (the worker walks away).
+        with pytest.raises(FleetError, match="lease lost"):
+            a.renew(PID, "wA", lease_s=5.0)
+
+        # Suppose wA had already computed a result anyway (duplicate
+        # execution): the done record stays exactly-once, thief wins.
+        winner = "wB" if claimed[0] else "wC"
+        assert (b if claimed[0] else c).mark_done(PID, winner)
+        assert not a.mark_done(PID, "wA")
+        assert a.done_records()[PID]["worker"] == winner
+
+    def test_renewal_extends_across_expiry_horizon(self, registry):
+        # The renewing path: a slow-but-alive worker renews inside the
+        # lease window and is never reaped.
+        clock = FakeClock()
+        store = ClaimStore(registry, "f1", clock=clock)
+        store.try_claim(PID, "wA", lease_s=5.0)
+        for _ in range(6):                  # 9s of work on a 5s lease
+            clock.advance(1.5)
+            store.renew(PID, "wA", lease_s=5.0)
+            assert store.reap_expired() == []
+        record = store.claims()[PID]
+        assert record["renewals"] == 6

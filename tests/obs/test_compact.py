@@ -1,0 +1,89 @@
+"""Index compaction: latest-wins dedupe, atomicity, reclaim counts."""
+
+import json
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.errors import ReproError
+from repro.harness.runner import run_workload
+from repro.obs.store import RunRegistry, run_manifest
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_workload("cde", "re", GpuConfig.small(), num_frames=2)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return RunRegistry(tmp_path / "registry")
+
+
+def manifest_for(result, kind: str = "run") -> dict:
+    # Pinned created_at so re-recording hashes to the same run id —
+    # exactly what a fleet of workers re-appending the same manifest
+    # (or a retried recording) produces.
+    return run_manifest(result, kind=kind, git_rev=None, created_at=1.0)
+
+
+def index_rows(registry) -> list:
+    with open(registry.index_path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestCompactIndex:
+    def test_missing_index_is_a_noop(self, registry):
+        assert registry.compact_index() == (0, 0)
+
+    def test_already_compact_reclaims_nothing(self, registry, result):
+        registry.record(manifest_for(result))
+        assert registry.compact_index() == (1, 0)
+        assert len(index_rows(registry)) == 1
+
+    def test_duplicate_rows_reclaimed_latest_wins(self, registry, result):
+        # Re-recording the same manifest appends duplicate rows (the
+        # index is an event log); the run id is content-addressed so
+        # they collide on purpose.
+        manifest = manifest_for(result)
+        run_id = registry.record(manifest)
+        for _ in range(3):
+            assert registry.record(manifest) == run_id
+        before = registry.entries()
+        assert len(index_rows(registry)) == 4
+        assert registry.compact_index() == (1, 3)
+        rows = index_rows(registry)
+        assert len(rows) == 1
+        assert rows[0]["run_id"] == run_id
+        # The queryable view is unchanged — compaction is invisible to
+        # readers beyond the file shrinking.
+        after = registry.entries()
+        assert [e.run_id for e in after] == [e.run_id for e in before]
+        assert after[0].summary == before[0].summary
+
+    def test_first_seen_order_preserved(self, registry, result):
+        manifest_a = manifest_for(result, kind="run")
+        manifest_b = manifest_for(result, kind="sweep-point")
+        a = registry.record(manifest_a)
+        b = registry.record(manifest_b)
+        registry.record(manifest_a)                 # duplicate of a
+        assert registry.compact_index() == (2, 1)
+        assert [row["run_id"] for row in index_rows(registry)] == [a, b]
+
+    def test_corrupt_row_aborts_without_rewrite(self, registry, result):
+        registry.record(manifest_for(result))
+        with open(registry.index_path, "a", encoding="utf-8") as handle:
+            handle.write("{ torn row\n")
+        raw_before = open(registry.index_path, encoding="utf-8").read()
+        with pytest.raises(ReproError, match="bad index row"):
+            registry.compact_index()
+        # Nothing was replaced: the evidence is intact for forensics.
+        assert open(registry.index_path,
+                    encoding="utf-8").read() == raw_before
+
+    def test_idempotent(self, registry, result):
+        manifest = manifest_for(result)
+        registry.record(manifest)
+        registry.record(manifest)
+        assert registry.compact_index() == (1, 1)
+        assert registry.compact_index() == (1, 0)
